@@ -1,0 +1,69 @@
+"""Section 5.4: covert-channel proof-of-concepts.
+
+Demonstrates both channels end to end and reports the leaked bits:
+
+* the replicated-``gettimeofday`` channel transfers each variant's
+  randomized address bits to every other variant (and then out through
+  ordinary, divergence-free output);
+* the mutex-``trylock`` channel transmits the master's bits through the
+  replicated synchronization results themselves, under each of the three
+  agents.
+"""
+
+from __future__ import annotations
+
+from repro.core.mvee import run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.perf.costs import CostModel
+from repro.perf.report import format_table
+from repro.workloads.attacks import (
+    TimingCovertChannel,
+    TrylockCovertChannel,
+)
+
+#: ASLR seed under which the variants' role hashes differ.
+ASLR = DiversitySpec(aslr=True, seed=2)
+
+FAST = CostModel(monitor_syscall_overhead=2_000.0)
+
+
+def test_covert_channels(benchmark, record_output):
+    def experiment():
+        timing = run_mvee(TimingCovertChannel(), variants=2, agent=None,
+                          seed=5, costs=FAST, diversity=ASLR)
+        trylock = {}
+        for agent in ("total_order", "partial_order", "wall_of_clocks"):
+            trylock[agent] = run_mvee(TrylockCovertChannel(), variants=2,
+                                      agent=agent, seed=7, costs=FAST,
+                                      diversity=ASLR)
+        return timing, trylock
+
+    timing, trylock = benchmark.pedantic(experiment, rounds=1,
+                                         iterations=1)
+
+    rows = []
+    first = timing.vms[0].threads["main"].result
+    second = timing.vms[1].threads["main"].result
+    rows.append(["gettimeofday delta", timing.verdict,
+                 f"streams {first['streams']} "
+                 f"(secrets {first['my_secret']:#x}/"
+                 f"{second['my_secret']:#x})"])
+    for agent, outcome in trylock.items():
+        master = outcome.vms[0].threads["main"].result
+        slave = outcome.vms[1].threads["main"].result
+        rows.append([f"trylock via {agent}", outcome.verdict,
+                     f"slave decoded {slave['decoded']:#x} == master "
+                     f"secret {master['my_secret']:#x}"])
+    record_output("security_covert_channels", format_table(
+        ["channel", "verdict (must be clean!)", "leak"], rows,
+        title="Section 5.4: covert channels — leaks without divergence"))
+
+    # The defining property: the leak is NOT detected as divergence.
+    assert timing.verdict == "clean"
+    sender1 = first if first["my_role"] == 1 else second
+    assert first["streams"][1] == sender1["my_secret"]
+    for outcome in trylock.values():
+        assert outcome.verdict == "clean"
+        master = outcome.vms[0].threads["main"].result
+        slave = outcome.vms[1].threads["main"].result
+        assert slave["decoded"] == master["my_secret"]

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the paper-reproduction benches.
+
+Every bench regenerates one table or figure of the paper, prints it (run
+pytest with ``-s`` to see it live), and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
+
+``REPRO_BENCH_SCALE`` (default 0.25) scales the per-benchmark event
+budgets: raise it toward 1.0 for higher-fidelity (slower) sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Event-budget scale for the performance sweeps.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_output():
+    """Returns a callable(name, text) that prints and persists output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

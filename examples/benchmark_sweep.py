@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""A miniature Figure 5 / Table 1 sweep from the public API.
+
+Runs a representative benchmark subset through all three agents at 2-4
+variants and prints paper-style slowdown tables.  (The full 25-benchmark
+sweep lives in benchmarks/bench_fig5_per_benchmark.py.)
+
+Run:  python examples/benchmark_sweep.py [scale]
+"""
+
+import sys
+
+from repro.experiments.runner import run_benchmark_grid
+from repro.experiments.tables import figure5_series, table1
+from repro.perf.report import aggregate_slowdowns
+
+SUBSET = ["blackscholes", "bodytrack", "dedup", "swaptions",
+          "barnes", "radiosity", "streamcluster"]
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    print(f"running {len(SUBSET)} benchmarks x 3 agents x 2-4 variants "
+          f"(scale={scale}) ...\n")
+    results = run_benchmark_grid(benchmarks=SUBSET, scale=scale)
+    print(figure5_series(results, scale=scale))
+    print()
+    means = aggregate_slowdowns([r.to_slowdown() for r in results])
+    print("subset means (paper full-suite Table 1 in parentheses):")
+    paper = {"total_order": (2.76, 2.83, 2.87),
+             "partial_order": (2.83, 2.83, 3.00),
+             "wall_of_clocks": (1.14, 1.27, 1.38)}
+    for agent, targets in paper.items():
+        cells = "  ".join(
+            f"{variants}v {means[(agent, variants)]:.2f}x "
+            f"({target:.2f}x)"
+            for variants, target in zip((2, 3, 4), targets))
+        print(f"  {agent:16s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

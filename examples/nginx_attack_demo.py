@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The Section 5.5 story, end to end: protecting a threaded web server.
+
+Acts out the paper's nginx narrative:
+
+1. Run the server under the MVEE with only its pthread-based sync
+   instrumented — it boots, then diverges as soon as requests arrive,
+   because its *custom* (inline-assembly-style) primitives were missed.
+2. Run the static analysis pipeline over the modelled nginx binary:
+   51 sync ops identified (matching the paper), including the custom
+   ``nginx.*`` sites.
+3. Re-run fully instrumented, with ASLR + Disjoint Code Layouts: clean,
+   all requests served, responses delivered exactly once.
+4. Attack it with a CVE-2013-2028-style exploit tailored to variant 0's
+   code layout: the native server is compromised (execve reached); the
+   MVEE detects the divergence and kills the variants first.
+
+Run:  python examples/nginx_attack_demo.py
+"""
+
+from repro.analysis.identify import identify_sync_ops
+from repro.analysis.corpus import nginx_module
+from repro.core.injection import instrument_sites
+from repro.core.mvee import MVEE
+from repro.diversity.spec import DiversitySpec, layouts_for
+from repro.kernel.net import Network
+from repro.kernel.vmem import LayoutBases
+from repro.run import run_native
+from repro.workloads.attacks import exploit_payload
+from repro.workloads.nginx import (
+    NginxConfig,
+    NginxServer,
+    TrafficStats,
+    make_traffic,
+    pthread_only_sites,
+)
+
+CONFIG = NginxConfig(pool_threads=8, connections=6,
+                     requests_per_connection=3)
+DIVERSITY = DiversitySpec(aslr=True, dcl=True, seed=11)
+
+
+def serve(instrument, title, config=CONFIG, payload=None):
+    stats = TrafficStats()
+    mvee = MVEE(NginxServer(config), variants=2, agent="wall_of_clocks",
+                seed=1, diversity=DIVERSITY, with_network=True,
+                instrument=instrument,
+                traffic=make_traffic(config, 0.0, stats,
+                                     exploit_payload=payload),
+                max_cycles=1e10)
+    outcome = mvee.run()
+    print(f"{title}: verdict={outcome.verdict}, "
+          f"responses={stats.responses}")
+    return outcome
+
+
+def main():
+    print("== 1. un-instrumented custom primitives ==")
+    outcome = serve(pthread_only_sites, "pthread-only instrumentation")
+    print(f"   (paper: 'quickly triggers a divergence when network "
+          f"traffic starts flowing in')\n   -> {outcome.divergence}\n")
+
+    print("== 2. static analysis of the nginx binary ==")
+    report = identify_sync_ops(nginx_module())
+    print(f"identified {sum(report.counts)} sync ops "
+          f"(paper: 51); custom sites include:")
+    for site in sorted(s for s in report.sites()
+                       if s.startswith("nginx."))[:5]:
+        print(f"   {site}")
+    print()
+
+    print("== 3. fully instrumented, ASLR + DCL ==")
+    from repro.analysis.corpus import paper_corpus
+    from repro.analysis.instrument import instrumented_sites
+    sites = instrumented_sites(
+        report, *(identify_sync_ops(m) for m in paper_corpus()[:3]))
+    serve(instrument_sites(sites), "analysis-driven instrumentation")
+    print("   (the paper: 'This whole process took less than fifteen "
+          "minutes.')\n")
+
+    print("== 4. the attack ==")
+    attack_config = NginxConfig(pool_threads=8, connections=4,
+                                requests_per_connection=2,
+                                vulnerable=True)
+    native_stats = TrafficStats()
+    native = run_native(
+        NginxServer(attack_config), seed=1, network=Network(),
+        traffic=make_traffic(attack_config, 0.0, native_stats,
+                             exploit_payload=exploit_payload(
+                                 LayoutBases())))
+    print(f"native server: "
+          f"{'COMPROMISED (shell spawned)' if native.vm.kernel.exec_log else 'survived'}")
+
+    victim_layout = layouts_for(DIVERSITY, 2)[0]
+    outcome = serve(lambda site: True, "MVEE under attack",
+                    config=attack_config,
+                    payload=exploit_payload(victim_layout))
+    spawned = any(vm.kernel.exec_log for vm in outcome.vms)
+    print(f"shell spawned under MVEE: {spawned} "
+          f"(the monitor killed the variants first)")
+
+
+if __name__ == "__main__":
+    main()

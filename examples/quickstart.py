@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: why multithreaded programs break MVEEs, and how the
+paper's synchronization agents fix it.
+
+Runs a small communicating multithreaded program three ways:
+
+1. natively (no MVEE) — for the baseline time;
+2. under the MVEE with no agent — scheduling nondeterminism makes the
+   variants' outputs diverge, and the monitor kills the set;
+3. under the MVEE with each of the paper's three agents — the master's
+   sync-op order is replayed in the slave, and execution stays in
+   lockstep even with ASLR enabled.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.mvee import run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.guest.program import GuestProgram
+from repro.guest.sync import SpinLock
+from repro.run import run_native
+
+
+class BankAccount(GuestProgram):
+    """Four tellers race to post transactions to one account; each
+    prints a receipt containing the balance it observed — an output that
+    depends on the thread schedule."""
+
+    name = "bank"
+    static_vars = ("lock", "balance")
+
+    def main(self, ctx):
+        lock = SpinLock(ctx.static_addr("lock"))
+        tellers = yield from ctx.spawn_all(
+            self.teller, [(lock, i) for i in range(4)])
+        yield from ctx.join_all(tellers)
+        balance = ctx.mem_load(ctx.static_addr("balance"))
+        yield from ctx.printf(f"final balance: {balance}\n")
+        return balance
+
+    def teller(self, ctx, lock, teller_id):
+        for txn in range(100):
+            yield from ctx.compute(1_500)
+            yield from lock.acquire(ctx)
+            balance = ctx.mem_load(ctx.static_addr("balance"))
+            ctx.mem_store(ctx.static_addr("balance"), balance + 10)
+            yield from lock.release(ctx)
+            if txn % 25 == 24:
+                yield from ctx.printf(
+                    f"teller {teller_id} saw balance {balance}\n")
+        return 0
+
+
+def main():
+    program = BankAccount()
+
+    native = run_native(program, seed=42)
+    print("=== native run ===")
+    print(native.stdout)
+    print(f"native time: {native.report.seconds * 1e6:.0f} us simulated\n")
+
+    print("=== MVEE, 2 variants, NO synchronization agent ===")
+    outcome = run_mvee(program, variants=2, agent=None, seed=42)
+    print(f"verdict: {outcome.verdict}")
+    print(f"reason:  {outcome.divergence}\n")
+
+    for agent in ("total_order", "partial_order", "wall_of_clocks"):
+        outcome = run_mvee(program, variants=2, agent=agent, seed=42,
+                           diversity=DiversitySpec(aslr=True, seed=7))
+        slowdown = outcome.cycles / native.report.cycles
+        print(f"=== MVEE + {agent} agent (ASLR on) ===")
+        print(f"verdict: {outcome.verdict},  "
+              f"slowdown vs native: {slowdown:.2f}x")
+    print()
+    print("The wall-of-clocks agent is the paper's contribution: same "
+          "correctness,\nlowest overhead (Table 1: 1.14x for two "
+          "variants vs ~2.8x for the others).")
+
+
+if __name__ == "__main__":
+    main()

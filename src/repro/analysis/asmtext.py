@@ -1,0 +1,187 @@
+"""Parse textual (AT&T-flavoured) assembly listings into the analysis IR.
+
+The paper's stage-1 tool is "a Ruby script [that] marks all instructions
+of type (i) and (ii) and uses the debugging info in the program binary to
+map the instructions to their corresponding source lines".  This module
+is the front end that makes our pipeline consume the same kind of input:
+a disassembly listing with debug annotations.
+
+Accepted syntax, one statement per line::
+
+    .module libfoo.so             # names the module
+    .func   spinlock_lock         # starts a function
+    .loc    spinlock.c 4          # debug info for following instructions
+    .fact   ptr = &spinlock       # pointer facts for stage 2:
+    .fact   q = ptr               #   copy
+    .fact   q = *ptr              #   load
+    .fact   *ptr = q              #   store
+    .fact   h = malloc buffer_t @alloc1   # heap object w/ type + site id
+    lock cmpxchg %eax, (ptr)      ; site=listing1.lock.cmpxchg
+    xchg %eax, (ptr)
+    mov $0, (ptr)                 # plain store (candidate type iii)
+    mov (ptr), %eax               # plain load
+    mov.u $1, (ptr)               # '.u' suffix: unaligned access
+
+Memory operands name *pointer variables* directly (``(ptr)`` or
+``8(ptr)``), matching how the source-level stage-2 analysis reasons;
+register and immediate operands use ``%name`` / ``$value``.  ``; site=``
+comments attach the run-time site label that links the analysis to the
+simulator's instrumentation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.ir import (
+    AddrOf,
+    Copy,
+    Function,
+    HeapAlloc,
+    Imm,
+    Instruction,
+    LoadPtr,
+    Mem,
+    Module,
+    Reg,
+    StorePtr,
+)
+
+
+class AsmParseError(ValueError):
+    """A malformed listing line (reported with its line number)."""
+
+
+_FACT_PATTERNS = [
+    (re.compile(r"^(\w+)\s*=\s*&(\w+)$"),
+     lambda m: AddrOf(dst=m.group(1), obj=m.group(2))),
+    (re.compile(r"^(\w+)\s*=\s*malloc\s+(\w+)\s*@(\w+)$"),
+     lambda m: HeapAlloc(dst=m.group(1), site_id=m.group(3),
+                         type_name=m.group(2))),
+    (re.compile(r"^(\w+)\s*=\s*\*(\w+)$"),
+     lambda m: LoadPtr(dst=m.group(1), src=m.group(2))),
+    (re.compile(r"^\*(\w+)\s*=\s*(\w+)$"),
+     lambda m: StorePtr(dst=m.group(1), src=m.group(2))),
+    (re.compile(r"^(\w+)\s*=\s*(\w+)$"),
+     lambda m: Copy(dst=m.group(1), src=m.group(2))),
+]
+
+_MEM_OPERAND = re.compile(r"^(?:(-?\d+))?\((\w+)\)$")
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    if token.startswith("%"):
+        return Reg(token[1:])
+    if token.startswith("$"):
+        try:
+            return Imm(int(token[1:], 0))
+        except ValueError as exc:
+            raise AsmParseError(f"bad immediate {token!r}") from exc
+    match = _MEM_OPERAND.match(token)
+    if match:
+        offset = int(match.group(1)) if match.group(1) else 0
+        return Mem(ptr=match.group(2), offset=offset)
+    raise AsmParseError(f"unrecognized operand {token!r}")
+
+
+def _split_comment(line: str) -> tuple[str, str | None]:
+    """Strip comments; return (code, site-label-or-None)."""
+    site = None
+    if ";" in line:
+        line, _, annotation = line.partition(";")
+        annotation = annotation.strip()
+        if annotation.startswith("site="):
+            site = annotation[len("site="):].strip()
+    if "#" in line:
+        line = line.partition("#")[0]
+    return line.strip(), site
+
+
+def parse_asm(text: str, default_module: str = "listing") -> Module:
+    """Parse a listing into a :class:`Module` ready for the pipeline."""
+    module = Module(name=default_module)
+    function: Function | None = None
+    current_loc: tuple[str, int] | None = None
+
+    def ensure_function() -> Function:
+        nonlocal function
+        if function is None:
+            function = Function(name="anonymous")
+            module.functions.append(function)
+        return function
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code, site = _split_comment(raw)
+        if not code:
+            continue
+        try:
+            if code.startswith(".module"):
+                module.name = code.split(None, 1)[1].strip()
+            elif code.startswith(".func"):
+                function = Function(name=code.split(None, 1)[1].strip())
+                module.functions.append(function)
+            elif code.startswith(".loc"):
+                _, source_file, line_number = code.split()
+                current_loc = (source_file, int(line_number))
+            elif code.startswith(".fact"):
+                fact_text = code.split(None, 1)[1].strip()
+                for pattern, builder in _FACT_PATTERNS:
+                    match = pattern.match(fact_text)
+                    if match:
+                        ensure_function().pointer_facts.append(
+                            builder(match))
+                        break
+                else:
+                    raise AsmParseError(
+                        f"unrecognized fact {fact_text!r}")
+            else:
+                ensure_function().instructions.append(
+                    _parse_instruction(code, site, current_loc))
+        except AsmParseError as exc:
+            raise AsmParseError(f"line {lineno}: {exc}") from None
+        except (IndexError, ValueError) as exc:
+            raise AsmParseError(f"line {lineno}: {exc}") from None
+    return module
+
+
+def _parse_instruction(code: str, site: str | None,
+                       loc: tuple[str, int] | None) -> Instruction:
+    lock_prefix = False
+    tokens = code.split(None, 1)
+    opcode = tokens[0].lower()
+    if opcode == "lock":
+        lock_prefix = True
+        if len(tokens) < 2:
+            raise AsmParseError("dangling lock prefix")
+        tokens = tokens[1].split(None, 1)
+        opcode = tokens[0].lower()
+    aligned = True
+    if opcode.endswith(".u"):
+        aligned = False
+        opcode = opcode[:-2]
+    operand_text = tokens[1] if len(tokens) > 1 else ""
+    operands = tuple(_parse_operand(tok)
+                     for tok in operand_text.split(",") if tok.strip())
+    # AT&T order is src, dst; the IR stores (dst, src...) like its
+    # builders do, so swap two-operand instructions.
+    if len(operands) == 2:
+        operands = (operands[1], operands[0])
+    return Instruction(opcode=opcode, operands=operands,
+                       lock_prefix=lock_prefix, site=site, source=loc,
+                       aligned=aligned)
+
+
+#: Listing 1 of the paper, as a disassembly listing (the textual twin of
+#: :func:`repro.analysis.corpus.spinlock_module`).
+LISTING1_ASM = """
+.module listing1
+.func spinlock_lock
+.loc listing1.c 4
+.fact ptr_lock = &spinlock
+lock cmpxchg %eax, (ptr_lock)    ; site=listing1.lock.cmpxchg
+.func spinlock_unlock
+.loc listing1.c 9
+.fact ptr_unlock = &spinlock
+mov $0, (ptr_unlock)             ; site=listing1.unlock.store
+"""

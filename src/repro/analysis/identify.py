@@ -1,0 +1,107 @@
+"""Stage 2: classify type (iii) instructions via points-to (Section 4.3).
+
+An aligned plain load/store is a sync op if and only if its memory
+operand *may alias* a variable pointed to by some type (i)/(ii)
+instruction.  The example is Listing 1: ``spinlock_unlock``'s plain store
+writes through a pointer that aliases the LOCK CMPXCHG's operand, so the
+store must be instrumented.
+
+Soundness caveat reproduced faithfully (Section 4.3 "Limitations"):
+primitives that *only* use aligned loads/stores on a ``volatile`` flag
+(Listing 2) are invisible to stage 1 and therefore never classified —
+unless the optional ``treat_volatile_as_sync`` extension is enabled,
+which marks volatile globals as additional roots (the over-approximating
+extension the paper proposes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ir import Instruction, Module
+from repro.analysis.pointsto import AndersenAnalysis, SteensgaardAnalysis
+from repro.analysis.scanner import ScanReport, scan_module
+
+ANALYSES = {
+    "andersen": AndersenAnalysis,
+    "steensgaard": SteensgaardAnalysis,
+}
+
+
+@dataclass
+class IdentificationReport:
+    """Full two-stage identification result for one module."""
+
+    module: str
+    analysis: str
+    type1: list[Instruction] = field(default_factory=list)
+    type2: list[Instruction] = field(default_factory=list)
+    type3: list[Instruction] = field(default_factory=list)
+    #: Candidate plain accesses examined but not classified as sync ops.
+    rejected: int = 0
+
+    @property
+    def counts(self) -> tuple[int, int, int]:
+        """(type i, type ii, type iii) — one Table 3 row."""
+        return (len(self.type1), len(self.type2), len(self.type3))
+
+    def all_sync_instructions(self) -> list[Instruction]:
+        return self.type1 + self.type2 + self.type3
+
+    def sites(self) -> frozenset[str]:
+        """Site labels of every identified sync op (instrumentation input)."""
+        return frozenset(ins.site
+                         for ins in self.all_sync_instructions()
+                         if ins.site is not None)
+
+
+def identify_sync_ops(module: Module, analysis: str = "andersen",
+                      treat_volatile_as_sync: bool = False,
+                      scan: ScanReport | None = None
+                      ) -> IdentificationReport:
+    """Run both stages on ``module`` and classify every instruction."""
+    if analysis not in ANALYSES:
+        raise ValueError(f"unknown points-to analysis {analysis!r}; "
+                         f"choose from {sorted(ANALYSES)}")
+    if scan is None:
+        scan = scan_module(module)
+    report = IdentificationReport(module=module.name, analysis=analysis)
+    report.type1 = list(scan.type1)
+    report.type2 = list(scan.type2)
+    pointsto = ANALYSES[analysis](module)
+    # The objects reachable from the stage-1 roots are the sync variables.
+    sync_objects: set = set()
+    for pointer in scan.sync_pointers:
+        sync_objects |= pointsto.points_to(pointer)
+    if treat_volatile_as_sync:
+        # The proposed extension: volatile globals are sync variables too.
+        for gvar in module.globals:
+            if gvar.volatile:
+                sync_objects.add(gvar.name)
+    marked = set(id(i) for i in scan.type1 + scan.type2)
+    for _, instruction in module.all_instructions():
+        if id(instruction) in marked:
+            continue
+        if not (instruction.is_load or instruction.is_store):
+            continue
+        if not instruction.aligned:
+            continue  # unaligned accesses are never atomic on x86
+        operands = instruction.memory_operands()
+        if any(pointsto.points_to(op.ptr) & sync_objects
+               for op in operands):
+            report.type3.append(instruction)
+        else:
+            report.rejected += 1
+    return report
+
+
+def table3_rows(modules: list[Module], analysis: str = "andersen"
+                ) -> list[tuple[str, int, int, int]]:
+    """Produce (module, i, ii, iii) rows — the shape of the paper's
+    Table 3."""
+    rows = []
+    for module in modules:
+        report = identify_sync_ops(module, analysis=analysis)
+        type1, type2, type3 = report.counts
+        rows.append((module.name, type1, type2, type3))
+    return rows

@@ -1,0 +1,76 @@
+"""Instrumentation: wrapping identified sync ops (Section 4.4, Listing 3).
+
+Given an identification report, produce (a) an *instrumented module* in
+which every identified sync op is bracketed by ``before_sync_op`` /
+``after_sync_op`` calls, and (b) the set of run-time *site labels* that
+the MVEE's injection layer (:mod:`repro.core.injection`) turns into the
+instrumentation predicate.  Un-identified sites keep executing bare —
+exactly the weak-symbol no-op behaviour the paper describes, and the
+mechanism behind the un-instrumented-nginx divergence demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.identify import IdentificationReport
+from repro.analysis.ir import Function, Instruction, Module
+
+BEFORE_CALL = "call before_sync_op"
+AFTER_CALL = "call after_sync_op"
+
+
+@dataclass
+class InstrumentedModule:
+    """An instrumented copy of a module plus bookkeeping."""
+
+    module: Module
+    wrapped: int = 0
+    sites: frozenset[str] = frozenset()
+
+
+def instrumented_sites(*reports: IdentificationReport) -> frozenset[str]:
+    """Union of site labels identified across several modules.
+
+    This is the artifact handed to
+    :func:`repro.core.injection.instrument_sites` — the bridge between
+    the static pipeline and the run-time agents.
+    """
+    sites: set[str] = set()
+    for report in reports:
+        sites |= report.sites()
+    return frozenset(sites)
+
+
+def instrument_module(module: Module,
+                      report: IdentificationReport) -> InstrumentedModule:
+    """Produce an instrumented copy of ``module``.
+
+    Wrapper calls are inserted as pseudo-instructions around each
+    identified sync op, mirroring Listing 3's source-level rewrite.
+    """
+    targets = set(id(i) for i in report.all_sync_instructions())
+    wrapped = 0
+    new_functions = []
+    for function in module.functions:
+        new_instructions: list[Instruction] = []
+        for instruction in function.instructions:
+            if id(instruction) in targets:
+                new_instructions.append(Instruction(
+                    opcode=BEFORE_CALL, operands=instruction.operands,
+                    site=instruction.site, source=instruction.source))
+                new_instructions.append(instruction)
+                new_instructions.append(Instruction(
+                    opcode=AFTER_CALL, operands=instruction.operands,
+                    site=instruction.site, source=instruction.source))
+                wrapped += 1
+            else:
+                new_instructions.append(instruction)
+        new_functions.append(Function(
+            name=function.name, instructions=new_instructions,
+            pointer_facts=list(function.pointer_facts)))
+    instrumented = Module(name=f"{module.name}+agent",
+                          functions=new_functions,
+                          globals=list(module.globals))
+    return InstrumentedModule(module=instrumented, wrapped=wrapped,
+                              sites=report.sites())

@@ -1,0 +1,201 @@
+"""Points-to analyses: Steensgaard (unification) and Andersen (subset).
+
+The paper prototyped stage 2 twice (Section 4.3.1): once on LLVM's DSA
+(a Steensgaard-style, unification-based analysis) and once on SVF (an
+Andersen-style, subset-based analysis), and reported that both were too
+imprecise on large code bases — DSA because "field sensitivity is often
+lost because heap objects of incompatible types get unified".  We
+implement both algorithms over the IR's pointer facts so that the
+imprecision difference is measurable (tests and the ablation bench
+compare the resulting type (iii) sets).
+
+Abstract objects: every ``AddrOf`` target and every ``HeapAlloc`` site.
+Heap objects carry their allocation-site type; the Steensgaard variant
+optionally merges heap objects once any unification touches them with an
+incompatible type, reproducing the DSA failure mode.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.ir import (
+    AddrOf,
+    Copy,
+    HeapAlloc,
+    LoadPtr,
+    Module,
+    StorePtr,
+)
+
+
+class _UnionFind:
+    """Union-find over pointer variable equivalence classes."""
+
+    def __init__(self):
+        self._parent: dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, left: str, right: str) -> str:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            self._parent[right_root] = left_root
+        return left_root
+
+
+@dataclass(frozen=True)
+class HeapObject:
+    """An abstract heap object (one per allocation site)."""
+
+    site_id: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"heap:{self.site_id}({self.type_name})"
+
+
+class SteensgaardAnalysis:
+    """Unification-based points-to analysis (almost-linear time).
+
+    Processing each fact once, pointer variables touched by copies/loads/
+    stores get *unified*; the points-to set of a variable is the set of
+    objects attributed to its equivalence class.  The paper's DSA failure
+    mode — incompatible heap objects collapsing — is modelled by unifying
+    all heap objects reachable from one class.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._uf = _UnionFind()
+        self._points: dict[str, set] = defaultdict(set)
+        self._run()
+
+    def _class_points(self, var: str) -> set:
+        return self._points[self._uf.find(var)]
+
+    def _unify(self, left: str, right: str) -> None:
+        left_root, right_root = self._uf.find(left), self._uf.find(right)
+        if left_root == right_root:
+            return
+        merged = self._points[left_root] | self._points[right_root]
+        root = self._uf.union(left_root, right_root)
+        self._points[root] = merged
+
+    def _run(self) -> None:
+        # One pass establishing objects, then a fixpoint of unifications
+        # (naive but adequate at corpus scale).
+        facts = list(self.module.all_pointer_facts())
+        for fact in facts:
+            if isinstance(fact, AddrOf):
+                self._class_points(fact.dst).add(fact.obj)
+            elif isinstance(fact, HeapAlloc):
+                self._class_points(fact.dst).add(
+                    HeapObject(fact.site_id, fact.type_name))
+        changed = True
+        while changed:
+            changed = False
+            for fact in facts:
+                if isinstance(fact, Copy):
+                    if (self._uf.find(fact.dst)
+                            != self._uf.find(fact.src)):
+                        self._unify(fact.dst, fact.src)
+                        changed = True
+                elif isinstance(fact, (LoadPtr, StorePtr)):
+                    # Unification-based treatment of indirection: the
+                    # pointed-to class and the value class collapse.
+                    pointer = (fact.src if isinstance(fact, LoadPtr)
+                               else fact.dst)
+                    value = (fact.dst if isinstance(fact, LoadPtr)
+                             else fact.src)
+                    for target in list(self._class_points(pointer)):
+                        if isinstance(target, str):
+                            if (self._uf.find(target)
+                                    != self._uf.find(value)):
+                                self._unify(target, value)
+                                changed = True
+        # DSA failure mode: if one equivalence class accumulates heap
+        # objects of incompatible types, they become indistinguishable.
+        for root in {self._uf.find(v) for v in list(self._points)}:
+            objects = self._points[root]
+            heap_types = {obj.type_name for obj in objects
+                          if isinstance(obj, HeapObject)}
+            if len(heap_types) > 1:
+                # Collapse: this class may now alias *any* heap object of
+                # the module (the conservative DSA answer).
+                all_heap = {HeapObject(f.site_id, f.type_name)
+                            for f in facts if isinstance(f, HeapAlloc)}
+                objects |= all_heap
+
+    def points_to(self, var: str) -> frozenset:
+        return frozenset(self._class_points(var))
+
+    def may_alias(self, left: str, right: str) -> bool:
+        if self._uf.find(left) == self._uf.find(right):
+            return True
+        return bool(self.points_to(left) & self.points_to(right))
+
+
+class AndersenAnalysis:
+    """Subset-based (inclusion) points-to analysis — the SVF analogue.
+
+    Cubic worst case, but precise: pointer variables keep distinct sets;
+    heap objects never merge just because pointers were copied.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._points: dict[str, set] = defaultdict(set)
+        self._run()
+
+    def _run(self) -> None:
+        facts = list(self.module.all_pointer_facts())
+        copies: dict[str, set[str]] = defaultdict(set)  # src -> {dst}
+        loads: list[LoadPtr] = []
+        stores: list[StorePtr] = []
+        for fact in facts:
+            if isinstance(fact, AddrOf):
+                self._points[fact.dst].add(fact.obj)
+            elif isinstance(fact, HeapAlloc):
+                self._points[fact.dst].add(
+                    HeapObject(fact.site_id, fact.type_name))
+            elif isinstance(fact, Copy):
+                copies[fact.src].add(fact.dst)
+            elif isinstance(fact, LoadPtr):
+                loads.append(fact)
+            elif isinstance(fact, StorePtr):
+                stores.append(fact)
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in copies.items():
+                for dst in dsts:
+                    before = len(self._points[dst])
+                    self._points[dst] |= self._points[src]
+                    changed |= len(self._points[dst]) != before
+            for load in loads:
+                for target in list(self._points[load.src]):
+                    if isinstance(target, str):
+                        before = len(self._points[load.dst])
+                        self._points[load.dst] |= self._points[target]
+                        changed |= (len(self._points[load.dst])
+                                    != before)
+            for store in stores:
+                for target in list(self._points[store.dst]):
+                    if isinstance(target, str):
+                        before = len(self._points[target])
+                        self._points[target] |= self._points[store.src]
+                        changed |= len(self._points[target]) != before
+
+    def points_to(self, var: str) -> frozenset:
+        return frozenset(self._points[var])
+
+    def may_alias(self, left: str, right: str) -> bool:
+        return bool(self.points_to(left) & self.points_to(right))

@@ -1,0 +1,234 @@
+"""Explicit ``_Atomic`` type qualification — the modified clang (§4.3.1).
+
+The paper's second automation route avoids points-to analysis entirely:
+if the programmer qualifies every synchronization variable with C11's
+``_Atomic``, clang emits explicitly-atomic IR and the instrumentation
+points are exact.  The catch is that C lets qualifiers leak away through
+casts, so the authors modified clang to enforce a stronger discipline:
+
+(i)   *warning* when a pointer to a non-qualified type is cast to a
+      pointer to an ``_Atomic``-qualified type;
+(ii)  *error* when a pointer to an ``_Atomic``-qualified type is cast to
+      a pointer to a non-qualified type;
+(iii) *error* when an ``_Atomic``-qualified variable is used in inline
+      assembly.
+
+Figure 3's workflow then iterates: compile, read the diagnostics,
+propagate the qualifier up and down the def-use chains of all pointers to
+sync variables, and repeat until a fixpoint where clang is silent.
+
+We model a miniature typed C program (variables, pointer assignments,
+address-taking, atomic intrinsics, inline-asm uses) and implement both
+the checker and the fixpoint refactoring loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CVar:
+    """A source variable: either a scalar or a single-level pointer."""
+
+    name: str
+    is_pointer: bool = False
+    #: Scalar: carries the _Atomic qualifier itself.
+    atomic: bool = False
+    #: Pointer: whether the pointee type is _Atomic-qualified.
+    pointee_atomic: bool = False
+    volatile: bool = False
+
+
+@dataclass(frozen=True)
+class CAssign:
+    """``dst = (cast) src`` between two pointer variables."""
+
+    dst: str
+    src: str
+
+
+@dataclass(frozen=True)
+class CAddrOf:
+    """``ptr = &var``."""
+
+    ptr: str
+    var: str
+
+
+@dataclass(frozen=True)
+class CAtomicIntrinsic:
+    """A C11 intrinsic applied through ``ptr`` (atomic_load/store/CAS)."""
+
+    ptr: str
+
+
+@dataclass(frozen=True)
+class CAsmUse:
+    """``var`` appears in an inline-assembly block.
+
+    ``easy`` marks blocks simple enough to analyze mechanically — the
+    paper's third proposed improvement ("in certain cases, we could
+    permit the use of _Atomic in easy-to-analyze inline assembly
+    blocks").  The checker accepts _Atomic variables in easy blocks.
+    """
+
+    var: str
+    easy: bool = False
+
+
+CStatement = CAssign | CAddrOf | CAtomicIntrinsic | CAsmUse
+
+
+@dataclass
+class CProgram:
+    """The refactoring unit: variables plus statements."""
+
+    variables: dict[str, CVar] = field(default_factory=dict)
+    statements: list[CStatement] = field(default_factory=list)
+
+    def var(self, name: str) -> CVar:
+        return self.variables[name]
+
+    def add_var(self, var: CVar) -> CVar:
+        self.variables[var.name] = var
+        return var
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One compiler diagnostic."""
+
+    severity: str          # "warning" | "error"
+    kind: str              # "qualify-add" | "qualify-drop" | "asm-atomic"
+    statement: CStatement
+    message: str
+
+
+class AtomicQualifierChecker:
+    """The modified-clang diagnostics pass."""
+
+    def __init__(self, program: CProgram):
+        self.program = program
+
+    def check(self) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for statement in self.program.statements:
+            if isinstance(statement, CAssign):
+                dst = self.program.var(statement.dst)
+                src = self.program.var(statement.src)
+                if dst.pointee_atomic and not src.pointee_atomic:
+                    diagnostics.append(Diagnostic(
+                        "warning", "qualify-add", statement,
+                        f"cast of non-_Atomic pointer {src.name!r} to "
+                        f"_Atomic pointer {dst.name!r}"))
+                elif src.pointee_atomic and not dst.pointee_atomic:
+                    diagnostics.append(Diagnostic(
+                        "error", "qualify-drop", statement,
+                        f"cast drops _Atomic: {src.name!r} -> "
+                        f"{dst.name!r}"))
+            elif isinstance(statement, CAddrOf):
+                pointer = self.program.var(statement.ptr)
+                var = self.program.var(statement.var)
+                if var.atomic and not pointer.pointee_atomic:
+                    diagnostics.append(Diagnostic(
+                        "error", "qualify-drop", statement,
+                        f"&{var.name} (_Atomic) stored in non-_Atomic "
+                        f"pointer {pointer.name!r}"))
+                elif pointer.pointee_atomic and not var.atomic:
+                    diagnostics.append(Diagnostic(
+                        "warning", "qualify-add", statement,
+                        f"&{var.name} (non-_Atomic) stored in _Atomic "
+                        f"pointer {pointer.name!r}"))
+            elif isinstance(statement, CAtomicIntrinsic):
+                pointer = self.program.var(statement.ptr)
+                if not pointer.pointee_atomic:
+                    diagnostics.append(Diagnostic(
+                        "warning", "qualify-add", statement,
+                        f"C11 intrinsic applied through non-_Atomic "
+                        f"pointer {pointer.name!r}"))
+            elif isinstance(statement, CAsmUse):
+                var = self.program.var(statement.var)
+                if var.atomic and not statement.easy:
+                    diagnostics.append(Diagnostic(
+                        "error", "asm-atomic", statement,
+                        f"_Atomic variable {var.name!r} used in inline "
+                        f"assembly"))
+        return diagnostics
+
+
+@dataclass
+class RefactorResult:
+    """Outcome of the Figure 3 fixpoint loop."""
+
+    qualified: set[str]
+    iterations: int
+    #: Diagnostics that refactoring cannot fix (inline-asm uses).
+    unfixable: list[Diagnostic]
+
+
+def volatile_seed_vars(program: CProgram) -> set[str]:
+    """The paper's first proposed improvement: "extend the tool to assign
+    the _Atomic qualifier automatically to volatile variables" — volatile
+    is how load/store-only synchronization variables (Listing 2) must be
+    declared for correct compilation, so they are candidate seeds the
+    stage-1 scan cannot see."""
+    return {var.name for var in program.variables.values()
+            if var.volatile and not var.is_pointer}
+
+
+def refactor_to_fixpoint(program: CProgram, seed_vars: set[str],
+                         max_iterations: int = 100,
+                         include_volatile: bool = False) -> RefactorResult:
+    """Iteratively qualify variables until the checker is silent.
+
+    ``seed_vars`` is the Ruby script's report: the variables accessed by
+    type (i)/(ii) instructions.  ``include_volatile=True`` additionally
+    seeds every volatile scalar (the §4.3.1 extension recovering
+    Listing 2-style primitives).  Each round applies the qualifier fixes
+    the diagnostics imply (propagating _Atomic up and down pointer
+    def-use chains); inline-asm conflicts are collected as unfixable.
+    """
+    if include_volatile:
+        seed_vars = set(seed_vars) | volatile_seed_vars(program)
+    for name in seed_vars:
+        var = program.var(name)
+        if var.is_pointer:
+            var.pointee_atomic = True
+        else:
+            var.atomic = True
+    checker = AtomicQualifierChecker(program)
+    unfixable: list[Diagnostic] = []
+    for iteration in range(1, max_iterations + 1):
+        progress = False
+        unfixable = []
+        for diag in checker.check():
+            statement = diag.statement
+            if diag.kind == "asm-atomic":
+                unfixable.append(diag)
+                continue
+            if isinstance(statement, CAssign):
+                dst = program.var(statement.dst)
+                src = program.var(statement.src)
+                if not dst.pointee_atomic or not src.pointee_atomic:
+                    dst.pointee_atomic = src.pointee_atomic = True
+                    progress = True
+            elif isinstance(statement, CAddrOf):
+                pointer = program.var(statement.ptr)
+                var = program.var(statement.var)
+                if not pointer.pointee_atomic or not var.atomic:
+                    pointer.pointee_atomic = True
+                    var.atomic = True
+                    progress = True
+            elif isinstance(statement, CAtomicIntrinsic):
+                pointer = program.var(statement.ptr)
+                if not pointer.pointee_atomic:
+                    pointer.pointee_atomic = True
+                    progress = True
+        if not progress:
+            qualified = {v.name for v in program.variables.values()
+                         if v.atomic or v.pointee_atomic}
+            return RefactorResult(qualified=qualified,
+                                  iterations=iteration,
+                                  unfixable=unfixable)
+    raise RuntimeError("qualifier propagation did not converge")

@@ -1,0 +1,66 @@
+"""Stage 1: the disassembly scanner (the paper's ``analysis.rb``).
+
+Walks every instruction of a module and marks:
+
+* **type (i)** — instructions carrying a LOCK prefix on a lockable opcode
+  (``LOCK CMPXCHG``, ``LOCK XADD``, ...);
+* **type (ii)** — ``XCHG`` with a memory operand (implicitly locked on
+  x86).
+
+For each marked instruction the scanner resolves — "using the debugging
+info in the program binary" — which pointer variables its memory operands
+dereference; those become the *sync-variable roots* stage 2 feeds into
+the points-to analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ir import (
+    LOCKABLE_OPCODES,
+    XCHG_OPCODE,
+    Instruction,
+    Mem,
+    Module,
+)
+
+
+@dataclass
+class ScanReport:
+    """Output of the stage-1 scan over one module."""
+
+    module: str
+    type1: list[Instruction] = field(default_factory=list)
+    type2: list[Instruction] = field(default_factory=list)
+    #: Pointer variables through which type (i)/(ii) instructions access
+    #: memory — the roots for the stage-2 aliasing question.
+    sync_pointers: set[str] = field(default_factory=set)
+    #: Source lines (file, line) of marked instructions, as the Ruby
+    #: script reports them for the refactoring workflow.
+    source_lines: set[tuple[str, int]] = field(default_factory=set)
+
+    @property
+    def counts(self) -> tuple[int, int]:
+        return len(self.type1), len(self.type2)
+
+
+def scan_module(module: Module) -> ScanReport:
+    """Run the stage-1 scan and return the marked instruction sets."""
+    report = ScanReport(module=module.name)
+    for _, instruction in module.all_instructions():
+        marked = None
+        if (instruction.lock_prefix
+                and instruction.opcode in LOCKABLE_OPCODES):
+            report.type1.append(instruction)
+            marked = instruction
+        elif (instruction.opcode == XCHG_OPCODE
+                and instruction.memory_operands()):
+            report.type2.append(instruction)
+            marked = instruction
+        if marked is not None:
+            for operand in marked.memory_operands():
+                report.sync_pointers.add(operand.ptr)
+            if marked.source is not None:
+                report.source_lines.add(marked.source)
+    return report

@@ -1,0 +1,120 @@
+"""Kendo-style weak deterministic multithreading (DMT) baseline.
+
+Weak-DMT systems such as Kendo [32] make lock acquisition order a
+deterministic function of each thread's *logical clock* — typically the
+count of retired instructions read from a performance counter.  A thread
+may perform a synchronization operation only when its logical clock is
+the minimum among all runnable threads (ties broken by thread id), which
+yields the same schedule on every run given the same input.
+
+Section 2.1 explains why this is a dead end for MVEEs: diversity changes
+instruction counts, so each *variant* deterministically computes a
+**different** schedule, and the variants still diverge from one another.
+Our implementation makes that argument executable:
+
+* Each variant runs its own independent `DMTAgent` (no shared state —
+  unlike the paper's agents, nothing is recorded or replayed).
+* The logical clock is ``thread.stats.logical_instructions``, which the
+  simulator maintains deterministically (no jitter) and which diversity's
+  ``instruction_factor`` perturbs exactly like NOP insertion would.
+
+Tests show: identical variants under DMT never diverge (any seeds);
+diversified variants under DMT diverge; the paper's agents handle both.
+"""
+
+from __future__ import annotations
+
+from repro.core.agents.base import AgentSharedState, BaseAgent
+from repro.sched.interceptor import Proceed, Wait
+from repro.sched.thread import ThreadState
+
+#: Clock bump applied after a thread wins a sync op: lets other threads
+#: pass it even if it immediately retries (Kendo's "pay for the lock").
+ACQUIRE_BUMP = 50.0
+
+
+class DMTShared(AgentSharedState):
+    """Per-run container (the agents themselves share nothing)."""
+
+    def __init__(self, n_variants: int, costs=None, **kwargs):
+        super().__init__(n_variants, costs, **kwargs)
+        #: (variant, thread logical id) -> penalty added to its clock.
+        self.penalties: dict[tuple[int, str], float] = {}
+        #: (variant, thread) -> clock value last broadcast to waiters.
+        #: Kendo's waiters spin and observe clock advances directly; our
+        #: parked waiters must be woken when a clock moves past them.
+        self.last_seen: dict[tuple[int, str], tuple] = {}
+
+
+class DMTAgent(BaseAgent):
+    """Deterministic lock-acquisition scheduler (one per variant)."""
+
+    name = "dmt"
+
+    @staticmethod
+    def make_shared(n_variants: int, costs=None, **options) -> DMTShared:
+        return DMTShared(n_variants, costs, **options)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _clock(self, vm, thread) -> tuple[float, str]:
+        penalty = self.shared.penalties.get(
+            (vm.index, thread.logical_id), 0.0)
+        return (thread.stats.logical_instructions + penalty,
+                thread.logical_id)
+
+    def _eligible(self, vm, thread) -> bool:
+        """Is ``thread`` the minimum-clock thread of its variant?
+
+        Threads that are DONE/KILLED, or blocked in join (deregistered in
+        Kendo terms), do not participate.
+        """
+        mine = self._clock(vm, thread)
+        for other in vm.threads.values():
+            if other is thread or not other.alive:
+                continue
+            if (other.state is ThreadState.BLOCKED and other.park_key
+                    and other.park_key[0] == "join"):
+                continue
+            if self._clock(vm, other) < mine:
+                return False
+        return True
+
+    # -- agent interface -------------------------------------------------------
+
+    def before_sync_op(self, vm, thread, op):
+        # Broadcast this thread's clock advance (compute progress since
+        # its last agent interaction) so parked waiters re-evaluate.
+        key = (vm.index, thread.logical_id)
+        clock = self._clock(vm, thread)
+        if self.shared.last_seen.get(key) != clock:
+            self.shared.last_seen[key] = clock
+            self.shared.wake(("dmt_turn", vm.index))
+        if self._eligible(vm, thread):
+            return Proceed(cost=self.costs.buffer_consume)
+        self.shared.stats.stalls += 1
+        return Wait(("dmt_turn", vm.index),
+                    cost=self.costs.buffer_consume)
+
+    def after_sync_op(self, vm, thread, op, value) -> float:
+        key = (vm.index, thread.logical_id)
+        self.shared.penalties[key] = (
+            self.shared.penalties.get(key, 0.0) + ACQUIRE_BUMP)
+        self.shared.stats.recorded += 1
+        # Every commit may change who holds the minimum: recheck everyone.
+        self.shared.wake(("dmt_turn", vm.index))
+        return self.costs.buffer_consume
+
+    def on_thread_descheduled(self, vm, thread) -> None:
+        # A thread leaving the participant set can make a waiter minimal.
+        self.shared.wake(("dmt_turn", vm.index))
+
+
+def register() -> None:
+    """Add the DMT baseline to the MVEE agent registry."""
+    from repro.core.agents import AGENT_REGISTRY
+
+    AGENT_REGISTRY.setdefault("dmt", DMTAgent)
+
+
+register()

@@ -1,0 +1,161 @@
+"""Offline record/replay in the RecPlay style (Section 6).
+
+RecPlay [35] records a Lamport timestamp per pthread synchronization
+operation during one execution and, in later executions, stalls each
+operation until every operation with a smaller timestamp on the same
+variable has completed.  Non-conflicting operations carry incomparable
+timestamps and replay in parallel.
+
+Our implementation records per-variable clocks — the per-variable
+projection of Lamport's scheme — which makes the kinship with the paper's
+wall-of-clocks agent explicit: WoC is this idea made MVEE-safe by
+replacing the *per-variable dynamic clock table* (an offline system may
+allocate freely) with a fixed, hashed clock wall, and the offline log
+file with per-thread shared-memory buffers consumed online by N slaves.
+
+API: :func:`record_execution` runs a program natively with a recording
+agent and returns the log; :func:`replay_execution` re-runs it under any
+scheduler seed and enforces the logged order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agents.base import AgentSharedState
+from repro.guest.program import GuestProgram, build_context
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import VirtualKernel
+from repro.perf.costs import CostModel
+from repro.run import NativeResult
+from repro.sched.interceptor import Proceed, SyncAgent, Wait
+from repro.sched.machine import Machine
+from repro.sched.vm import VariantVM
+
+
+@dataclass
+class LogEntry:
+    """One recorded sync op: who, where, and its per-variable time."""
+
+    thread: str
+    addr: int
+    site: str
+    var_time: int
+
+
+@dataclass
+class SyncLog:
+    """The recording: a per-thread sequence of timestamped sync ops."""
+
+    per_thread: dict[str, list[LogEntry]] = field(default_factory=dict)
+    total: int = 0
+
+    def append(self, entry: LogEntry) -> None:
+        self.per_thread.setdefault(entry.thread, []).append(entry)
+        self.total += 1
+
+
+class RecordingAgent(SyncAgent):
+    """Logs per-variable Lamport times during a native run."""
+
+    name = "recplay_record"
+
+    def __init__(self, log: SyncLog):
+        self.log = log
+        self._var_clock: dict[int, int] = {}
+
+    def before_sync_op(self, vm, thread, op):
+        return Proceed()
+
+    def after_sync_op(self, vm, thread, op, value) -> float:
+        time = self._var_clock.get(op.addr, 0)
+        self._var_clock[op.addr] = time + 1
+        self.log.append(LogEntry(thread=thread.logical_id, addr=op.addr,
+                                 site=op.site, var_time=time))
+        return 0.0
+
+
+class ReplayAgent(SyncAgent):
+    """Enforces a recorded log during a later run."""
+
+    name = "recplay_replay"
+
+    def __init__(self, log: SyncLog, wake=lambda key: None):
+        self.log = log
+        self._wake = wake
+        self._var_clock: dict[int, int] = {}
+        self._cursor: dict[str, int] = {}
+        #: Ops that executed concurrently-eligible (parallel replay stat).
+        self.immediate = 0
+        self.stalled = 0
+
+    def bind_wake(self, wake) -> None:
+        self._wake = wake
+
+    def _next_entry(self, thread_logical: str) -> LogEntry | None:
+        entries = self.log.per_thread.get(thread_logical)
+        index = self._cursor.get(thread_logical, 0)
+        if entries is None or index >= len(entries):
+            return None
+        return entries[index]
+
+    def before_sync_op(self, vm, thread, op):
+        entry = self._next_entry(thread.logical_id)
+        if entry is None:
+            raise RuntimeError(
+                f"replay ran past the log in thread {thread.logical_id} "
+                f"at site {op.site!r} — recording and replay executions "
+                "disagree (different binary or inputs?)")
+        current = self._var_clock.get(entry.addr, 0)
+        if current < entry.var_time:
+            self.stalled += 1
+            return Wait(("recplay", entry.addr))
+        self.immediate += 1
+        return Proceed()
+
+    def after_sync_op(self, vm, thread, op, value) -> float:
+        entry = self._next_entry(thread.logical_id)
+        self._cursor[thread.logical_id] = (
+            self._cursor.get(thread.logical_id, 0) + 1)
+        self._var_clock[entry.addr] = entry.var_time + 1
+        self._wake(("recplay", entry.addr))
+        return 0.0
+
+
+def _run_with_agent(program: GuestProgram, agent, seed: int,
+                    cores: int, costs: CostModel | None,
+                    disk: VirtualDisk | None) -> NativeResult:
+    disk = disk if disk is not None else VirtualDisk()
+    kernel = VirtualKernel(disk, role="native")
+    vm = VariantVM(index=0, kernel=kernel,
+                   instrument=lambda site: True)
+    vm.agent = agent
+    machine = Machine(cores=cores, seed=seed, costs=costs)
+    machine.add_vm(vm)
+    if hasattr(agent, "bind_wake"):
+        agent.bind_wake(machine.wake_key)
+    ctx = build_context(vm, program)
+    machine.add_thread(vm, "main", program.main(ctx))
+    report = machine.run()
+    return NativeResult(report=report, disk=disk, vm=vm, machine=machine)
+
+
+def record_execution(program: GuestProgram, seed: int = 0,
+                     cores: int = 16, costs: CostModel | None = None,
+                     disk: VirtualDisk | None = None
+                     ) -> tuple[SyncLog, NativeResult]:
+    """Run natively, recording every sync op's per-variable time."""
+    log = SyncLog()
+    result = _run_with_agent(program, RecordingAgent(log), seed, cores,
+                             costs, disk)
+    return log, result
+
+
+def replay_execution(program: GuestProgram, log: SyncLog, seed: int = 0,
+                     cores: int = 16, costs: CostModel | None = None,
+                     disk: VirtualDisk | None = None
+                     ) -> tuple[ReplayAgent, NativeResult]:
+    """Re-run under any seed, enforcing the recorded order."""
+    agent = ReplayAgent(log)
+    result = _run_with_agent(program, agent, seed, cores, costs, disk)
+    return agent, result

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table {1,2,3}``
+    Regenerate a paper table.
+``fig5 [--benchmarks a,b,c]``
+    Regenerate (a subset of) Figure 5.
+``run BENCH --agent AGENT --variants N``
+    Run one benchmark twin under the MVEE and report the verdict and
+    slowdown.
+``list``
+    List the available benchmark twins with their Table 2 rates.
+``nginx``
+    Run the §5.5 demo (divergence, instrumented run, attack).
+
+All sweeps accept ``--scale`` (event-budget multiplier, default 0.25).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import tables
+
+    if args.number == 1:
+        print(tables.table1(scale=args.scale))
+    elif args.number == 2:
+        print(tables.table2(scale=args.scale))
+    else:
+        print(tables.table3())
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments.runner import run_benchmark_grid
+    from repro.experiments.tables import figure5_series
+
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else None)
+    results = run_benchmark_grid(benchmarks=benchmarks,
+                                 scale=args.scale)
+    print(figure5_series(results, scale=args.scale))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.mvee import run_mvee
+    from repro.diversity.spec import DiversitySpec
+    from repro.experiments.runner import native_cycles
+    from repro.workloads.synthetic import make_benchmark
+
+    agent = None if args.agent == "none" else args.agent
+    diversity = (DiversitySpec(aslr=True, dcl=True, seed=args.seed)
+                 if args.diversity else None)
+    native = native_cycles(args.benchmark, scale=args.scale,
+                           seed=args.seed)
+    outcome = run_mvee(make_benchmark(args.benchmark, scale=args.scale),
+                       variants=args.variants, agent=agent,
+                       seed=args.seed, diversity=diversity,
+                       max_cycles=native * 400)
+    print(f"benchmark : {args.benchmark}")
+    print(f"agent     : {args.agent}, variants: {args.variants}, "
+          f"diversity: {'ASLR+DCL' if args.diversity else 'off'}")
+    print(f"verdict   : {outcome.verdict}")
+    if outcome.divergence is not None:
+        print(outcome.divergence.explain())
+    print(f"slowdown  : {outcome.cycles / native:.2f}x vs native")
+    return 0 if outcome.verdict == "clean" else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.mvee import MVEE
+    from repro.experiments.runner import PAPER_CORES
+    from repro.perf.timeline import render_timeline, summarize_trace
+    from repro.workloads.synthetic import make_benchmark
+
+    agent = None if args.agent == "none" else args.agent
+    mvee = MVEE(make_benchmark(args.benchmark, scale=args.scale),
+                variants=args.variants, agent=agent, seed=args.seed,
+                cores=PAPER_CORES, record_trace=True,
+                record_sync_trace=True)
+    outcome = mvee.run()
+    print(f"verdict: {outcome.verdict}\n")
+    for vm in outcome.vms:
+        role = "master" if vm.index == 0 else f"slave {vm.index}"
+        calls = vm.per_thread_syscall_trace()
+        print(f"-- variant {vm.index} ({role}): "
+              f"{sum(len(c) for c in calls.values())} monitored "
+              f"syscalls across {len(calls)} threads")
+        if vm.sync_trace:
+            print(render_timeline(vm.sync_trace,
+                                  label=f"sync-op replay, v{vm.index}"))
+            for thread, stat in sorted(
+                    summarize_trace(vm.sync_trace).items()):
+                print(f"   {thread}: {stat['ops']} ops, mean gap "
+                      f"{stat['mean_gap']:.0f} cycles")
+        print()
+    if outcome.divergence is not None:
+        print(outcome.divergence.explain())
+    return 0 if outcome.verdict == "clean" else 1
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads.spec import ALL_SPECS
+
+    print(f"{'benchmark':18s} {'suite':9s} {'topology':14s} "
+          f"{'syscalls K/s':>12s} {'sync K/s':>10s}")
+    for name, spec in ALL_SPECS.items():
+        print(f"{name:18s} {spec.suite:9s} {spec.topology:14s} "
+              f"{spec.syscall_rate_k:12.2f} {spec.sync_rate_k:10.2f}")
+    return 0
+
+
+def _cmd_nginx(args) -> int:
+    import runpy
+    import pathlib
+
+    demo = (pathlib.Path(__file__).resolve().parent.parent.parent
+            / "examples" / "nginx_attack_demo.py")
+    if demo.exists():
+        runpy.run_path(str(demo), run_name="__main__")
+        return 0
+    print("examples/nginx_attack_demo.py not found in this install; "
+          "see the repository checkout.")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Taming Parallelism in a "
+                    "Multi-Variant Execution Environment' (EuroSys'17)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3))
+    p_table.add_argument("--scale", type=float, default=0.25)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("fig5", help="regenerate Figure 5")
+    p_fig.add_argument("--benchmarks", default=None,
+                       help="comma-separated subset")
+    p_fig.add_argument("--scale", type=float, default=0.25)
+    p_fig.set_defaults(func=_cmd_fig5)
+
+    p_run = sub.add_parser("run", help="run one benchmark under the MVEE")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--agent", default="wall_of_clocks",
+                       choices=("none", "total_order", "partial_order",
+                                "wall_of_clocks", "dmt"))
+    p_run.add_argument("--variants", type=int, default=2)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--scale", type=float, default=0.25)
+    p_run.add_argument("--diversity", action="store_true",
+                       help="enable ASLR + DCL")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a benchmark and show lockstep/replay traces")
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("--agent", default="wall_of_clocks",
+                         choices=("none", "total_order", "partial_order",
+                                  "wall_of_clocks"))
+    p_trace.add_argument("--variants", type=int, default=2)
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.add_argument("--scale", type=float, default=0.05)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_list = sub.add_parser("list", help="list benchmark twins")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_nginx = sub.add_parser("nginx", help="run the §5.5 demo")
+    p_nginx.set_defaults(func=_cmd_nginx)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

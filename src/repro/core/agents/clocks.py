@@ -1,0 +1,57 @@
+"""Logical clocks and the wall-of-clocks address hash.
+
+The WoC agent cannot allocate a clock per synchronization variable at run
+time — agents are prohibited from dynamic allocation because the master
+and slaves would have to allocate in identical order (Section 3.3).  It
+therefore pre-allocates a fixed wall of clocks and hashes each sync
+variable's address onto one of them.
+
+Two deliberate properties of the hash (Section 4.5):
+
+* the address is shifted right by 3 bits first, so *adjacent 32-bit
+  variables sharing one 64-bit granule map to the same clock* — a single
+  ``CMPXCHG8B`` could modify both at once, so they must be serialized;
+* collisions between unrelated variables are tolerated: they only cause
+  extra serialization (plausible-clocks correctness is preserved —
+  "the replication will always be correct", citing Torres-Rojas & Ahamad).
+"""
+
+from __future__ import annotations
+
+#: Default wall size (clocks).  Small enough to be "statically allocated",
+#: large enough that collisions are rare in the benchmarks; the ablation
+#: bench sweeps this.
+DEFAULT_CLOCK_COUNT = 512
+
+#: Knuth's multiplicative hash constant.
+_HASH_MULTIPLIER = 2654435761
+
+
+def clock_for_address(addr: int, n_clocks: int = DEFAULT_CLOCK_COUNT) -> int:
+    """Map a sync-variable address to a clock id.
+
+    The ``>> 3`` implements the 64-bit-granule aliasing described above.
+    """
+    granule = addr >> 3
+    return (granule * _HASH_MULTIPLIER & 0xFFFF_FFFF) % n_clocks
+
+
+class ClockWall:
+    """A fixed array of logical clocks (one wall per variant)."""
+
+    __slots__ = ("times",)
+
+    def __init__(self, n_clocks: int = DEFAULT_CLOCK_COUNT):
+        self.times = [0] * n_clocks
+
+    def read(self, clock_id: int) -> int:
+        return self.times[clock_id]
+
+    def tick(self, clock_id: int) -> int:
+        """Increment a clock; returns the *pre*-increment time."""
+        time = self.times[clock_id]
+        self.times[clock_id] = time + 1
+        return time
+
+    def __len__(self) -> int:
+        return len(self.times)

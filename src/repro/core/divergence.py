@@ -1,0 +1,132 @@
+"""Divergence reports and monitoring policies.
+
+A security-oriented MVEE's entire value is its verdict; this module
+defines the structured report the monitor produces when it kills the
+variants, and the policy object deciding which syscalls are cross-checked
+(the paper evaluates "a variety of monitoring policies ranging from strict
+lockstepping on all system calls to lockstepping only on security-
+sensitive system calls", Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.kernel.syscalls import SyscallSpec
+
+
+class DivergenceKind(enum.Enum):
+    """What kind of disagreement the monitor observed."""
+
+    #: Equivalent threads issued different syscalls or different arguments.
+    SYSCALL_MISMATCH = "syscall_mismatch"
+    #: An execute-all call returned comparable results that differ.
+    RESULT_MISMATCH = "result_mismatch"
+    #: A thread exited in one variant while its twin kept making calls.
+    THREAD_EXIT_MISMATCH = "thread_exit_mismatch"
+    #: A variant faulted (crash / protection violation) — e.g. a diversified
+    #: variant hit by an attack payload tailored to another variant.
+    VARIANT_FAULT = "variant_fault"
+    #: The relaxed (VARAN-style) monitor saw a follower deviate from the
+    #: leader's recorded per-thread sequence.
+    SEQUENCE_MISMATCH = "sequence_mismatch"
+
+
+@dataclass
+class DivergenceReport:
+    """Structured description of a detected divergence."""
+
+    kind: DivergenceKind
+    thread: str
+    syscall_seq: int
+    detail: str = ""
+    #: Per-variant observations: variant index -> (name, args) or message.
+    observations: dict[int, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        obs = "; ".join(f"v{idx}: {obs!r}"
+                        for idx, obs in sorted(self.observations.items()))
+        text = (f"divergence [{self.kind.value}] thread={self.thread} "
+                f"seq={self.syscall_seq}")
+        if self.detail:
+            text += f" — {self.detail}"
+        if obs:
+            text += f" ({obs})"
+        return text
+
+    def explain(self) -> str:
+        """Multi-line, human-oriented rendering (used by the CLI)."""
+        headlines = {
+            DivergenceKind.SYSCALL_MISMATCH:
+                "The variants issued different system calls (or the "
+                "same call with different arguments).",
+            DivergenceKind.RESULT_MISMATCH:
+                "A call every variant executes locally returned "
+                "different results across variants.",
+            DivergenceKind.THREAD_EXIT_MISMATCH:
+                "A thread finished in one variant while its twin kept "
+                "making system calls.",
+            DivergenceKind.VARIANT_FAULT:
+                "One variant crashed (memory fault) where the others "
+                "did not — the classic signature of an attack payload "
+                "tailored to a single diversified layout.",
+            DivergenceKind.SEQUENCE_MISMATCH:
+                "A follower deviated from the leader's recorded "
+                "per-thread system-call sequence.",
+        }
+        lines = [headlines[self.kind],
+                 f"  logical thread : {self.thread}",
+                 f"  call sequence #: {self.syscall_seq}"]
+        if self.detail:
+            lines.append(f"  detail         : {self.detail}")
+        for index, observation in sorted(self.observations.items()):
+            lines.append(f"  variant {index}      : {observation!r}")
+        return "\n".join(lines)
+
+
+@dataclass
+class MonitorPolicy:
+    """Which calls are rendezvous-compared, and how strictly.
+
+    ``lockstep``:
+      * ``"all"`` — every monitored syscall is executed in lockstep.
+      * ``"sensitive"`` — only security-sensitive calls rendezvous; other
+        calls are still replicated/ordered but not cross-compared.
+      * ``"none"`` — no lockstep at all (replication only).  Used by tests
+        to show that benign divergence then goes undetected and variants
+        silently receive inconsistent inputs (Section 2.1).
+    ``compare_results``:
+      cross-check results of execute-all calls (FD numbers etc.).
+    ``order_syscalls``:
+      run shared-resource calls through the Lamport ordering clock of
+      Section 4.1.  Disabling this is the ablation that resurrects the
+      FD-assignment divergence of Section 3.1.
+    ``extra_sensitive`` / ``never_lockstep``:
+      per-deployment overrides of the static classification, like
+      ReMon's configurable relaxation policies: names in
+      ``extra_sensitive`` are cross-checked even under the sensitive-only
+      policy; names in ``never_lockstep`` are never rendezvous-compared
+      (they are still replicated/ordered as their spec dictates).
+    """
+
+    lockstep: str = "all"
+    compare_results: bool = True
+    order_syscalls: bool = True
+    extra_sensitive: frozenset[str] = frozenset()
+    never_lockstep: frozenset[str] = frozenset()
+
+    def is_locksteped(self, spec: SyscallSpec) -> bool:
+        if spec.name in self.never_lockstep:
+            return False
+        if self.lockstep == "all":
+            return True
+        if self.lockstep == "sensitive":
+            return spec.sensitive or spec.name in self.extra_sensitive
+        return spec.name in self.extra_sensitive
+
+
+#: Policies exercised in the correctness matrix (Section 5.1).
+POLICY_STRICT = MonitorPolicy(lockstep="all")
+POLICY_SENSITIVE_ONLY = MonitorPolicy(lockstep="sensitive")
+POLICY_NO_LOCKSTEP = MonitorPolicy(lockstep="none", compare_results=False)

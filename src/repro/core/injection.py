@@ -1,0 +1,72 @@
+"""Agent injection — the LD_PRELOAD step (Section 4.5).
+
+The real MVEE forces variants to load the synchronization agent by setting
+``LD_PRELOAD``; during initialization the agent attaches to the shared
+sync buffer via System V IPC, and discovers its role (record vs replay)
+through the self-awareness pseudo-syscall.  The simulation analogue:
+
+* build one :class:`~repro.core.agents.base.AgentSharedState` (the shared
+  segment) and one agent instance per variant,
+* assign each agent to its variant's :class:`~repro.sched.vm.VariantVM`
+  (`vm.agent` is "the library is loaded"),
+* install the instrumentation predicate deciding which sync-op *sites*
+  call the agent (Listing 3's weak symbols: un-instrumented sites execute
+  bare).
+
+`inject_agents` returns the shared state so the caller can bind it to the
+machine's wake mechanism after the machine exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.agents.base import make_agents
+from repro.perf.costs import CostModel
+
+
+def instrument_all(site: str) -> bool:
+    """Default instrumentation: every sync-op site calls the agent."""
+    return True
+
+
+def instrument_sites(sites: Iterable[str]) -> Callable[[str], bool]:
+    """Instrument only the given sites (the analysis pipeline's output)."""
+    allowed = frozenset(sites)
+    return lambda site: site in allowed
+
+
+def instrument_excluding(prefixes: Iterable[str]) -> Callable[[str], bool]:
+    """Instrument everything except sites with the given prefixes.
+
+    Used to reproduce the nginx failure mode: the custom primitives
+    (``nginx.*`` sites) stay un-instrumented while the pthread-based ones
+    are wrapped (Section 5.5).
+    """
+    excluded = tuple(prefixes)
+    return lambda site: not site.startswith(excluded)
+
+
+def inject_agents(vms, agent_name: str | None,
+                  costs: CostModel | None = None,
+                  instrument: Callable[[str], bool] | None = instrument_all,
+                  **agent_options):
+    """Inject agents into every variant; returns the shared state or None.
+
+    ``agent_name=None`` models running without LD_PRELOAD: the weak-symbol
+    stubs make every wrapper a no-op, so no ordering is enforced (the
+    configuration under which benign divergence appears).
+    """
+    for vm in vms:
+        vm.instrument = instrument
+    if agent_name is None:
+        for vm in vms:
+            vm.agent = None
+        return None
+    shared, agents = make_agents(agent_name, len(vms), costs,
+                                 **agent_options)
+    for vm, agent in zip(vms, agents):
+        # The role discovery: variant 0's agent records, others replay —
+        # what the real agent learns from the mvee_get_role pseudo-call.
+        vm.agent = agent
+    return shared

@@ -1,0 +1,307 @@
+"""The strict, security-oriented MVEE monitor.
+
+Implements the synchronization model of Section 2: variants execute
+monitored system calls in lockstep — no variant proceeds past a monitored
+call until all variants have arrived at an equivalent call — with the
+master performing I/O and the monitor replicating results to the slaves.
+Cross-thread ordering of shared-resource calls uses the Lamport-clock
+scheme of Section 4.1 (:mod:`repro.core.syscall_order`).
+
+Structure: one `Monitor` instance per variant set, acting as the
+simulator's :class:`~repro.sched.interceptor.SyscallInterceptor`.  State
+is keyed by *(logical thread, per-thread monitored-call sequence number)*
+— the simulation analogue of ReMon's one-monitor-thread-per-thread-set
+design: each key identifies one logical call across all variants.
+
+Divergence responses (all produce a :class:`DivergenceReport` and kill
+every variant):
+
+* argument/name mismatch at a lockstep rendezvous,
+* result mismatch on an execute-all call (e.g. FD numbers),
+* a thread exiting in one variant while its twin keeps calling,
+* a variant faulting (crash under attack, protection violation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.divergence import (
+    DivergenceKind,
+    DivergenceReport,
+    MonitorPolicy,
+)
+from repro.core.syscall_order import SyscallOrderer
+from repro.kernel.syscalls import MVEE_GET_ROLE, SyscallSpec, spec_for
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.sched.interceptor import Kill, Proceed, Result, Wait
+from repro.sched.interceptor import SyscallInterceptor
+
+
+@dataclass
+class _CallInfo:
+    """Per-(variant, thread) state for the in-flight monitored call."""
+
+    seq: int
+    name: str
+    overhead_charged: bool = False
+    registered: bool = False
+
+
+@dataclass
+class _Rendezvous:
+    """State for one logical call across all variants."""
+
+    expected: int
+    #: variant -> (name, normalized args)
+    arrivals: dict[int, tuple] = field(default_factory=dict)
+    compared: bool = False
+    #: Master result for replicated calls (set by after_syscall).
+    result_ready: bool = False
+    result: Any = None
+    #: variant -> local result, for execute-all result comparison.
+    local_results: dict[int, Any] = field(default_factory=dict)
+    finished: int = 0
+
+
+def normalize_args(spec: SyscallSpec, args: tuple) -> tuple:
+    """Mask address-valued arguments; addresses legally differ (ASLR)."""
+    return tuple("<addr>" if index in spec.address_args else arg
+                 for index, arg in enumerate(args))
+
+
+class Monitor(SyscallInterceptor):
+    """Strict lockstep monitor for one variant set."""
+
+    def __init__(self, n_variants: int,
+                 policy: MonitorPolicy | None = None,
+                 costs: CostModel | None = None):
+        self.n_variants = n_variants
+        self.policy = policy or MonitorPolicy()
+        self.costs = costs or DEFAULT_COSTS
+        self.orderer = SyscallOrderer(n_variants, wake=lambda key: None)
+        self._wake = lambda key: None
+        #: (variant, thread) -> _CallInfo for the in-flight call.
+        self._current: dict[tuple[int, str], _CallInfo] = {}
+        #: (variant, thread) -> count of completed monitored calls.
+        self._seq: dict[tuple[int, str], int] = {}
+        #: (thread, seq) -> rendezvous state.
+        self._rendezvous: dict[tuple[str, int], _Rendezvous] = {}
+        #: (variant, thread) -> monitored-call count at thread exit.
+        self._exited: dict[tuple[int, str], int] = {}
+        #: Per-thread blocking-result streams (futex/nanosleep):
+        #: (thread, k) -> master result; counters per (variant, thread).
+        self._stream: dict[tuple[str, int], Any] = {}
+        self._stream_count: dict[tuple[int, str], int] = {}
+        self.divergence: DivergenceReport | None = None
+
+    def bind_machine(self, machine) -> None:
+        """Install the wake callback (MVEE bootstrap)."""
+        self._wake = machine.wake_key
+        self.orderer.bind_wake(machine.wake_key)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _kill(self, report: DivergenceReport) -> Kill:
+        self.divergence = report
+        return Kill(report=report)
+
+    def _call_info(self, vm, thread, name: str) -> _CallInfo:
+        key = (vm.index, thread.logical_id)
+        info = self._current.get(key)
+        if info is None:
+            info = _CallInfo(seq=self._seq.get(key, 0), name=name)
+            self._current[key] = info
+        return info
+
+    def _finish_call(self, vm, thread) -> None:
+        key = (vm.index, thread.logical_id)
+        info = self._current.pop(key, None)
+        if info is None:
+            return
+        self._seq[key] = info.seq + 1
+        rdv_key = (thread.logical_id, info.seq)
+        rdv = self._rendezvous.get(rdv_key)
+        if rdv is not None:
+            rdv.finished += 1
+            if rdv.finished >= self.n_variants:
+                del self._rendezvous[rdv_key]
+
+    # -- interceptor: before --------------------------------------------------
+
+    def before_syscall(self, vm, thread, name: str, args: tuple):
+        if self.divergence is not None:
+            # A divergence was flagged asynchronously (thread-exit check);
+            # any thread reaching the monitor now is killed.
+            return Kill(report=self.divergence)
+        spec = spec_for(name)
+        if name == MVEE_GET_ROLE:
+            # The self-awareness pseudo-syscall: answered by the monitor,
+            # never forwarded to the kernel (Section 4.5).
+            return Result(vm.index, cost=self.costs.syscall_base)
+        if spec.stream_replicated:
+            return self._before_stream(vm, thread, name, args, spec)
+        info = self._call_info(vm, thread, name)
+        base_cost = 0.0
+        if not info.overhead_charged:
+            base_cost += self.costs.monitor_syscall_overhead
+            info.overhead_charged = True
+        lockstep = self.policy.is_locksteped(spec)
+        rdv_key = (thread.logical_id, info.seq)
+        if lockstep:
+            rdv = self._rendezvous.get(rdv_key)
+            if rdv is None:
+                rdv = _Rendezvous(expected=self.n_variants)
+                self._rendezvous[rdv_key] = rdv
+            if not info.registered:
+                rdv.arrivals[vm.index] = (name,
+                                          normalize_args(spec, args))
+                info.registered = True
+                mismatch = self._check_exited_twins(thread, info.seq)
+                if mismatch is not None:
+                    return mismatch
+            if len(rdv.arrivals) < self.n_variants:
+                return Wait(("rdv", rdv_key),
+                            cost=base_cost + self.costs.rendezvous_recheck)
+            if not rdv.compared:
+                observed = set(rdv.arrivals.values())
+                rdv.compared = True
+                self._wake(("rdv", rdv_key))
+                if len(observed) > 1:
+                    return self._kill(DivergenceReport(
+                        kind=DivergenceKind.SYSCALL_MISMATCH,
+                        thread=thread.logical_id,
+                        syscall_seq=info.seq,
+                        detail="lockstep argument comparison failed",
+                        observations=dict(rdv.arrivals)))
+        if spec.ordered and self.policy.order_syscalls:
+            outcome = self.orderer.check(vm.index, thread.logical_id,
+                                         thread.global_id)
+            if isinstance(outcome, Wait):
+                outcome.cost += base_cost + self.costs.ordering_bookkeeping
+                return outcome
+            base_cost += self.costs.ordering_bookkeeping
+        if spec.replicated and vm.index != 0:
+            rdv = self._rendezvous.get(rdv_key)
+            if rdv is None:
+                rdv = _Rendezvous(expected=self.n_variants)
+                self._rendezvous[rdv_key] = rdv
+            if not rdv.result_ready:
+                return Wait(("result", rdv_key),
+                            cost=base_cost + self.costs.rendezvous_recheck)
+            vm.kernel.apply_replicated(name, args, rdv.result)
+            self._finish_call(vm, thread)
+            return Result(rdv.result,
+                          cost=base_cost + self.costs.replication_copy)
+        return Proceed(cost=base_cost)
+
+    def _before_stream(self, vm, thread, name, args, spec):
+        """Blocking-call streams (futex / nanosleep): Section 4.1 footnote."""
+        if vm.index == 0:
+            return Proceed()
+        key = (vm.index, thread.logical_id)
+        index = self._stream_count.get(key, 0)
+        stream_key = (thread.logical_id, index)
+        if stream_key not in self._stream:
+            return Wait(("stream", stream_key))
+        self._stream_count[key] = index + 1
+        return Result(self._stream[stream_key],
+                      cost=self.costs.replication_copy)
+
+    def _check_exited_twins(self, thread, seq: int):
+        """Did this thread's twin already exit in another variant?"""
+        for variant in range(self.n_variants):
+            final = self._exited.get((variant, thread.logical_id))
+            if final is not None and final <= seq:
+                return self._kill(DivergenceReport(
+                    kind=DivergenceKind.THREAD_EXIT_MISMATCH,
+                    thread=thread.logical_id,
+                    syscall_seq=seq,
+                    detail=(f"thread exited in variant {variant} after "
+                            f"{final} monitored calls but its twin made "
+                            f"call #{seq}")))
+        return None
+
+    # -- interceptor: after -------------------------------------------------------
+
+    def after_syscall(self, vm, thread, name: str, args: tuple, result):
+        if self.divergence is not None:
+            return Kill(report=self.divergence)
+        spec = spec_for(name)
+        if spec.stream_replicated:
+            if vm.index == 0:
+                key = (vm.index, thread.logical_id)
+                index = self._stream_count.get(key, 0)
+                self._stream_count[key] = index + 1
+                stream_key = (thread.logical_id, index)
+                self._stream[stream_key] = result
+                self._wake(("stream", stream_key))
+            return Proceed(cost=self.costs.replication_copy)
+        info = self._current.get((vm.index, thread.logical_id))
+        if info is None:  # pragma: no cover - defensive
+            return Proceed()
+        rdv_key = (thread.logical_id, info.seq)
+        cost = 0.0
+        if spec.ordered and self.policy.order_syscalls:
+            self.orderer.finish(vm.index, thread.logical_id,
+                                thread.global_id)
+            cost += self.costs.ordering_bookkeeping
+        if spec.replicated and vm.index == 0:
+            rdv = self._rendezvous.get(rdv_key)
+            if rdv is None:
+                rdv = _Rendezvous(expected=self.n_variants)
+                self._rendezvous[rdv_key] = rdv
+            rdv.result = result
+            rdv.result_ready = True
+            self._wake(("result", rdv_key))
+            cost += self.costs.replication_copy
+        elif (not spec.replicated and self.policy.compare_results
+                and self.policy.is_locksteped(spec)
+                and not spec.address_result):
+            rdv = self._rendezvous.get(rdv_key)
+            if rdv is not None:
+                rdv.local_results[vm.index] = result
+                if (len(rdv.local_results) >= self.n_variants
+                        and len(set(map(repr,
+                                        rdv.local_results.values()))) > 1):
+                    self._finish_call(vm, thread)
+                    return self._kill(DivergenceReport(
+                        kind=DivergenceKind.RESULT_MISMATCH,
+                        thread=thread.logical_id,
+                        syscall_seq=info.seq,
+                        detail=f"{name} returned differing results",
+                        observations=dict(rdv.local_results)))
+        self._finish_call(vm, thread)
+        return Proceed(cost=cost)
+
+    # -- interceptor: lifecycle ------------------------------------------------------
+
+    def on_thread_exit(self, vm, thread) -> None:
+        key = (vm.index, thread.logical_id)
+        self._exited[key] = self._seq.get(key, 0)
+        # If twins in other variants are parked at a rendezvous this thread
+        # will never join, that is a divergence; find and flag it.
+        for (logical, seq), rdv in list(self._rendezvous.items()):
+            if logical != thread.logical_id:
+                continue
+            if seq >= self._exited[key] and rdv.arrivals:
+                report = DivergenceReport(
+                    kind=DivergenceKind.THREAD_EXIT_MISMATCH,
+                    thread=logical,
+                    syscall_seq=seq,
+                    detail=(f"variant {vm.index} thread exited but twins "
+                            f"are waiting at monitored call #{seq}"),
+                    observations=dict(rdv.arrivals))
+                self.divergence = report
+                # Wake the waiters; their next before_syscall sees the
+                # divergence via _check_exited_twins and the kill flag.
+                self._wake(("rdv", (logical, seq)))
+
+    def on_fault(self, vm, thread, exc):
+        return self._kill(DivergenceReport(
+            kind=DivergenceKind.VARIANT_FAULT,
+            thread=thread.logical_id,
+            syscall_seq=self._seq.get((vm.index, thread.logical_id), 0),
+            detail=f"variant {vm.index} faulted: {exc}",
+            observations={vm.index: str(exc)}))

@@ -1,0 +1,180 @@
+"""Top-level MVEE orchestration — the ReMon analogue.
+
+:class:`MVEE` plays the role of ReMon's bootstrap process (Section 4): it
+sets up N variants of one guest program (with the requested diversity
+transforms), creates the monitor and the shared buffers, injects the
+synchronization agents into each variant, hands control to the simulated
+machine, and turns whatever happens into a verdict:
+
+* ``"clean"`` — all variants ran to completion in lockstep;
+* ``"divergence"`` — the monitor killed the variants (report attached);
+* ``"deadlock"`` — replay wedged (typically missing instrumentation or a
+  guest bug; real MVEEs eventually time out in this situation).
+
+Use :func:`run_mvee` for the one-call version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.agents.base import AgentSharedState
+from repro.core.divergence import DivergenceReport, MonitorPolicy
+from repro.core.injection import inject_agents, instrument_all
+from repro.core.monitor import Monitor
+from repro.core.relaxed import RelaxedMonitor
+from repro.diversity.spec import DiversitySpec, apply_diversity, layouts_for
+from repro.errors import DeadlockError, DivergenceError
+from repro.guest.program import GuestProgram, build_context
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import VirtualKernel
+from repro.kernel.net import Network
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.sched.machine import Machine, MachineReport
+from repro.sched.scheduler import SchedulingPolicy
+from repro.sched.vm import VariantVM
+
+
+@dataclass
+class MVEEOutcome:
+    """Everything a test or bench needs from one MVEE run."""
+
+    verdict: str                      # "clean" | "divergence" | "deadlock"
+    report: MachineReport | None
+    divergence: DivergenceReport | None
+    disk: VirtualDisk
+    vms: list[VariantVM]
+    monitor: object
+    agent_shared: AgentSharedState | None
+    machine: Machine
+    deadlock: DeadlockError | None = None
+
+    @property
+    def cycles(self) -> float:
+        if self.report is not None:
+            return self.report.cycles
+        return self.machine.now
+
+    @property
+    def stdout(self) -> str:
+        return self.disk.stream_text("stdout")
+
+    def slowdown_vs(self, native_cycles: float) -> float:
+        """Relative run time against an unprotected execution."""
+        return self.cycles / native_cycles if native_cycles else float("inf")
+
+
+class MVEE:
+    """Bootstrap and run one multi-variant execution."""
+
+    def __init__(self, program: GuestProgram, variants: int = 2,
+                 agent: str | None = "wall_of_clocks",
+                 policy: MonitorPolicy | None = None,
+                 monitor_kind: str = "strict",
+                 seed: int = 0,
+                 cores: int = 16,
+                 costs: CostModel | None = None,
+                 sched_policy: SchedulingPolicy | None = None,
+                 diversity: DiversitySpec | None = None,
+                 instrument: Callable[[str], bool] | None = instrument_all,
+                 record_trace: bool = False,
+                 record_sync_trace: bool = False,
+                 disk: VirtualDisk | None = None,
+                 with_network: bool = False,
+                 traffic=None,
+                 max_cycles: float | None = None,
+                 agent_options: dict | None = None):
+        if variants < 2:
+            raise ValueError("an MVEE needs at least two variants")
+        self.program = program
+        self.variants = variants
+        self.agent_name = agent
+        self.costs = costs or DEFAULT_COSTS
+        self.policy = policy or MonitorPolicy()
+        self.monitor_kind = monitor_kind
+        self.seed = seed
+        self.cores = cores
+        self.sched_policy = sched_policy
+        self.diversity = diversity
+        self.instrument = instrument
+        self.record_trace = record_trace
+        self.record_sync_trace = record_sync_trace
+        self.disk = disk if disk is not None else VirtualDisk()
+        self.network = Network() if with_network else None
+        self.traffic = traffic
+        self.max_cycles = max_cycles
+        self.agent_options = agent_options or {}
+        self._build()
+
+    # -- bootstrap --------------------------------------------------------
+
+    def _build(self) -> None:
+        if self.monitor_kind == "strict":
+            self.monitor = Monitor(self.variants, policy=self.policy,
+                                   costs=self.costs)
+        elif self.monitor_kind == "relaxed":
+            self.monitor = RelaxedMonitor(self.variants, costs=self.costs)
+        else:
+            raise ValueError(
+                f"unknown monitor kind {self.monitor_kind!r}")
+        self.machine = Machine(cores=self.cores, seed=self.seed,
+                               costs=self.costs, policy=self.sched_policy,
+                               interceptor=self.monitor)
+        if self.max_cycles is not None:
+            self.machine.max_cycles = self.max_cycles
+        layouts = layouts_for(self.diversity, self.variants)
+        self.vms: list[VariantVM] = []
+        for index in range(self.variants):
+            role = "master" if index == 0 else "slave"
+            kernel = VirtualKernel(
+                self.disk,
+                network=self.network if index == 0 else None,
+                bases=layouts[index], role=role, variant_index=index)
+            vm = VariantVM(index=index, kernel=kernel,
+                           record_trace=self.record_trace,
+                           record_sync_trace=self.record_sync_trace)
+            self.vms.append(vm)
+            self.machine.add_vm(vm)
+        apply_diversity(self.diversity, self.vms)
+        self.agent_shared = inject_agents(
+            self.vms, self.agent_name, costs=self.costs,
+            instrument=self.instrument, **self.agent_options)
+        if self.agent_shared is not None:
+            self.agent_shared.bind_machine(self.machine)
+        self.monitor.bind_machine(self.machine)
+        if self.network is not None:
+            self.machine.attach_network(self.network)
+        for vm in self.vms:
+            ctx = build_context(vm, self.program)
+            self.machine.add_thread(vm, "main", self.program.main(ctx))
+        if self.traffic is not None:
+            self.traffic(self.machine, self.network)
+
+    # -- run ----------------------------------------------------------------
+
+    def run(self) -> MVEEOutcome:
+        """Execute the variant set and return the verdict."""
+        try:
+            report = self.machine.run()
+        except DivergenceError as exc:
+            return self._outcome("divergence", None, exc.report)
+        except DeadlockError as exc:
+            return self._outcome("deadlock", None, None, deadlock=exc)
+        audit = self.monitor.finalize()
+        if audit is not None:
+            return self._outcome("divergence", report, audit)
+        return self._outcome("clean", report, None)
+
+    def _outcome(self, verdict, report, divergence,
+                 deadlock=None) -> MVEEOutcome:
+        return MVEEOutcome(
+            verdict=verdict, report=report, divergence=divergence,
+            disk=self.disk, vms=self.vms, monitor=self.monitor,
+            agent_shared=self.agent_shared, machine=self.machine,
+            deadlock=deadlock)
+
+
+def run_mvee(program: GuestProgram, **kwargs) -> MVEEOutcome:
+    """Bootstrap and run an MVEE in one call (see :class:`MVEE`)."""
+    return MVEE(program, **kwargs).run()

@@ -1,0 +1,175 @@
+"""VARAN-style loosely-synchronized monitor (baseline, Section 6).
+
+Hosek and Cadar's VARAN eschews lockstepping: a leader variant runs ahead
+and logs its per-thread syscall results in a shared ring buffer; followers
+replay from the log.  This tolerates the scheduling differences of
+*loosely-coupled* multithreaded programs (per-thread sequences still
+match), "but fails when the variants use explicit inter-thread
+synchronization through shared memory" — the follower's threads compute
+different values, the per-thread syscall sequences stop matching the log,
+and the divergence is (at best) detected or (at worst) silently replayed
+wrong.
+
+This implementation detects the mismatch (name or argument difference
+against the leader's per-thread log) and reports it, so tests can show:
+
+* loosely-coupled workloads run cleanly under the relaxed monitor with no
+  sync agents at all, and the leader never waits for followers;
+* communicating workloads diverge under the relaxed monitor unless the
+  paper's sync agents are injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.divergence import DivergenceKind, DivergenceReport
+from repro.core.monitor import normalize_args
+from repro.kernel.syscalls import MVEE_GET_ROLE, spec_for
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.sched.interceptor import (
+    Kill,
+    Proceed,
+    Result,
+    SyscallInterceptor,
+    Wait,
+)
+
+
+@dataclass
+class _LogEntry:
+    name: str
+    args: tuple
+    result: Any = None
+    result_ready: bool = False
+
+
+class RelaxedMonitor(SyscallInterceptor):
+    """Leader/follower monitor with per-thread syscall rings."""
+
+    def __init__(self, n_variants: int, costs: CostModel | None = None):
+        self.n_variants = n_variants
+        self.costs = costs or DEFAULT_COSTS
+        self._wake = lambda key: None
+        #: (thread, k) -> leader's k-th monitored call on that thread.
+        self._log: dict[tuple[str, int], _LogEntry] = {}
+        #: (variant, thread) -> index of the next monitored call.
+        self._cursor: dict[tuple[int, str], int] = {}
+        self.divergence: DivergenceReport | None = None
+        #: Maximum leader lead observed (entries), for the benches.
+        self.max_lead = 0
+
+    def bind_machine(self, machine) -> None:
+        self._wake = machine.wake_key
+
+    def _kill(self, report: DivergenceReport) -> Kill:
+        self.divergence = report
+        return Kill(report=report)
+
+    # -- interceptor ---------------------------------------------------------
+
+    def before_syscall(self, vm, thread, name: str, args: tuple):
+        if self.divergence is not None:
+            return Kill(report=self.divergence)
+        if name == MVEE_GET_ROLE:
+            return Result(vm.index, cost=self.costs.syscall_base)
+        spec = spec_for(name)
+        key = (vm.index, thread.logical_id)
+        index = self._cursor.get(key, 0)
+        log_key = (thread.logical_id, index)
+        if vm.index == 0:
+            # The leader never waits; VARAN's defining property.
+            self._log[log_key] = _LogEntry(
+                name=name, args=normalize_args(spec, args))
+            lead = index - min(
+                (self._cursor.get((v, thread.logical_id), 0)
+                 for v in range(1, self.n_variants)), default=index)
+            self.max_lead = max(self.max_lead, lead)
+            return Proceed(cost=self.costs.replication_copy)
+        entry = self._log.get(log_key)
+        if entry is None:
+            # Follower caught up with the leader: wait for the next entry.
+            return Wait(("varan_log", log_key),
+                        cost=self.costs.rendezvous_recheck)
+        followed = (name, normalize_args(spec, args))
+        recorded = (entry.name, entry.args)
+        if followed != recorded:
+            return self._kill(DivergenceReport(
+                kind=DivergenceKind.SEQUENCE_MISMATCH,
+                thread=thread.logical_id,
+                syscall_seq=index,
+                detail="follower deviated from leader's syscall sequence",
+                observations={0: recorded, vm.index: followed}))
+        if spec.replicated or spec.stream_replicated:
+            if not entry.result_ready:
+                return Wait(("varan_res", log_key),
+                            cost=self.costs.rendezvous_recheck)
+            self._cursor[key] = index + 1
+            if spec.replicated:
+                vm.kernel.apply_replicated(name, args, entry.result)
+            return Result(entry.result, cost=self.costs.replication_copy)
+        return Proceed(cost=self.costs.replication_copy)
+
+    def after_syscall(self, vm, thread, name: str, args: tuple, result):
+        if self.divergence is not None:
+            return Kill(report=self.divergence)
+        if name == MVEE_GET_ROLE:
+            return Proceed()
+        key = (vm.index, thread.logical_id)
+        index = self._cursor.get(key, 0)
+        self._cursor[key] = index + 1
+        if vm.index == 0:
+            log_key = (thread.logical_id, index)
+            entry = self._log.get(log_key)
+            if entry is not None:
+                entry.result = result
+                entry.result_ready = True
+                self._wake(("varan_res", log_key))
+            self._wake(("varan_log", log_key))
+        return Proceed(cost=self.costs.replication_copy)
+
+    def on_thread_exit(self, vm, thread) -> None:
+        """A leader thread exiting while followers still have log to
+        consume is fine (they drain); a *follower* exiting short of the
+        leader's log is a sequence divergence."""
+        if vm.index == 0:
+            return
+        key = (vm.index, thread.logical_id)
+        consumed = self._cursor.get(key, 0)
+        leader_count = self._cursor.get((0, thread.logical_id), 0)
+        if consumed < leader_count:
+            self.divergence = DivergenceReport(
+                kind=DivergenceKind.SEQUENCE_MISMATCH,
+                thread=thread.logical_id,
+                syscall_seq=consumed,
+                detail=(f"follower {vm.index} exited after {consumed} "
+                        f"calls; the leader recorded {leader_count}"))
+
+    def finalize(self):
+        """End-of-run audit: every follower must have consumed exactly
+        the leader's per-thread call counts."""
+        if self.divergence is not None:
+            return self.divergence
+        leader_counts = {thread: count
+                         for (variant, thread), count
+                         in self._cursor.items() if variant == 0}
+        for (variant, thread), count in self._cursor.items():
+            if variant == 0:
+                continue
+            expected = leader_counts.get(thread, 0)
+            if count != expected:
+                return DivergenceReport(
+                    kind=DivergenceKind.SEQUENCE_MISMATCH,
+                    thread=thread, syscall_seq=count,
+                    detail=(f"follower {variant} finished after {count} "
+                            f"calls; leader recorded {expected}"))
+        return None
+
+    def on_fault(self, vm, thread, exc):
+        return self._kill(DivergenceReport(
+            kind=DivergenceKind.VARIANT_FAULT,
+            thread=thread.logical_id,
+            syscall_seq=self._cursor.get((vm.index, thread.logical_id), 0),
+            detail=f"variant {vm.index} faulted: {exc}",
+            observations={vm.index: str(exc)}))

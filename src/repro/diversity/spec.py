@@ -1,0 +1,63 @@
+"""Diversity configuration applied by the MVEE bootstrap."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.diversity.aslr import aslr_layout
+from repro.diversity.dcl import dcl_layouts
+from repro.kernel.vmem import LayoutBases
+
+
+@dataclass
+class DiversitySpec:
+    """Which transforms to apply when building variants.
+
+    ``noise`` is the maximum relative instruction-count perturbation:
+    each variant v > 0 gets ``compute_scale`` and ``instruction_factor``
+    drawn from ``1 ± noise`` (variant 0 keeps 1.0 as the reference).
+    ``allocator_padding`` gives variant v a per-malloc padding of
+    ``v * allocator_padding`` bytes — a behaviour-changing diversification
+    the agents are documented not to support (Section 4.5.1).
+    """
+
+    aslr: bool = False
+    dcl: bool = False
+    noise: float = 0.0
+    allocator_padding: int = 0
+    seed: int = 0
+
+
+def layouts_for(spec: DiversitySpec | None,
+                n_variants: int) -> list[LayoutBases]:
+    """Compute the per-variant memory layouts."""
+    if spec is None:
+        return [LayoutBases() for _ in range(n_variants)]
+    if spec.aslr:
+        layouts = [aslr_layout(v, seed=spec.seed) for v in range(n_variants)]
+    else:
+        layouts = [LayoutBases() for _ in range(n_variants)]
+    if spec.dcl:
+        layouts = dcl_layouts(n_variants, layouts)
+    return layouts
+
+
+def apply_diversity(spec: DiversitySpec | None, vms) -> None:
+    """Apply the non-layout transforms to already-built variants."""
+    if spec is None:
+        return
+    for vm in vms:
+        if vm.index == 0:
+            continue
+        if spec.noise:
+            rng = random.Random((spec.seed << 16) ^ vm.index)
+            vm.compute_scale = 1.0 + rng.uniform(-spec.noise, spec.noise)
+            vm.instruction_factor = 1.0 + rng.uniform(-spec.noise,
+                                                      spec.noise)
+            # NOP insertion inflates code paths unevenly: give each
+            # thread's code its own factor around the variant's mean.
+            vm.instruction_noise = spec.noise
+            vm.noise_seed = spec.seed
+        if spec.allocator_padding:
+            vm.malloc_padding = vm.index * spec.allocator_padding

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the MVEE reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+
+The two most important subtypes mirror the paper's terminology:
+
+* :class:`DivergenceError` — raised by the monitor when the variants'
+  externally visible behaviour (system call sequences or arguments) no
+  longer matches.  In the paper this is the MVEE's detection signal: it may
+  indicate an attack, or — when synchronization agents are disabled — the
+  "benign divergence" caused by differing thread schedules (Section 1).
+* :class:`GuestFault` — raised when a *guest* program performs an illegal
+  operation against its simulated kernel (bad file descriptor, unmapped
+  memory, ...).  A fault in one variant but not another also manifests as
+  divergence at the monitor level.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration (bad agent name, nonsensical parameters, ...)."""
+
+
+class GuestFault(ReproError):
+    """A guest program performed an illegal operation.
+
+    Attributes
+    ----------
+    variant:
+        Index of the variant in which the fault occurred (``None`` for
+        native, single-program executions).
+    thread:
+        Logical thread identifier of the faulting thread, if known.
+    """
+
+    def __init__(self, message: str, variant: int | None = None,
+                 thread: str | None = None):
+        super().__init__(message)
+        self.variant = variant
+        self.thread = thread
+
+
+class SyscallError(GuestFault):
+    """A system call failed in a way the guest did not handle (e.g. EBADF)."""
+
+    def __init__(self, message: str, errno_name: str = "EINVAL", **kwargs):
+        super().__init__(message, **kwargs)
+        self.errno_name = errno_name
+
+
+class MemoryFault(GuestFault):
+    """Access to an unmapped or protection-violating address."""
+
+
+class DivergenceError(ReproError):
+    """The monitor observed divergent behaviour between variants.
+
+    Carries a :class:`repro.core.divergence.DivergenceReport` describing
+    where and how the variants disagreed.
+    """
+
+    def __init__(self, report):
+        super().__init__(str(report))
+        self.report = report
+
+
+class DeadlockError(ReproError):
+    """The simulation reached a state where no thread can make progress.
+
+    Under an MVEE this usually indicates a replication bug (an agent
+    enforcing an impossible order) or a guest program bug; the simulator
+    reports the blocked threads and what each is waiting for.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None):
+        super().__init__(message)
+        self.blocked = blocked or []
+
+
+class VariantKilled(ReproError):
+    """Internal control-flow signal: the monitor shut this variant down.
+
+    Raised inside guest threads when the MVEE terminates all variants after
+    detecting divergence; guests are not expected to catch it.
+    """

@@ -1,0 +1,58 @@
+"""Persist and reload experiment results as JSON.
+
+The full Figure 5 grid takes minutes at high scales; persisting results
+lets the table generators, notebooks, and CI re-render without
+re-simulating.  The format is a versioned JSON document with one record
+per grid cell.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.runner import ExperimentResult
+
+FORMAT_VERSION = 1
+
+
+def save_results(results: list[ExperimentResult],
+                 path: str | pathlib.Path,
+                 metadata: dict | None = None) -> None:
+    """Write results (plus optional run metadata) to ``path``."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "cells": [
+            {
+                "benchmark": r.benchmark,
+                "agent": r.agent,
+                "variants": r.variants,
+                "native_cycles": r.native_cycles,
+                "mvee_cycles": r.mvee_cycles,
+                "verdict": r.verdict,
+                "sync_ops": r.sync_ops,
+                "syscalls": r.syscalls,
+                "stall_cycles": r.stall_cycles,
+            }
+            for r in results
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_results(path: str | pathlib.Path) -> list[ExperimentResult]:
+    """Read results written by :func:`save_results`."""
+    document = json.loads(pathlib.Path(path).read_text())
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format version {version!r} "
+            f"(expected {FORMAT_VERSION})")
+    return [ExperimentResult(**cell) for cell in document["cells"]]
+
+
+def load_metadata(path: str | pathlib.Path) -> dict:
+    """Read only the metadata block of a results file."""
+    document = json.loads(pathlib.Path(path).read_text())
+    return document.get("metadata", {})

@@ -1,0 +1,124 @@
+"""Grid runner for the performance evaluation (Table 1 / Figure 5).
+
+Runs (benchmark × agent × variant count) configurations, normalizing each
+MVEE run against the benchmark's native execution on the same machine
+configuration — the paper's methodology ("relative to unprotected
+execution").  Results are memoized per process so the figure and table
+benches can share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mvee import run_mvee
+from repro.errors import DeadlockError
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.perf.report import SlowdownReport
+from repro.run import run_native
+from repro.workloads.spec import ALL_SPECS, spec_by_name
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: The paper's machine: dual-socket E5-2660, 16 physical cores (HT off).
+PAPER_CORES = 16
+
+#: Agents evaluated in Figure 5 / Table 1.
+AGENTS = ("total_order", "partial_order", "wall_of_clocks")
+
+#: Variant counts evaluated.
+VARIANT_COUNTS = (2, 3, 4)
+
+
+@dataclass
+class ExperimentResult:
+    """One grid cell."""
+
+    benchmark: str
+    agent: str
+    variants: int
+    native_cycles: float
+    mvee_cycles: float
+    verdict: str
+    sync_ops: int
+    syscalls: int
+    stall_cycles: float
+
+    def to_slowdown(self) -> SlowdownReport:
+        return SlowdownReport(benchmark=self.benchmark, agent=self.agent,
+                              variants=self.variants,
+                              native_cycles=self.native_cycles,
+                              mvee_cycles=self.mvee_cycles)
+
+    @property
+    def slowdown(self) -> float:
+        return self.mvee_cycles / self.native_cycles
+
+
+_native_cache: dict[tuple, float] = {}
+_cell_cache: dict[tuple, ExperimentResult] = {}
+
+
+def native_cycles(benchmark: str, scale: float = 1.0, seed: int = 1,
+                  cores: int = PAPER_CORES,
+                  costs: CostModel | None = None) -> float:
+    """Native (unprotected) runtime of a benchmark slice, memoized."""
+    key = (benchmark, scale, seed, cores, id(costs) if costs else None)
+    cached = _native_cache.get(key)
+    if cached is None:
+        program = SyntheticWorkload(spec_by_name(benchmark), scale=scale)
+        result = run_native(program, seed=seed, cores=cores, costs=costs)
+        cached = result.report.cycles
+        _native_cache[key] = cached
+    return cached
+
+
+def run_one(benchmark: str, agent: str, variants: int,
+            scale: float = 1.0, seed: int = 1,
+            cores: int = PAPER_CORES,
+            costs: CostModel | None = None,
+            agent_options: dict | None = None) -> ExperimentResult:
+    """Run one grid cell (memoized) and return its result."""
+    costs = costs or DEFAULT_COSTS
+    options_key = tuple(sorted((agent_options or {}).items()))
+    key = (benchmark, agent, variants, scale, seed, cores, options_key,
+           id(costs) if costs is not DEFAULT_COSTS else None)
+    cached = _cell_cache.get(key)
+    if cached is not None:
+        return cached
+    native = native_cycles(benchmark, scale, seed, cores,
+                           costs if costs is not DEFAULT_COSTS else None)
+    program = SyntheticWorkload(spec_by_name(benchmark), scale=scale)
+    outcome = run_mvee(program, variants=variants, agent=agent,
+                       seed=seed, cores=cores, costs=costs,
+                       agent_options=agent_options or {},
+                       max_cycles=native * 400)
+    report = outcome.report
+    result = ExperimentResult(
+        benchmark=benchmark, agent=agent, variants=variants,
+        native_cycles=native,
+        mvee_cycles=outcome.cycles,
+        verdict=outcome.verdict,
+        sync_ops=(report.total_sync_ops if report else 0),
+        syscalls=(report.total_syscalls if report else 0),
+        stall_cycles=sum(
+            vm.total_stall_cycles for vm in outcome.vms))
+    _cell_cache[key] = result
+    return result
+
+
+def run_benchmark_grid(benchmarks=None, agents=AGENTS,
+                       variant_counts=VARIANT_COUNTS,
+                       scale: float = 1.0, seed: int = 1,
+                       costs: CostModel | None = None
+                       ) -> list[ExperimentResult]:
+    """Run the full (or a partial) Figure 5 grid."""
+    if benchmarks is None:
+        benchmarks = list(ALL_SPECS)
+    results = []
+    for benchmark in benchmarks:
+        for agent in agents:
+            for variants in variant_counts:
+                results.append(run_one(benchmark, agent, variants,
+                                       scale=scale, seed=seed,
+                                       costs=costs))
+    return results

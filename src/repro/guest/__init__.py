@@ -1,0 +1,43 @@
+"""Guest programming model and runtime libraries.
+
+Guest programs are written against :class:`repro.guest.program.GuestContext`
+— a thin, generator-based API over the simulator's events.  On top of it
+this package provides the runtime libraries whose internals matter to the
+paper:
+
+* :mod:`repro.guest.sync` — the "libpthread": spinlocks, futex-backed
+  mutexes, condition variables, barriers, semaphores, ticket locks and
+  rwlocks, all built from tagged atomic instructions;
+* :mod:`repro.guest.libc` — the "libc": a malloc arena protected by an
+  internal spinlock whose growth issues ``brk`` syscalls (the hidden
+  low-level sync ops of Section 3.3), plus printf-style output;
+* :mod:`repro.guest.gomp` — a miniature OpenMP runtime (dynamic
+  work-sharing loop + barrier) for the freqmine-like workload.
+"""
+
+from repro.guest.program import GuestContext, GuestProgram
+from repro.guest.sync import (
+    Barrier,
+    CondVar,
+    Mutex,
+    RWLock,
+    Semaphore,
+    SpinLock,
+    TicketLock,
+)
+from repro.guest.libc import GuestLibc
+from repro.guest.gomp import parallel_for
+
+__all__ = [
+    "GuestContext",
+    "GuestProgram",
+    "SpinLock",
+    "TicketLock",
+    "Mutex",
+    "CondVar",
+    "Barrier",
+    "Semaphore",
+    "RWLock",
+    "GuestLibc",
+    "parallel_for",
+]

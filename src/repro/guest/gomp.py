@@ -1,0 +1,54 @@
+"""Miniature OpenMP runtime — the simulation's "libgomp".
+
+PARSEC's freqmine is the one benchmark in the paper's suite built on
+OpenMP, and Table 3 lists the sync ops found in ``libgomp.so``.  This
+module provides the two pieces freqmine-like workloads need: a dynamic
+work-sharing loop (a shared next-chunk counter advanced with LOCK XADD)
+and the implicit end-of-region barrier.
+"""
+
+from __future__ import annotations
+
+from repro.guest.program import GuestContext
+from repro.guest.sync import Barrier
+
+#: Sites defined by this runtime.
+SITE_NEXT_CHUNK = "libgomp.dynamic_next.xadd"
+SITE_REMAINING = "libgomp.remaining.load"
+
+GOMP_SITES = frozenset({SITE_NEXT_CHUNK, SITE_REMAINING})
+
+
+def parallel_for(ctx: GuestContext, workers: int, iterations: int,
+                 body, chunk: int = 1, work_cycles: float = 1_000.0):
+    """Run ``body(ctx, index)`` for each index on ``workers`` threads.
+
+    Iterations are claimed dynamically in ``chunk``-sized blocks from a
+    shared counter (omp ``schedule(dynamic)``); the region ends with an
+    implicit barrier.  ``body`` may be ``None`` for a pure compute loop
+    burning ``work_cycles`` per iteration.
+    """
+    counter_addr = ctx.alloc_static("__gomp_next_chunk")
+    barrier_count = ctx.alloc_static("__gomp_barrier_count")
+    barrier_gen = ctx.alloc_static("__gomp_barrier_gen")
+    barrier = Barrier(barrier_count, barrier_gen, workers)
+
+    def worker(wctx: GuestContext):
+        while True:
+            start = yield from wctx.fetch_add(counter_addr, chunk,
+                                              site=SITE_NEXT_CHUNK)
+            if start >= iterations:
+                break
+            for index in range(start, min(start + chunk, iterations)):
+                if body is not None:
+                    yield from body(wctx, index)
+                else:
+                    yield from wctx.compute(work_cycles)
+        yield from barrier.wait(wctx)
+
+    tids = []
+    for _ in range(workers - 1):
+        tid = yield from ctx.spawn(worker)
+        tids.append(tid)
+    yield from worker(ctx)  # the master participates, as in OpenMP
+    yield from ctx.join_all(tids)

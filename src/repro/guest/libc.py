@@ -1,0 +1,99 @@
+"""Guest libc: a malloc arena with *internal* synchronization.
+
+Section 3.3 of the paper stresses that an MVEE must order sync ops hidden
+inside language runtimes: "The memory allocator in GNU's libc ... protects
+its internal data structures using low-level synchronization primitives
+(e.g., assembly-based spinlocks)", and failing to order them "may affect
+the program's behavior with respect to memory-related system calls".
+
+This module reproduces that structure: ``malloc`` takes an internal
+spinlock (sites ``libc.malloc.*``), bump-allocates from an arena, and
+grows the arena with ``brk`` system calls when it runs out.  If the MVEE
+does not order these internal sync ops, two variants can interleave their
+allocations differently, issue ``brk`` at different points relative to
+other syscalls, and return differently-ordered blocks — the exact benign
+divergence the agents must eliminate.
+"""
+
+from __future__ import annotations
+
+from repro.guest.program import GuestContext
+
+#: How much extra room each brk extension requests (amortization).
+ARENA_CHUNK = 64 * 1024
+
+
+class GuestLibc:
+    """Per-variant libc state.  Install with ``GuestLibc.setup(ctx)``."""
+
+    SITE_LOCK = "libc.malloc.lock.cmpxchg"
+    SITE_UNLOCK = "libc.malloc.unlock.store"
+
+    def __init__(self, lock_addr: int, cursor_addr: int, end_addr: int):
+        self.lock_addr = lock_addr
+        self.cursor_addr = cursor_addr
+        self.end_addr = end_addr
+
+    @classmethod
+    def setup(cls, ctx: GuestContext):
+        """Initialize the allocator (main thread, before any spawn).
+
+        Allocates the allocator's own metadata words as statics and
+        primes the arena with an initial ``brk``.
+        """
+        lock_addr = ctx.alloc_static("__libc_malloc_lock")
+        cursor_addr = ctx.alloc_static("__libc_arena_cursor")
+        end_addr = ctx.alloc_static("__libc_arena_end")
+        base = yield from ctx.syscall("brk", None)
+        end = yield from ctx.syscall("brk", base + ARENA_CHUNK)
+        ctx.mem_store(cursor_addr, base)
+        ctx.mem_store(end_addr, end)
+        libc = cls(lock_addr, cursor_addr, end_addr)
+        ctx.libc = libc
+        return libc
+
+    # -- allocation -----------------------------------------------------------
+
+    def _lock(self, ctx: GuestContext):
+        while True:
+            old = yield from ctx.cas(self.lock_addr, 0, 1,
+                                     site=self.SITE_LOCK)
+            if old == 0:
+                return
+            yield from ctx.sched_yield()
+
+    def _unlock(self, ctx: GuestContext):
+        yield from ctx.atomic_store(self.lock_addr, 0,
+                                    site=self.SITE_UNLOCK)
+
+    def malloc(self, ctx: GuestContext, size: int):
+        """Allocate ``size`` bytes; returns the block address."""
+        # Diversified allocators pad requests differently per variant —
+        # the behaviour-changing diversification of Section 4.5.1.
+        size = max(8, (size + ctx.vm.malloc_padding + 7) // 8 * 8)
+        yield from self._lock(ctx)
+        cursor = ctx.mem_load(self.cursor_addr)
+        end = ctx.mem_load(self.end_addr)
+        if cursor + size > end:
+            grow = max(size, ARENA_CHUNK)
+            new_end = yield from ctx.syscall("brk", end + grow)
+            ctx.mem_store(self.end_addr, new_end)
+        ctx.mem_store(self.cursor_addr, cursor + size)
+        yield from self._unlock(ctx)
+        return cursor
+
+    def free(self, ctx: GuestContext, addr: int):
+        """Release a block (arena allocator: lock round-trip, no reuse)."""
+        yield from self._lock(ctx)
+        yield from self._unlock(ctx)
+
+    # -- stdio -------------------------------------------------------------------
+
+    def fprintf(self, ctx: GuestContext, fd: int, text: str):
+        """Formatted output; one ``write`` per call (unbuffered stdio)."""
+        result = yield from ctx.syscall("write", fd, text)
+        return result
+
+
+#: Sites defined by this library (ground truth for analysis / Table 3).
+LIBC_SITES = frozenset({GuestLibc.SITE_LOCK, GuestLibc.SITE_UNLOCK})

@@ -1,0 +1,249 @@
+"""Guest programs and the context API they are written against.
+
+A guest program subclasses :class:`GuestProgram` and implements
+``main(ctx)`` as a generator.  Every interaction with the outside world —
+computation time, system calls, atomic operations, thread management —
+goes through the :class:`GuestContext` helpers via ``yield from``:
+
+.. code-block:: python
+
+    class Hello(GuestProgram):
+        name = "hello"
+        static_vars = ("lock", "counter")
+
+        def main(self, ctx):
+            lock = SpinLock(ctx.static_addr("lock"))
+            tid = yield from ctx.spawn(self.worker, lock)
+            yield from ctx.printf("hello from main\\n")
+            yield from ctx.join(tid)
+
+        def worker(self, ctx, lock):
+            yield from lock.acquire(ctx)
+            ...
+
+Plain (non-atomic) accesses to lock-protected shared data use
+``ctx.mem_load`` / ``ctx.mem_store`` directly — they are ordinary
+instructions, not sync ops, and the paper's threat model (data-race-free
+programs, Section 3) guarantees they are ordered by the surrounding
+synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.sched.events import (
+    Annotate,
+    Compute,
+    InstructionClass,
+    Join,
+    Spawn,
+    SyncOp,
+    Syscall,
+)
+
+
+class GuestProgram:
+    """Base class for guest programs.
+
+    Attributes
+    ----------
+    name:
+        Used in reports and benchmark tables.
+    static_vars:
+        Names of global words allocated (in declaration order) before the
+        program starts.  Because allocation order is fixed, the k-th
+        static is the same *logical* variable in every variant even though
+        its address differs under diversified layouts.
+    """
+
+    name = "program"
+    static_vars: tuple[str, ...] = ()
+
+    def main(self, ctx: "GuestContext"):
+        """The main-thread body (a generator).  Must be overridden."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type clarity
+
+    def sync_sites(self) -> frozenset[str]:
+        """Sync-op sites this program (and its libraries) may execute.
+
+        Used by the instrumentation layer; the default "everything the
+        runtime libraries define plus anything prefixed with the program
+        name" is refined by the static analysis pipeline.
+        """
+        return frozenset()
+
+
+class GuestContext:
+    """Per-variant handle guest code uses to interact with the simulator."""
+
+    def __init__(self, vm, statics: dict[str, int] | None = None):
+        self.vm = vm
+        self._statics = statics or {}
+        #: Guest libc instance, installed by ``GuestLibc.setup``.
+        self.libc = None
+
+    # -- addresses ---------------------------------------------------------
+
+    def static_addr(self, name: str) -> int:
+        """Address of a pre-allocated program global (variant-local)."""
+        return self._statics[name]
+
+    def alloc_static(self, name: str, size: int = 8) -> int:
+        """Allocate a fresh global word (main thread, pre-spawn only)."""
+        addr = self.vm.kernel.addr_space.alloc_static(size)
+        self._statics[name] = addr
+        return addr
+
+    # -- plain memory (ordinary instructions, not sync ops) ------------------
+
+    def mem_load(self, addr: int) -> int:
+        """Plain load of lock-protected shared data (no event)."""
+        return self.vm.kernel.addr_space.load(addr)
+
+    def mem_store(self, addr: int, value: int) -> None:
+        """Plain store to lock-protected shared data (no event)."""
+        self.vm.kernel.addr_space.store(addr, value)
+
+    # -- computation and annotations --------------------------------------------
+
+    def compute(self, cycles: float):
+        """Burn ``cycles`` of CPU time."""
+        yield Compute(cycles)
+
+    def annotate(self, label: str, payload=None):
+        """Emit a zero-cost trace marker (tests / figure benches)."""
+        yield Annotate(label, payload)
+
+    # -- system calls ---------------------------------------------------------------
+
+    def syscall(self, name: str, *args):
+        """Issue a raw system call and return its result."""
+        result = yield Syscall(name, args)
+        return result
+
+    def write(self, fd: int, data) -> "int":
+        result = yield Syscall("write", (fd, data))
+        return result
+
+    def read(self, fd: int, count: int):
+        result = yield Syscall("read", (fd, count))
+        return result
+
+    def open(self, path: str, mode: str = "r"):
+        result = yield Syscall("open", (path, mode))
+        return result
+
+    def close(self, fd: int):
+        result = yield Syscall("close", (fd,))
+        return result
+
+    def printf(self, text: str):
+        """Formatted output to stdout (a ``write`` under the hood)."""
+        result = yield Syscall("write", (1, text))
+        return result
+
+    def gettimeofday(self):
+        result = yield Syscall("gettimeofday", ())
+        return result
+
+    def sched_yield(self):
+        result = yield Syscall("sched_yield", ())
+        return result
+
+    def futex_wait(self, addr: int, expected: int):
+        result = yield Syscall("futex_wait", (addr, expected))
+        return result
+
+    def futex_wake(self, addr: int, count: int = 1):
+        result = yield Syscall("futex_wake", (addr, count))
+        return result
+
+    def mvee_get_role(self):
+        """The paper's self-awareness pseudo-syscall (Section 4.5)."""
+        result = yield Syscall("mvee_get_role", ())
+        return result
+
+    def kill(self, sig: int):
+        """Send a signal to this process."""
+        result = yield Syscall("kill", (sig,))
+        return result
+
+    def sigwait(self, sig: int):
+        """Block until ``sig`` is delivered; returns the signal number."""
+        result = yield Syscall("sigwait", (sig,))
+        return result
+
+    # -- atomic operations (sync ops) -----------------------------------------------
+
+    def cas(self, addr: int, expected: int, new: int,
+            site: str = "anonymous", width: int = 4):
+        """LOCK CMPXCHG — type (i).  Returns the old value."""
+        result = yield SyncOp("cas", addr, (expected, new),
+                              InstructionClass.LOCK_PREFIXED, site, width)
+        return result
+
+    def fetch_add(self, addr: int, delta: int,
+                  site: str = "anonymous", width: int = 4):
+        """LOCK XADD — type (i).  Returns the old value."""
+        result = yield SyncOp("fetch_add", addr, (delta,),
+                              InstructionClass.LOCK_PREFIXED, site, width)
+        return result
+
+    def xchg(self, addr: int, new: int,
+             site: str = "anonymous", width: int = 4):
+        """XCHG — type (ii).  Returns the old value."""
+        result = yield SyncOp("xchg", addr, (new,),
+                              InstructionClass.XCHG, site, width)
+        return result
+
+    def atomic_load(self, addr: int, site: str = "anonymous",
+                    width: int = 4):
+        """Aligned load — type (iii) when it aliases a sync variable."""
+        result = yield SyncOp("load", addr, (),
+                              InstructionClass.PLAIN, site, width)
+        return result
+
+    def atomic_store(self, addr: int, value: int,
+                     site: str = "anonymous", width: int = 4):
+        """Aligned store — type (iii) when it aliases a sync variable."""
+        result = yield SyncOp("store", addr, (value,),
+                              InstructionClass.PLAIN, site, width)
+        return result
+
+    # -- threads -----------------------------------------------------------------------
+
+    def spawn(self, fn: Callable, *args, name: str | None = None):
+        """Create a thread running ``fn(ctx, *args)``; returns its id."""
+        tid = yield Spawn(fn, (self,) + tuple(args), name)
+        return tid
+
+    def join(self, tid: str):
+        """Wait for a thread and return its return value."""
+        result = yield Join(tid)
+        return result
+
+    def spawn_all(self, fn: Callable, arg_lists: Iterable[tuple]):
+        """Spawn one thread per argument tuple; returns all ids."""
+        tids = []
+        for args in arg_lists:
+            tid = yield Spawn(fn, (self,) + tuple(args), None)
+            tids.append(tid)
+        return tids
+
+    def join_all(self, tids: Iterable[str]):
+        """Join every thread in ``tids``; returns their results."""
+        results = []
+        for tid in tids:
+            result = yield Join(tid)
+            results.append(result)
+        return results
+
+
+def build_context(vm, program: GuestProgram) -> GuestContext:
+    """Allocate a program's statics on ``vm`` and return its context."""
+    statics: dict[str, int] = {}
+    for name in program.static_vars:
+        statics[name] = vm.kernel.addr_space.alloc_static(8)
+    return GuestContext(vm, statics)

@@ -1,0 +1,298 @@
+"""Guest synchronization library — the simulation's "libpthread".
+
+Every primitive is built from tagged atomic instructions, with stable
+*site* labels (``libpthread.mutex.lock.cmpxchg`` and so on).  The site
+labels matter twice:
+
+* the static analysis pipeline (:mod:`repro.analysis`) identifies exactly
+  these sites as sync ops — including the type (iii) plain stores such as
+  the spinlock release, reproducing Listing 1's analysis example;
+* the instrumentation filter decides per site whether the agent wrappers
+  run, so tests can reproduce the paper's nginx failure mode by leaving
+  the custom primitives un-instrumented (Section 5.5).
+
+The mutex/condvar follow the glibc futex protocol (fast path in user
+space, ``futex`` syscalls only under contention), because the distinction
+matters to the monitor: futex is the blocking call exempted from syscall
+ordering (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.guest.program import GuestContext
+
+#: Upper bound used for "wake all waiters".
+WAKE_ALL = 1 << 30
+
+
+class SpinLock:
+    """Listing 1's ad-hoc spinlock: LOCK CMPXCHG to lock, plain store to
+    unlock (the store is the type (iii) sync op found by points-to)."""
+
+    SITE_LOCK = "libpthread.spinlock.lock.cmpxchg"
+    SITE_UNLOCK = "libpthread.spinlock.unlock.store"
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def acquire(self, ctx: GuestContext):
+        while True:
+            old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_LOCK)
+            if old == 0:
+                return
+            yield from ctx.sched_yield()
+
+    def release(self, ctx: GuestContext):
+        yield from ctx.atomic_store(self.addr, 0, site=self.SITE_UNLOCK)
+
+
+class TicketLock:
+    """FIFO lock: XADD on the ticket counter, plain loads on "now serving"."""
+
+    SITE_TAKE = "libpthread.ticketlock.take.xadd"
+    SITE_POLL = "libpthread.ticketlock.poll.load"
+    SITE_SERVE = "libpthread.ticketlock.serve.store"
+
+    def __init__(self, ticket_addr: int, serving_addr: int):
+        self.ticket_addr = ticket_addr
+        self.serving_addr = serving_addr
+
+    def acquire(self, ctx: GuestContext):
+        ticket = yield from ctx.fetch_add(self.ticket_addr, 1,
+                                          site=self.SITE_TAKE)
+        while True:
+            serving = yield from ctx.atomic_load(self.serving_addr,
+                                                 site=self.SITE_POLL)
+            if serving == ticket:
+                return
+            yield from ctx.sched_yield()
+
+    def release(self, ctx: GuestContext):
+        serving = yield from ctx.atomic_load(self.serving_addr,
+                                             site=self.SITE_POLL)
+        yield from ctx.atomic_store(self.serving_addr, serving + 1,
+                                    site=self.SITE_SERVE)
+
+
+class Mutex:
+    """Futex-backed mutex (glibc-style three-state protocol).
+
+    States: 0 = free, 1 = locked, 2 = locked with (possible) waiters.
+    """
+
+    SITE_FAST = "libpthread.mutex.lock.cmpxchg"
+    SITE_SLOW = "libpthread.mutex.lock.xchg"
+    SITE_UNLOCK = "libpthread.mutex.unlock.xchg"
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def acquire(self, ctx: GuestContext):
+        old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_FAST)
+        if old == 0:
+            return
+        while True:
+            old = yield from ctx.xchg(self.addr, 2, site=self.SITE_SLOW)
+            if old == 0:
+                return
+            yield from ctx.futex_wait(self.addr, 2)
+
+    def try_acquire(self, ctx: GuestContext):
+        """pthread_mutex_trylock: True on success (no blocking)."""
+        old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_FAST)
+        return old == 0
+
+    def release(self, ctx: GuestContext):
+        old = yield from ctx.xchg(self.addr, 0, site=self.SITE_UNLOCK)
+        if old == 2:
+            yield from ctx.futex_wake(self.addr, 1)
+
+
+class CondVar:
+    """Futex-backed condition variable (sequence-counter protocol).
+
+    Users must hold the associated mutex around ``wait`` and re-check
+    their predicate in a loop, as with real condition variables.
+    """
+
+    SITE_SEQ_READ = "libpthread.cond.wait.load"
+    SITE_SIGNAL = "libpthread.cond.signal.xadd"
+
+    def __init__(self, seq_addr: int):
+        self.seq_addr = seq_addr
+
+    def wait(self, ctx: GuestContext, mutex: Mutex):
+        seq = yield from ctx.atomic_load(self.seq_addr,
+                                         site=self.SITE_SEQ_READ)
+        yield from mutex.release(ctx)
+        yield from ctx.futex_wait(self.seq_addr, seq)
+        yield from mutex.acquire(ctx)
+
+    def signal(self, ctx: GuestContext):
+        yield from ctx.fetch_add(self.seq_addr, 1, site=self.SITE_SIGNAL)
+        yield from ctx.futex_wake(self.seq_addr, 1)
+
+    def broadcast(self, ctx: GuestContext):
+        yield from ctx.fetch_add(self.seq_addr, 1, site=self.SITE_SIGNAL)
+        yield from ctx.futex_wake(self.seq_addr, WAKE_ALL)
+
+
+class Barrier:
+    """Sense-reversing futex barrier for a fixed party count."""
+
+    SITE_ARRIVE = "libpthread.barrier.arrive.xadd"
+    SITE_GEN_READ = "libpthread.barrier.generation.load"
+    SITE_GEN_BUMP = "libpthread.barrier.generation.xadd"
+    SITE_RESET = "libpthread.barrier.reset.store"
+
+    def __init__(self, count_addr: int, gen_addr: int, parties: int):
+        self.count_addr = count_addr
+        self.gen_addr = gen_addr
+        self.parties = parties
+
+    def wait(self, ctx: GuestContext):
+        generation = yield from ctx.atomic_load(self.gen_addr,
+                                                site=self.SITE_GEN_READ)
+        arrived = yield from ctx.fetch_add(self.count_addr, 1,
+                                           site=self.SITE_ARRIVE)
+        if arrived + 1 == self.parties:
+            yield from ctx.atomic_store(self.count_addr, 0,
+                                        site=self.SITE_RESET)
+            yield from ctx.fetch_add(self.gen_addr, 1,
+                                     site=self.SITE_GEN_BUMP)
+            yield from ctx.futex_wake(self.gen_addr, WAKE_ALL)
+            return True  # the "serial thread", like pthread_barrier_wait
+        while True:
+            current = yield from ctx.atomic_load(self.gen_addr,
+                                                 site=self.SITE_GEN_READ)
+            if current != generation:
+                return False
+            yield from ctx.futex_wait(self.gen_addr, generation)
+
+
+class Semaphore:
+    """Counting semaphore over CAS + futex."""
+
+    SITE_TRY = "libpthread.sem.trywait.cmpxchg"
+    SITE_READ = "libpthread.sem.value.load"
+    SITE_POST = "libpthread.sem.post.xadd"
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def acquire(self, ctx: GuestContext):
+        while True:
+            value = yield from ctx.atomic_load(self.addr,
+                                               site=self.SITE_READ)
+            if value > 0:
+                old = yield from ctx.cas(self.addr, value, value - 1,
+                                         site=self.SITE_TRY)
+                if old == value:
+                    return
+            else:
+                yield from ctx.futex_wait(self.addr, 0)
+
+    def release(self, ctx: GuestContext):
+        yield from ctx.fetch_add(self.addr, 1, site=self.SITE_POST)
+        yield from ctx.futex_wake(self.addr, 1)
+
+
+class Once:
+    """pthread_once: run an initializer exactly once across threads.
+
+    States: 0 = never run, 1 = running, 2 = done.  Late arrivals wait on
+    the state word's futex while the winner runs the initializer.
+    """
+
+    SITE_CLAIM = "libpthread.once.claim.cmpxchg"
+    SITE_READ = "libpthread.once.state.load"
+    SITE_DONE = "libpthread.once.done.store"
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def call(self, ctx: GuestContext, initializer):
+        """Run ``initializer(ctx)`` once; returns True for the winner."""
+        old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_CLAIM)
+        if old == 0:
+            yield from initializer(ctx)
+            yield from ctx.atomic_store(self.addr, 2,
+                                        site=self.SITE_DONE)
+            yield from ctx.futex_wake(self.addr, WAKE_ALL)
+            return True
+        while True:
+            state = yield from ctx.atomic_load(self.addr,
+                                               site=self.SITE_READ)
+            if state == 2:
+                return False
+            yield from ctx.futex_wait(self.addr, state)
+
+
+class RWLock:
+    """Writer-preferring readers/writer lock.
+
+    State word: -1 = writer holds, 0 = free, n>0 = n readers.  A separate
+    word counts queued writers so readers defer to them.
+    """
+
+    SITE_STATE = "libpthread.rwlock.state.cmpxchg"
+    SITE_STATE_READ = "libpthread.rwlock.state.load"
+    SITE_WRITERS = "libpthread.rwlock.writers.xadd"
+    SITE_WRITERS_READ = "libpthread.rwlock.writers.load"
+
+    def __init__(self, state_addr: int, writers_addr: int):
+        self.state_addr = state_addr
+        self.writers_addr = writers_addr
+
+    def acquire_read(self, ctx: GuestContext):
+        while True:
+            queued = yield from ctx.atomic_load(self.writers_addr,
+                                                site=self.SITE_WRITERS_READ)
+            state = yield from ctx.atomic_load(self.state_addr,
+                                               site=self.SITE_STATE_READ)
+            if queued == 0 and state >= 0:
+                old = yield from ctx.cas(self.state_addr, state, state + 1,
+                                         site=self.SITE_STATE)
+                if old == state:
+                    return
+            yield from ctx.sched_yield()
+
+    def release_read(self, ctx: GuestContext):
+        while True:
+            state = yield from ctx.atomic_load(self.state_addr,
+                                               site=self.SITE_STATE_READ)
+            old = yield from ctx.cas(self.state_addr, state, state - 1,
+                                     site=self.SITE_STATE)
+            if old == state:
+                return
+
+    def acquire_write(self, ctx: GuestContext):
+        yield from ctx.fetch_add(self.writers_addr, 1,
+                                 site=self.SITE_WRITERS)
+        while True:
+            old = yield from ctx.cas(self.state_addr, 0, -1,
+                                     site=self.SITE_STATE)
+            if old == 0:
+                return
+            yield from ctx.sched_yield()
+
+    def release_write(self, ctx: GuestContext):
+        yield from ctx.cas(self.state_addr, -1, 0, site=self.SITE_STATE)
+        yield from ctx.fetch_add(self.writers_addr, -1,
+                                 site=self.SITE_WRITERS)
+
+
+#: Every site label defined by this library — the ground truth the static
+#: analysis is expected to recover (used in tests and Table 3).
+LIBPTHREAD_SITES = frozenset({
+    SpinLock.SITE_LOCK, SpinLock.SITE_UNLOCK,
+    TicketLock.SITE_TAKE, TicketLock.SITE_POLL, TicketLock.SITE_SERVE,
+    Mutex.SITE_FAST, Mutex.SITE_SLOW, Mutex.SITE_UNLOCK,
+    CondVar.SITE_SEQ_READ, CondVar.SITE_SIGNAL,
+    Barrier.SITE_ARRIVE, Barrier.SITE_GEN_READ, Barrier.SITE_GEN_BUMP,
+    Barrier.SITE_RESET,
+    Semaphore.SITE_TRY, Semaphore.SITE_READ, Semaphore.SITE_POST,
+    Once.SITE_CLAIM, Once.SITE_READ, Once.SITE_DONE,
+    RWLock.SITE_STATE, RWLock.SITE_STATE_READ, RWLock.SITE_WRITERS,
+    RWLock.SITE_WRITERS_READ,
+})

@@ -1,0 +1,51 @@
+"""Simulated operating-system substrate.
+
+The paper's MVEE (ReMon) interposes on the system calls of real Linux
+processes via ptrace.  This package provides the equivalent surface for the
+reproduction: a small, deterministic virtual kernel per variant, backed by a
+shared virtual "disk" so that all variants observe identical program inputs.
+
+Public entry points:
+
+* :class:`repro.kernel.kernel.VirtualKernel` — per-variant kernel state and
+  syscall dispatch.
+* :class:`repro.kernel.fs.VirtualDisk` — host-side file store shared between
+  variants (the common input source / output sink).
+* :data:`repro.kernel.syscalls.SYSCALL_TABLE` — the syscall catalogue with
+  per-call monitoring classification (ordered / replicated / blocking ...).
+"""
+
+from repro.kernel.fs import VirtualDisk, VirtualFile, Pipe
+from repro.kernel.fdtable import FDTable, FileDescriptor
+from repro.kernel.vmem import AddressSpace, MemoryRegion, Protection
+from repro.kernel.vtime import VirtualClock
+from repro.kernel.futex import FutexTable
+from repro.kernel.net import Network, ListenSocket, ConnSocket
+from repro.kernel.syscalls import (
+    SYSCALL_TABLE,
+    SyscallClass,
+    SyscallSpec,
+    MVEE_GET_ROLE,
+)
+from repro.kernel.kernel import VirtualKernel
+
+__all__ = [
+    "VirtualKernel",
+    "VirtualDisk",
+    "VirtualFile",
+    "Pipe",
+    "FDTable",
+    "FileDescriptor",
+    "AddressSpace",
+    "MemoryRegion",
+    "Protection",
+    "VirtualClock",
+    "FutexTable",
+    "Network",
+    "ListenSocket",
+    "ConnSocket",
+    "SYSCALL_TABLE",
+    "SyscallClass",
+    "SyscallSpec",
+    "MVEE_GET_ROLE",
+]

@@ -1,0 +1,105 @@
+"""Per-variant file-descriptor table.
+
+The kernel assigns the *lowest available* descriptor number to each newly
+created descriptor — exactly the behaviour Section 3.1 of the paper calls
+out: if two threads race to ``open`` files and the MVEE does not order the
+``sys_open`` calls across variants, different FD numbers are handed to
+equivalent threads in different variants, and the divergence surfaces later
+(printed FDs, subsequent file operations).  Tests exercise this scenario
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SyscallError
+
+#: Well-known descriptors every process starts with.
+STDIN_FD = 0
+STDOUT_FD = 1
+STDERR_FD = 2
+
+
+@dataclass
+class FileDescriptor:
+    """An open descriptor: what it refers to plus per-descriptor state."""
+
+    fd: int
+    #: One of "file", "pipe_r", "pipe_w", "stream", "listen_sock",
+    #: "conn_sock".
+    kind: str
+    #: The underlying object (VirtualFile, Pipe, stream name, socket, ...).
+    obj: Any
+    offset: int = 0
+    flags: frozenset[str] = field(default_factory=frozenset)
+
+    def clone_for_dup(self, new_fd: int) -> "FileDescriptor":
+        """Return a duplicate referring to the same object.
+
+        Real ``dup`` shares the offset through the open file description;
+        our guests never rely on shared offsets, so an independent copy is
+        a faithful-enough model and keeps the table simple.
+        """
+        return FileDescriptor(fd=new_fd, kind=self.kind, obj=self.obj,
+                              offset=self.offset, flags=self.flags)
+
+
+class FDTable:
+    """Lowest-free-number file-descriptor allocation."""
+
+    def __init__(self):
+        self._table: dict[int, FileDescriptor] = {}
+        # Standard streams are "stream" descriptors writing to the shared
+        # disk's captured output streams.
+        self._table[STDIN_FD] = FileDescriptor(STDIN_FD, "stream", "stdin")
+        self._table[STDOUT_FD] = FileDescriptor(STDOUT_FD, "stream", "stdout")
+        self._table[STDERR_FD] = FileDescriptor(STDERR_FD, "stream", "stderr")
+
+    def lowest_free(self) -> int:
+        """Return the smallest unused descriptor number."""
+        fd = 0
+        while fd in self._table:
+            fd += 1
+        return fd
+
+    def install(self, kind: str, obj: Any,
+                flags: frozenset[str] = frozenset()) -> FileDescriptor:
+        """Allocate the lowest free FD and bind it."""
+        fd = self.lowest_free()
+        entry = FileDescriptor(fd=fd, kind=kind, obj=obj, flags=flags)
+        self._table[fd] = entry
+        return entry
+
+    def get(self, fd: int) -> FileDescriptor:
+        """Look up a descriptor; raises EBADF if closed/unknown."""
+        entry = self._table.get(fd)
+        if entry is None:
+            raise SyscallError(f"bad file descriptor: {fd}",
+                               errno_name="EBADF")
+        return entry
+
+    def dup(self, fd: int) -> FileDescriptor:
+        """POSIX dup: duplicate onto the lowest free descriptor."""
+        source = self.get(fd)
+        new_fd = self.lowest_free()
+        entry = source.clone_for_dup(new_fd)
+        self._table[new_fd] = entry
+        return entry
+
+    def close(self, fd: int) -> FileDescriptor:
+        """Close a descriptor and return the removed entry."""
+        entry = self.get(fd)
+        del self._table[fd]
+        return entry
+
+    def open_fds(self) -> list[int]:
+        """All currently open descriptor numbers, sorted."""
+        return sorted(self._table)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,146 @@
+"""Virtual filesystem shared by all variants.
+
+The MVEE presents N variants as a single application: all variants must read
+the *same* input files, and each output must be performed exactly once
+(Section 2 of the paper).  We model this with a single :class:`VirtualDisk`
+object shared between the variants' kernels.  Reads are idempotent so every
+variant may perform them; writes are applied by whoever the monitor allows
+to execute them (the master, under MVEE control) and are visible to all.
+
+Pipes are also defined here; a pipe is private to one variant (it lives in
+that variant's kernel) but its *contents* are replicated by the monitor the
+same way file I/O results are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SyscallError
+
+
+@dataclass
+class VirtualFile:
+    """A regular file on the shared disk."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def read_at(self, offset: int, count: int) -> bytes:
+        """Read up to ``count`` bytes starting at ``offset``."""
+        if offset >= len(self.data):
+            return b""
+        return bytes(self.data[offset:offset + count])
+
+    def write_at(self, offset: int, payload: bytes) -> int:
+        """Write ``payload`` at ``offset``, growing the file if needed."""
+        end = offset + len(payload)
+        if end > len(self.data):
+            self.data.extend(b"\x00" * (end - len(self.data)))
+        self.data[offset:end] = payload
+        return len(payload)
+
+
+class VirtualDisk:
+    """Host-side file store shared between all variants of an MVEE run.
+
+    The disk also collects *output streams*: stdout/stderr writes are
+    appended here once (deduplicated by the monitor), so tests can assert
+    on what the "application" printed regardless of how many variants ran.
+    """
+
+    def __init__(self):
+        self._files: dict[str, VirtualFile] = {}
+        #: Output captured from well-known FDs: {"stdout": bytearray, ...}
+        self.streams: dict[str, bytearray] = {
+            "stdout": bytearray(),
+            "stderr": bytearray(),
+        }
+
+    # -- file management -------------------------------------------------
+
+    def add_file(self, path: str, data: bytes = b"") -> VirtualFile:
+        """Create (or replace) a file with the given contents."""
+        vfile = VirtualFile(path=path, data=bytearray(data))
+        self._files[path] = vfile
+        return vfile
+
+    def lookup(self, path: str) -> VirtualFile | None:
+        """Return the file at ``path`` or ``None``."""
+        return self._files.get(path)
+
+    def create(self, path: str) -> VirtualFile:
+        """O_CREAT semantics: return existing file or create empty one."""
+        vfile = self._files.get(path)
+        if vfile is None:
+            vfile = self.add_file(path)
+        return vfile
+
+    def unlink(self, path: str) -> None:
+        """Remove a file; raises ENOENT if absent."""
+        if path not in self._files:
+            raise SyscallError(f"unlink: no such file: {path}",
+                               errno_name="ENOENT")
+        del self._files[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> list[str]:
+        """All file paths currently on the disk, sorted."""
+        return sorted(self._files)
+
+    # -- output streams ---------------------------------------------------
+
+    def append_stream(self, name: str, payload: bytes) -> None:
+        """Record deduplicated output (called once per logical write)."""
+        self.streams.setdefault(name, bytearray()).extend(payload)
+
+    def stream_text(self, name: str) -> str:
+        """Decode a captured stream as UTF-8 (for test assertions)."""
+        return bytes(self.streams.get(name, b"")).decode("utf-8",
+                                                         errors="replace")
+
+
+class Pipe:
+    """An in-kernel unidirectional byte channel.
+
+    Readers that find the pipe empty block (the kernel returns a
+    ``would_block`` indication and the simulator parks the thread until a
+    writer arrives or all write ends close).
+    """
+
+    def __init__(self, pipe_id: int):
+        self.pipe_id = pipe_id
+        self.buffer = bytearray()
+        self.read_ends = 1
+        self.write_ends = 1
+
+    @property
+    def writers_closed(self) -> bool:
+        return self.write_ends <= 0
+
+    def write(self, payload: bytes) -> int:
+        if self.read_ends <= 0:
+            raise SyscallError("write to pipe with no readers (EPIPE)",
+                               errno_name="EPIPE")
+        self.buffer.extend(payload)
+        return len(payload)
+
+    def read(self, count: int) -> bytes | None:
+        """Read up to ``count`` bytes; ``None`` means "would block".
+
+        Returns ``b""`` (EOF) once all write ends are closed and the buffer
+        is drained.
+        """
+        if not self.buffer:
+            if self.writers_closed:
+                return b""
+            return None
+        taken = bytes(self.buffer[:count])
+        del self.buffer[:count]
+        return taken

@@ -1,0 +1,187 @@
+"""Simulated network for the nginx use case (Section 5.5).
+
+The paper benchmarks nginx under ReMon with the ``wrk`` load generator
+running either on a separate client machine (gigabit link) or on the server
+itself (loopback).  We model the network as a host-side object shared by
+the whole simulation:
+
+* The *server* side is a guest program inside the MVEE.  Only the master
+  variant's kernel is wired to the network; slaves receive replicated
+  syscall results exactly as they do for file I/O.
+* The *client* side (the wrk analogue) lives outside the MVEE entirely.
+  The benchmark harness drives it through :class:`ClientConnection`,
+  scheduled as external simulator events with per-message latency that
+  models either the LAN or the loopback path.
+
+Blocking semantics: ``accept`` and ``recv`` return the ``WOULD_BLOCK``
+sentinel when nothing is pending; the simulator parks the calling thread on
+a wait key and the network wakes it when a client injects traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SyscallError
+
+#: Sentinel returned by non-ready blocking network operations.
+WOULD_BLOCK = object()
+
+
+def accept_wait_key(port: int) -> tuple:
+    """Simulator wait key for a server blocked in ``accept`` on ``port``."""
+    return ("net_accept", port)
+
+
+def recv_wait_key(conn_id: int) -> tuple:
+    """Simulator wait key for a server blocked in ``recv``."""
+    return ("net_recv", conn_id)
+
+
+def client_wait_key(conn_id: int) -> tuple:
+    """Simulator wait key for an external client awaiting a response."""
+    return ("net_client", conn_id)
+
+
+@dataclass
+class Connection:
+    """A bidirectional stream between one client and the server."""
+
+    conn_id: int
+    port: int
+    to_server: bytearray = field(default_factory=bytearray)
+    to_client: bytearray = field(default_factory=bytearray)
+    client_closed: bool = False
+    server_closed: bool = False
+
+
+class Network:
+    """Shared network state: listening ports and live connections."""
+
+    def __init__(self):
+        self._listening: dict[int, list[int]] = {}  # port -> pending conns
+        self._connections: dict[int, Connection] = {}
+        self._next_conn_id = 1
+        # Installed by the simulator: callable(wait_key) that wakes parked
+        # threads / external actors registered on that key.
+        self._waker = lambda key: None
+
+    def bind_waker(self, waker) -> None:
+        """Install the simulator's wake callback."""
+        self._waker = waker
+
+    # -- server side (called by the master variant's kernel) --------------
+
+    def listen(self, port: int) -> None:
+        """Start accepting connections on ``port``."""
+        if port in self._listening:
+            raise SyscallError(f"port {port} already bound",
+                               errno_name="EADDRINUSE")
+        self._listening[port] = []
+
+    def accept(self, port: int):
+        """Pop one pending connection, or ``WOULD_BLOCK``."""
+        pending = self._listening.get(port)
+        if pending is None:
+            raise SyscallError(f"accept on non-listening port {port}",
+                               errno_name="EINVAL")
+        if not pending:
+            return WOULD_BLOCK
+        return pending.pop(0)
+
+    def server_recv(self, conn_id: int, count: int):
+        """Read client bytes; ``WOULD_BLOCK`` if none and still open."""
+        conn = self._conn(conn_id)
+        if not conn.to_server:
+            if conn.client_closed:
+                return b""
+            return WOULD_BLOCK
+        taken = bytes(conn.to_server[:count])
+        del conn.to_server[:count]
+        return taken
+
+    def server_send(self, conn_id: int, payload: bytes) -> int:
+        """Send bytes to the client and wake it."""
+        conn = self._conn(conn_id)
+        if conn.client_closed:
+            raise SyscallError("send on closed connection",
+                               errno_name="EPIPE")
+        conn.to_client.extend(payload)
+        self._waker(client_wait_key(conn_id))
+        return len(payload)
+
+    def server_close(self, conn_id: int) -> None:
+        """Server side shutdown; wakes a client blocked on the response."""
+        conn = self._conn(conn_id)
+        conn.server_closed = True
+        self._waker(client_wait_key(conn_id))
+
+    # -- client side (called by the benchmark harness / external actors) --
+
+    def client_connect(self, port: int) -> int:
+        """Open a new connection to a listening port; wakes ``accept``."""
+        if port not in self._listening:
+            raise SyscallError(f"connection refused on port {port}",
+                               errno_name="ECONNREFUSED")
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        self._connections[conn_id] = Connection(conn_id=conn_id, port=port)
+        self._listening[port].append(conn_id)
+        self._waker(accept_wait_key(port))
+        return conn_id
+
+    def client_send(self, conn_id: int, payload: bytes) -> None:
+        """Inject request bytes and wake a server blocked in ``recv``."""
+        conn = self._conn(conn_id)
+        conn.to_server.extend(payload)
+        self._waker(recv_wait_key(conn_id))
+
+    def client_recv(self, conn_id: int):
+        """Drain response bytes; ``WOULD_BLOCK`` when none are pending."""
+        conn = self._conn(conn_id)
+        if not conn.to_client:
+            if conn.server_closed:
+                return b""
+            return WOULD_BLOCK
+        taken = bytes(conn.to_client)
+        conn.to_client.clear()
+        return taken
+
+    def client_close(self, conn_id: int) -> None:
+        """Client side shutdown; wakes a server blocked in ``recv``."""
+        conn = self._conn(conn_id)
+        conn.client_closed = True
+        self._waker(recv_wait_key(conn_id))
+
+    # -- shared ------------------------------------------------------------
+
+    def _conn(self, conn_id: int) -> Connection:
+        conn = self._connections.get(conn_id)
+        if conn is None:
+            raise SyscallError(f"unknown connection {conn_id}",
+                               errno_name="EBADF")
+        return conn
+
+    def connection(self, conn_id: int) -> Connection:
+        """Public lookup (for tests and the traffic driver)."""
+        return self._conn(conn_id)
+
+
+@dataclass
+class ListenSocket:
+    """Per-variant kernel object representing a listening socket."""
+
+    port: int | None = None
+    listening: bool = False
+
+
+@dataclass
+class ConnSocket:
+    """Per-variant kernel object representing an accepted connection.
+
+    In slave variants the socket exists (so FD numbers line up) but is not
+    wired to the shared network; all its I/O results come from replication.
+    """
+
+    conn_id: int
+    wired: bool = True

@@ -1,0 +1,78 @@
+"""Virtual POSIX-style signals.
+
+Signals matter to the paper twice:
+
+* Section 6 dismisses barrier-based DMT systems because they are
+  "incompatible with parallel programs in which threads deliberately
+  wait in an infinite loop for an asynchronous event such as the
+  delivery of a signal" — such threads never reach the global barrier.
+  Our DMT baseline exhibits exactly that failure on the signal-driven
+  workload, while the record/replay agents handle it.
+* Real MVEEs must replicate signal delivery so all variants observe the
+  same signals at equivalent points; we model the synchronous-wait
+  subset (``sigwait``), which the monitor replicates through the same
+  per-thread blocking-result stream used for futex (Section 4.1).
+
+The model: per-process pending counters and FIFO waiter queues per
+signal number.  ``kill`` targets the process; a pending signal is
+consumed by the next ``sigwait``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Conventional numbers for the signals guests use.
+SIGHUP = 1
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGALRM = 14
+SIGTERM = 15
+
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP",
+    SIGUSR1: "SIGUSR1",
+    SIGUSR2: "SIGUSR2",
+    SIGALRM: "SIGALRM",
+    SIGTERM: "SIGTERM",
+}
+
+
+@dataclass
+class SignalState:
+    """Per-variant signal bookkeeping."""
+
+    #: signal -> undelivered count (no waiter was present at send time).
+    pending: dict[int, int] = field(default_factory=dict)
+    #: signal -> FIFO of blocked sigwait-ing thread ids.
+    waiters: dict[int, list[str]] = field(default_factory=dict)
+    #: total signals ever sent, per signal (for tests/stats).
+    sent: dict[int, int] = field(default_factory=dict)
+
+    def send(self, sig: int) -> str | None:
+        """Deliver one signal; returns the woken thread id, if any."""
+        self.sent[sig] = self.sent.get(sig, 0) + 1
+        queue = self.waiters.get(sig)
+        if queue:
+            return queue.pop(0)
+        self.pending[sig] = self.pending.get(sig, 0) + 1
+        return None
+
+    def try_consume(self, sig: int) -> bool:
+        """Consume a pending signal without blocking, if one exists."""
+        count = self.pending.get(sig, 0)
+        if count > 0:
+            self.pending[sig] = count - 1
+            return True
+        return False
+
+    def add_waiter(self, sig: int, thread_id: str) -> None:
+        self.waiters.setdefault(sig, []).append(thread_id)
+
+    def remove_waiter(self, sig: int, thread_id: str) -> None:
+        queue = self.waiters.get(sig)
+        if queue and thread_id in queue:
+            queue.remove(thread_id)
+
+    def waiting_threads(self) -> list[str]:
+        return [tid for queue in self.waiters.values() for tid in queue]

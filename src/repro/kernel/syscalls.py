@@ -1,0 +1,162 @@
+"""System call catalogue and monitoring classification.
+
+Every syscall the virtual kernel implements is described by a
+:class:`SyscallSpec` that tells the MVEE monitor how to treat it.  The
+classification implements Sections 2, 3.1 and 4.1 of the paper:
+
+* ``ordered`` — the call operates on shared resources whose results depend
+  on cross-thread ordering (FD numbers, heap/mapping addresses).  The
+  monitor runs these through the Lamport syscall-ordering clock so all
+  variants execute related calls in the same order (Section 4.1).
+* ``replicated`` — an I/O call: only the master variant performs the real
+  operation and the monitor copies the result to the slaves (Section 2).
+  Replicated blocking calls are exempt from ordering, exactly as the paper
+  describes ("we cannot order blocking system calls ... I/O operations are
+  only executed by the master variant").
+* ``blocking`` — the call may park the calling thread (futex, accept, pipe
+  reads, ...).  Blocking calls never enter the ordering critical section.
+* ``sensitive`` — security-sensitive: under the relaxed monitoring policy
+  only these are cross-checked in lockstep.
+* ``address_result`` — the result is an address-space value that legally
+  differs across diversified variants (mmap/brk); the monitor must not
+  compare it raw.
+
+The table also contains ``MVEE_GET_ROLE``, the paper's "self-awareness"
+pseudo-syscall (Section 4.5): it does not exist in the kernel, but because
+unknown syscalls are still reported to the monitor, the monitor can answer
+it — telling the agent whether it should record (master) or replay (slave).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SyscallClass(enum.Enum):
+    """Who executes the call."""
+
+    #: Every variant executes the call against its own kernel (state
+    #: establishing calls: open, mmap, futex, ...).
+    EXECUTE_ALL = "execute_all"
+    #: Only the master executes; the monitor replicates the result and asks
+    #: slave kernels to apply equivalent state updates (I/O calls).
+    MASTER_ONLY = "master_only"
+
+
+@dataclass(frozen=True)
+class SyscallSpec:
+    """Static description of one system call."""
+
+    name: str
+    cls: SyscallClass
+    ordered: bool = False
+    blocking: bool = False
+    sensitive: bool = False
+    #: Result legitimately differs across diversified variants (addresses).
+    address_result: bool = False
+    #: Argument positions holding pointers; compared by pointed-to content
+    #: (already materialized in our events), never by raw address value.
+    address_args: tuple[int, ...] = field(default=())
+    #: Excluded from monitoring entirely (sched_yield and similar noise).
+    unmonitored: bool = False
+    #: Blocking calls replicated through a per-thread result stream
+    #: (Section 4.1 footnote: futex is "treated as an I/O operation").
+    #: The master executes locally (and may sleep); slaves never execute —
+    #: they consume the master's result for their thread's k-th such call.
+    #: No rendezvous, no ordering, no argument comparison: the call counts
+    #: are implied by the replayed sync-op results, and slaves must never
+    #: actually sleep in a futex (an arbitrary slave-side FIFO wake could
+    #: rouse a thread whose replay turn has not come, deadlocking replay).
+    stream_replicated: bool = False
+
+    @property
+    def replicated(self) -> bool:
+        return self.cls is SyscallClass.MASTER_ONLY
+
+
+#: Syscall number of the self-awareness pseudo-call (any unused number).
+MVEE_GET_ROLE = "mvee_get_role"
+
+
+def _spec(name, cls, **kwargs) -> SyscallSpec:
+    return SyscallSpec(name=name, cls=cls, **kwargs)
+
+
+_ALL = SyscallClass.EXECUTE_ALL
+_MASTER = SyscallClass.MASTER_ONLY
+
+SYSCALL_TABLE: dict[str, SyscallSpec] = {
+    spec.name: spec for spec in [
+        # -- files ---------------------------------------------------------
+        _spec("open", _ALL, ordered=True, sensitive=True),
+        _spec("close", _ALL, ordered=True),
+        _spec("read", _MASTER, blocking=True),
+        _spec("write", _MASTER, sensitive=True),
+        _spec("lseek", _ALL),
+        _spec("stat", _MASTER),
+        _spec("unlink", _MASTER, ordered=True, sensitive=True),
+        _spec("pipe", _ALL, ordered=True),
+        _spec("dup", _ALL, ordered=True),
+        # -- memory ----------------------------------------------------------
+        _spec("brk", _ALL, ordered=True, address_result=True,
+              address_args=(0,)),
+        _spec("mmap", _ALL, ordered=True, address_result=True),
+        _spec("munmap", _ALL, ordered=True, address_args=(0,)),
+        _spec("mprotect", _ALL, ordered=True, sensitive=True,
+              address_args=(0,)),
+        # -- threads / scheduling ---------------------------------------------
+        _spec("clone", _ALL, ordered=True, sensitive=True),
+        # Futex is the paper's explicit exemption (Section 4.1 footnote):
+        # a blocking call that cannot sit in the ordering critical section.
+        # It is treated as an I/O operation: executed by the master only,
+        # results streamed to the slaves per thread.
+        _spec("futex_wait", _MASTER, blocking=True, address_args=(0,),
+              stream_replicated=True),
+        _spec("futex_wake", _MASTER, address_args=(0,),
+              stream_replicated=True),
+        _spec("sched_yield", _ALL, unmonitored=True),
+        _spec("nanosleep", _MASTER, blocking=True, stream_replicated=True),
+        # -- signals: kill is cross-checked and executed everywhere (each
+        # variant delivers to its own threads); sigwait blocks like futex
+        # and is replicated through the per-thread stream so slaves never
+        # sleep waiting for a slave-local delivery.
+        _spec("kill", _ALL, sensitive=True),
+        _spec("sigwait", _MASTER, blocking=True, stream_replicated=True),
+        _spec("sigpending", _MASTER),
+        # -- identity / time ---------------------------------------------------
+        _spec("getpid", _MASTER),
+        _spec("gettimeofday", _MASTER),
+        _spec("clock_gettime", _MASTER),
+        _spec("rdtsc", _MASTER),  # an instruction, but replicated like one
+        # -- network -----------------------------------------------------------
+        _spec("socket", _ALL, ordered=True, sensitive=True),
+        _spec("bind", _ALL, ordered=True, sensitive=True),
+        _spec("listen", _ALL, ordered=True, sensitive=True),
+        _spec("accept", _MASTER, blocking=True, sensitive=True),
+        _spec("recv", _MASTER, blocking=True),
+        _spec("send", _MASTER, sensitive=True),
+        # -- process ------------------------------------------------------------
+        _spec("execve", _ALL, sensitive=True),
+        _spec("exit_group", _ALL, sensitive=True),
+        # -- MVEE pseudo-syscall --------------------------------------------------
+        # Monitored so the MVEE can answer it (a native kernel returns
+        # -ENOSYS; "non-existing system calls are still reported to the
+        # MVEE's monitor", Section 4.5).
+        _spec(MVEE_GET_ROLE, _ALL),
+    ]
+}
+
+
+def spec_for(name: str) -> SyscallSpec:
+    """Look up a syscall spec; unknown calls get a strict default.
+
+    Unknown syscalls are reported to the monitor (like real ptrace-based
+    MVEEs see unknown syscall numbers) and treated as sensitive
+    execute-all calls, which is the conservative choice.
+    """
+    spec = SYSCALL_TABLE.get(name)
+    if spec is not None:
+        return spec
+    return SyscallSpec(name=name, cls=SyscallClass.EXECUTE_ALL,
+                       sensitive=True)

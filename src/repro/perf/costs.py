@@ -1,0 +1,92 @@
+"""The simulation's cycle-cost model.
+
+All performance behaviour of the reproduction derives from the named
+constants below.  They are calibrated so that the *shape* of the paper's
+evaluation holds (Table 1, Figure 5): which agent wins, by roughly what
+factor, and where the pathologies appear.  Absolute values are in simulated
+cycles at 1 GHz (:mod:`repro.kernel.vtime`), chosen to be plausible for the
+paper's dual-socket Xeon E5-2660 testbed:
+
+* A ptrace-based monitor costs tens of microseconds per intercepted
+  syscall (four context switches plus argument comparison) — this is why
+  syscall-heavy benchmarks like dedup stay slow even under the best agent
+  (Section 5.1: "Each of the system calls invokes the MVEE monitor, which
+  constitutes a performance bottleneck").
+* Sync-op wrappers cost tens of cycles, but *shared-line contention* costs
+  grow with the number of threads simultaneously hitting the same cache
+  line.  The TO/PO agents pay this on their shared buffer cursors
+  (Section 4.5: "this inevitably leads to read-write sharing on the
+  variable that stores the next free position"); the WoC agent pays it only
+  on genuinely contended clocks.
+
+Calibration notes for every constant live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class CostModel:
+    """Cycle costs charged by the simulator and the MVEE components."""
+
+    # -- machine ---------------------------------------------------------
+    #: Relative jitter applied to each step duration; models timer phase,
+    #: microarchitectural variance, and background load.  This is what
+    #: desynchronizes identical variants from one another.
+    compute_jitter: float = 0.35
+    #: Preemption quantum in cycles (randomized ±50% per grant).
+    preempt_quantum: float = 80_000.0
+
+    # -- plain syscall costs ------------------------------------------------
+    #: User/kernel transition plus kernel work for an unmonitored call.
+    syscall_base: float = 400.0
+    #: Thread creation (clone) on top of syscall_base.
+    clone_cost: float = 4_000.0
+
+    # -- monitor costs ---------------------------------------------------------
+    #: Per monitored syscall per variant: ptrace stops + context switches.
+    monitor_syscall_overhead: float = 5_000.0
+    #: Re-check after a rendezvous / ordering wake.
+    rendezvous_recheck: float = 350.0
+    #: Copying a replicated result into a slave.
+    replication_copy: float = 500.0
+    #: Lamport-clock bookkeeping for an ordered call.
+    ordering_bookkeeping: float = 350.0
+
+    # -- sync op / agent costs ---------------------------------------------------
+    #: The bare atomic instruction.
+    sync_op_exec: float = 25.0
+    #: Calling the before/after wrapper pair (Listing 3).
+    agent_wrapper: float = 25.0
+    #: Writing one entry into a sync buffer (uncontended).
+    buffer_log: float = 30.0
+    #: Consuming one entry from a sync buffer (uncontended).
+    buffer_consume: float = 30.0
+    #: PO agent: scanning one not-yet-replayed window entry for lookahead.
+    po_scan_per_entry: float = 7.0
+    #: Re-check cost when a stalled sync op wakes and re-tests its order.
+    ordering_wait_recheck: float = 60.0
+    #: Extra cycles per additional thread concurrently sharing a written
+    #: cache line (the cursor variables of TO/PO, contended WoC clocks).
+    coherence_penalty: float = 150.0
+    #: Multiplier on cursor-line coherence for the TO/PO agents: their
+    #: consumption cursors are written on every replayed op *and* spun on
+    #: by every stalled thread — read-write ping-pong, the hottest lines
+    #: in the system (Section 4.5's scalability complaint).
+    cursor_contention_factor: float = 6.0
+    #: Multiplier on WoC clock-line coherence: slaves mostly *read* their
+    #: local wall (shared state until the single tick per op invalidates),
+    #: roughly halving the traffic of a read-write cursor.
+    woc_clock_factor: float = 0.5
+    #: Multiplier on coherence penalties when threads span both sockets.
+    numa_factor: float = 1.0
+
+    def scaled(self, **overrides) -> "CostModel":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: Default model used across tests and benches.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,80 @@
+"""ASCII timelines of sync-op replay — the Figure 4 visualization.
+
+The paper's Figure 4 shows per-thread lanes with critical-section
+enter/leave events and a red stall bar where the TO agent suspends a
+slave thread.  :func:`render_timeline` reproduces that view from a
+variant's recorded sync trace: one lane per thread, one column per time
+bucket, ``#`` where the thread committed sync ops and ``.`` where it was
+idle/stalled between its first and last op.
+
+Use with ``MVEE(..., record_sync_trace=True)``:
+
+    outcome = MVEE(program, record_sync_trace=True, ...).run()
+    print(render_timeline(outcome.vms[1].sync_trace))
+"""
+
+from __future__ import annotations
+
+from repro.sched.vm import TraceEntry
+
+
+def render_timeline(trace: list[TraceEntry], width: int = 72,
+                    label: str = "") -> str:
+    """Render one variant's sync trace as per-thread activity lanes."""
+    if not trace:
+        return "(no sync ops recorded)"
+    start = min(entry.time for entry in trace)
+    end = max(entry.time for entry in trace)
+    span = max(end - start, 1.0)
+    bucket = span / width
+
+    lanes: dict[str, list[str]] = {}
+    first_seen: dict[str, int] = {}
+    last_seen: dict[str, int] = {}
+    for entry in trace:
+        column = min(int((entry.time - start) / bucket), width - 1)
+        lane = lanes.setdefault(entry.thread, [" "] * width)
+        lane[column] = "#"
+        first_seen.setdefault(entry.thread, column)
+        first_seen[entry.thread] = min(first_seen[entry.thread], column)
+        last_seen[entry.thread] = max(
+            last_seen.get(entry.thread, column), column)
+
+    # Inside a thread's active span, blank columns are waiting time
+    # (stalls or compute) — the figure's horizontal extent.
+    for thread, lane in lanes.items():
+        for column in range(first_seen[thread], last_seen[thread]):
+            if lane[column] == " ":
+                lane[column] = "."
+
+    label_width = max(len(t) for t in lanes)
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{'':{label_width}}  t={start:.0f} "
+                 f"... {end:.0f} cycles "
+                 f"({bucket:.0f} cycles/col)")
+    for thread in sorted(lanes):
+        lines.append(f"{thread.ljust(label_width)} |"
+                     + "".join(lanes[thread]) + "|")
+    lines.append(f"{'':{label_width}}  # = sync op committed, "
+                 ". = waiting/computing")
+    return "\n".join(lines)
+
+
+def summarize_trace(trace: list[TraceEntry]) -> dict[str, dict]:
+    """Per-thread summary: op count, active span, mean inter-op gap."""
+    stats: dict[str, dict] = {}
+    by_thread: dict[str, list[float]] = {}
+    for entry in trace:
+        by_thread.setdefault(entry.thread, []).append(entry.time)
+    for thread, times in by_thread.items():
+        times.sort()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        stats[thread] = {
+            "ops": len(times),
+            "span_cycles": (times[-1] - times[0]) if len(times) > 1
+            else 0.0,
+            "mean_gap": (sum(gaps) / len(gaps)) if gaps else 0.0,
+        }
+    return stats

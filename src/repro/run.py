@@ -1,0 +1,67 @@
+"""Convenience runners for native (non-MVEE) guest executions.
+
+The MVEE runners live in :mod:`repro.core.mvee`; this module covers the
+baseline: one program, one kernel, no monitor, no agents — the
+"unprotected execution" the paper's slowdown figures normalize against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guest.program import GuestProgram, build_context
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import VirtualKernel
+from repro.kernel.net import Network
+from repro.perf.costs import CostModel
+from repro.sched.machine import Machine, MachineReport
+from repro.sched.scheduler import SchedulingPolicy
+from repro.sched.vm import VariantVM
+
+
+@dataclass
+class NativeResult:
+    """Everything a test or bench needs from a native run."""
+
+    report: MachineReport
+    disk: VirtualDisk
+    vm: VariantVM
+    machine: Machine
+
+    @property
+    def cycles(self) -> float:
+        return self.report.cycles
+
+    @property
+    def stdout(self) -> str:
+        return self.disk.stream_text("stdout")
+
+
+def run_native(program: GuestProgram, *, seed: int = 0, cores: int = 16,
+               costs: CostModel | None = None,
+               policy: SchedulingPolicy | None = None,
+               disk: VirtualDisk | None = None,
+               network: Network | None = None,
+               record_trace: bool = False,
+               traffic=None,
+               max_cycles: float | None = None) -> NativeResult:
+    """Run ``program`` natively and return its result.
+
+    ``traffic`` is an optional callable ``(machine, network) -> None``
+    that schedules external client activity (the nginx benchmarks).
+    """
+    disk = disk if disk is not None else VirtualDisk()
+    kernel = VirtualKernel(disk, network=network, role="native")
+    vm = VariantVM(index=0, kernel=kernel, record_trace=record_trace)
+    machine = Machine(cores=cores, seed=seed, costs=costs, policy=policy)
+    if max_cycles is not None:
+        machine.max_cycles = max_cycles
+    machine.add_vm(vm)
+    if network is not None:
+        machine.attach_network(network)
+    ctx = build_context(vm, program)
+    machine.add_thread(vm, "main", program.main(ctx))
+    if traffic is not None:
+        traffic(machine, network)
+    report = machine.run()
+    return NativeResult(report=report, disk=disk, vm=vm, machine=machine)

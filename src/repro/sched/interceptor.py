@@ -1,0 +1,124 @@
+"""Interfaces through which the MVEE plugs into the simulator.
+
+The simulator itself knows nothing about monitors or agents; it only knows
+that, before executing a syscall or a sync op, an installed interceptor may
+tell it to proceed, to park the thread, to deliver a synthesized result, or
+to kill the run.  The MVEE monitor (:mod:`repro.core.monitor`) and the
+synchronization agents (:mod:`repro.core.agents`) implement these
+interfaces; native executions install nothing and pay no cost.
+
+Directives double as cost carriers: ``cost`` is the number of simulated
+cycles of extra work (monitor context switches, buffer writes, cache
+coherence penalties) charged to the acting thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Proceed:
+    """Continue with the action (execute syscall locally / commit sync op)."""
+
+    cost: float = 0.0
+
+
+@dataclass
+class Wait:
+    """Park the thread on ``key``; on wake the interceptor is asked again.
+
+    ``cost`` models the work done before deciding to wait (scanning a
+    buffer window, a failed rendezvous check, ...).  Spin-style waiting can
+    be modelled by the cost model charging occupancy for parked threads.
+    """
+
+    key: tuple
+    cost: float = 0.0
+
+
+@dataclass
+class Result:
+    """Do not execute; deliver ``value`` to the guest (replicated I/O)."""
+
+    value: Any = None
+    cost: float = 0.0
+
+
+@dataclass
+class Kill:
+    """Terminate all variants (divergence detected).  ``report`` explains."""
+
+    report: Any = None
+    cost: float = 0.0
+
+
+class SyscallInterceptor:
+    """Monitor-side hook points.  The default implementation is native
+    execution: every syscall proceeds locally at zero extra cost."""
+
+    def before_syscall(self, vm, thread, name: str, args: tuple):
+        """Called when a thread is about to execute a syscall.
+
+        May be called several times for one syscall if it returns
+        :class:`Wait` (the thread re-asks after each wake).  Returns one of
+        Proceed / Wait / Result / Kill.
+        """
+        return Proceed()
+
+    def after_syscall(self, vm, thread, name: str, args: tuple, result):
+        """Called after a locally executed syscall returned ``result``.
+
+        Returns Proceed (possibly with cost) or Kill.  This is where the
+        master publishes replicated results and where execute-all results
+        are cross-compared.
+        """
+        return Proceed()
+
+    def on_thread_exit(self, vm, thread) -> None:
+        """Called when a guest thread finishes (for rendezvous cleanup)."""
+
+    def on_fault(self, vm, thread, exc) -> "Kill | None":
+        """Called when a guest thread faults; returning Kill aborts the run."""
+        return None
+
+    def finalize(self):
+        """Post-run audit: return a divergence report or None.
+
+        Called by the MVEE after the machine ran to completion; lets
+        monitors that never block the leader (the relaxed/VARAN design)
+        flag followers that silently fell short of the recorded log.
+        """
+        return None
+
+
+class SyncAgent:
+    """Synchronization-agent hook points (the paper's before/after pair).
+
+    Listing 3 of the paper wraps every identified sync op between
+    ``before_sync_op`` and ``after_sync_op`` calls; these are the run-time
+    entry points of the injected shared library.  The master's agent records
+    in ``after`` (the op order is its commit order); slave agents gate
+    execution in ``before``.
+    """
+
+    #: Name used in reports/tables.
+    name = "none"
+
+    def before_sync_op(self, vm, thread, op):
+        """Return Proceed (commit now) or Wait (order not yet reached)."""
+        return Proceed()
+
+    def after_sync_op(self, vm, thread, op, value) -> float:
+        """Called right after the op committed; returns extra cycle cost."""
+        return 0.0
+
+    def on_thread_descheduled(self, vm, thread) -> None:
+        """Called when a thread exits or parks in join.
+
+        Agents whose admission rule quantifies over a variant's runnable
+        threads (the DMT baseline) re-evaluate waiters here; the paper's
+        record/replay agents do not need it.
+        """
+

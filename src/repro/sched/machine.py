@@ -1,0 +1,660 @@
+"""The discrete-event simulator: a multi-core machine running variants.
+
+One :class:`Machine` simulates the paper's testbed — a fixed number of
+cores executing *all* threads of *all* variants side by side, exactly as
+ReMon runs every variant on the same physical machine.  Threads advance in
+steps: the machine resumes a thread's generator to learn its next event,
+charges the event's duration (base cost + carried monitor/agent overhead +
+jitter), and commits the event's semantic effect when the duration elapses.
+Commits are atomic and totally ordered by simulated time, which gives
+atomic instructions their semantics for free.
+
+Interposition points:
+
+* before/after every monitored syscall, the installed
+  :class:`~repro.sched.interceptor.SyscallInterceptor` (the MVEE monitor)
+  may park the thread, synthesize a result (replication), or kill the run
+  (divergence);
+* before/after every *instrumented* sync op, the variant's injected
+  :class:`~repro.sched.interceptor.SyncAgent` may park the thread (replay
+  ordering) and charges its buffer/contention costs.
+
+Scheduling nondeterminism comes from the seeded policy plus per-step
+duration jitter; the same seed always reproduces the same run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, DivergenceError, GuestFault
+from repro.kernel.kernel import Blocked
+from repro.kernel.syscalls import spec_for
+from repro.kernel.vtime import cycles_to_seconds
+from repro.perf.contention import ContentionTracker, coherence_cycles
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.sched.events import (
+    Annotate,
+    Compute,
+    Join,
+    Spawn,
+    SyncOp,
+    Syscall,
+)
+from repro.sched.interceptor import Kill, Proceed, Result, Wait
+from repro.sched.scheduler import RandomPolicy, SchedulingPolicy
+from repro.sched.thread import GuestThread, ThreadState
+from repro.sched.vm import TraceEntry, VariantVM
+
+#: Default simulation budget: generous, but finite so livelocks surface.
+DEFAULT_MAX_CYCLES = 5e12
+
+
+@dataclass
+class MachineReport:
+    """Summary of one finished simulation."""
+
+    cycles: float
+    per_variant: dict[int, dict] = field(default_factory=dict)
+    total_syscalls: int = 0
+    total_sync_ops: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return cycles_to_seconds(self.cycles)
+
+
+class Machine:
+    """Discrete-event simulation of cores, threads, and interposition."""
+
+    def __init__(self, cores: int = 16, seed: int = 0,
+                 costs: CostModel | None = None,
+                 policy: SchedulingPolicy | None = None,
+                 interceptor=None,
+                 max_cycles: float = DEFAULT_MAX_CYCLES):
+        self.cores = cores
+        self.costs = costs or DEFAULT_COSTS
+        self.policy = policy or RandomPolicy()
+        self.interceptor = interceptor
+        self.max_cycles = max_cycles
+        self.rng = random.Random(seed)
+        self.now = 0.0
+        self.vms: list[VariantVM] = []
+        self._heap: list = []
+        self._serial = 0
+        self._ready: list[GuestThread] = []
+        self._free_cores = cores
+        self._parked: dict[tuple, list[GuestThread]] = {}
+        self._external_waiters: dict[tuple, list] = {}
+        self._threads_by_id: dict[str, GuestThread] = {}
+        self._divergence = None
+        self._fault: GuestFault | None = None
+        #: Optional callable(vm, thread, label, payload) for Annotate events.
+        self.trace_hook = None
+        #: Application-level cache-line contention: every atomic access to
+        #: a shared word pays coherence, in native runs and MVEE runs
+        #: alike.  (Agent-added traffic is charged separately by the
+        #: agents themselves.)
+        self._line_contention = ContentionTracker()
+
+    # -- setup ----------------------------------------------------------------
+
+    def add_vm(self, vm: VariantVM) -> None:
+        """Register a variant and wire its kernel clock to simulated time."""
+        self.vms.append(vm)
+        vm.kernel.clock.bind(lambda: self.now)
+
+    def attach_network(self, network) -> None:
+        """Let network activity wake parked threads and external actors."""
+        network.bind_waker(self.wake_key)
+
+    def add_thread(self, vm: VariantVM, logical_id: str, gen) -> GuestThread:
+        """Create a guest thread in READY state."""
+        thread = GuestThread(vm, logical_id, gen)
+        vm.threads[logical_id] = thread
+        self._threads_by_id[thread.global_id] = thread
+        thread.ready_since = self.now
+        self._ready.append(thread)
+        return thread
+
+    # -- external actors (benchmark traffic drivers etc.) -----------------------
+
+    def call_at(self, time_cycles: float, fn) -> None:
+        """Run ``fn(machine)`` at the given simulated time."""
+        self._push(max(time_cycles, self.now), "external", fn)
+
+    def call_soon(self, fn) -> None:
+        """Run ``fn(machine)`` at the current simulated time."""
+        self._push(self.now, "external", fn)
+
+    def wait_key_external(self, key: tuple, fn) -> None:
+        """Run ``fn(machine)`` the next time ``key`` is woken."""
+        self._external_waiters.setdefault(key, []).append(fn)
+
+    # -- wakes ---------------------------------------------------------------------
+
+    def wake_key(self, key: tuple) -> None:
+        """Wake every thread and external actor parked on ``key``."""
+        threads = self._parked.pop(key, None)
+        if threads:
+            for thread in threads:
+                self._unpark(thread)
+        externals = self._external_waiters.pop(key, None)
+        if externals:
+            for fn in externals:
+                self._push(self.now, "external", fn)
+
+    def wake_thread(self, global_id: str) -> None:
+        """Wake one specific parked thread (futex wake path)."""
+        thread = self._threads_by_id.get(global_id)
+        if thread is None or thread.state is not ThreadState.BLOCKED:
+            return
+        key = thread.park_key
+        if key is not None and key in self._parked:
+            waiting = self._parked[key]
+            if thread in waiting:
+                waiting.remove(thread)
+                if not waiting:
+                    del self._parked[key]
+        self._unpark(thread)
+
+    def _unpark(self, thread: GuestThread) -> None:
+        if not thread.alive:
+            return
+        thread.state = ThreadState.READY
+        thread.stats.stall_cycles += self.now - thread.park_time
+        thread.park_key = None
+        thread.ready_since = self.now
+        self._ready.append(thread)
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self) -> MachineReport:
+        """Simulate until all threads finish.
+
+        Raises :class:`DivergenceError` if the monitor killed the run,
+        :class:`GuestFault` for unhandled native faults, and
+        :class:`DeadlockError` when no progress is possible.
+        """
+        self._dispatch()
+        self._raise_if_flagged()
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            if time > self.max_cycles:
+                raise DeadlockError(
+                    f"simulation budget exceeded at {time:.0f} cycles "
+                    "(possible livelock)",
+                    blocked=self._blocked_summary())
+            self.now = time
+            if kind == "step_done":
+                thread, started = payload
+                if thread.alive and thread.state is ThreadState.RUNNING:
+                    duration = self.now - started
+                    thread.stats.busy_cycles += duration
+                    thread.burst_cycles += duration
+                    self._commit_step(thread)
+            elif kind == "external":
+                payload(self)
+            elif kind == "timer_wake":
+                thread, key = payload
+                if (thread.state is ThreadState.BLOCKED
+                        and thread.park_key == key):
+                    waiting = self._parked.get(key)
+                    if waiting and thread in waiting:
+                        waiting.remove(thread)
+                        if not waiting:
+                            del self._parked[key]
+                    self._unpark(thread)
+            self._raise_if_flagged()
+            self._dispatch()
+            self._raise_if_flagged()
+        alive = [t for t in self._threads_by_id.values() if t.alive]
+        if alive:
+            raise DeadlockError(
+                f"{len(alive)} thread(s) blocked with no pending events",
+                blocked=self._blocked_summary())
+        return self._report()
+
+    def _raise_if_flagged(self) -> None:
+        if self._divergence is not None:
+            raise DivergenceError(self._divergence)
+        if self._fault is not None:
+            raise self._fault
+
+    def _blocked_summary(self) -> list[str]:
+        return [f"{t.global_id} waiting on {t.park_key}"
+                for t in self._threads_by_id.values()
+                if t.state is ThreadState.BLOCKED]
+
+    def _report(self) -> MachineReport:
+        report = MachineReport(cycles=self.now)
+        for vm in self.vms:
+            busy = sum(t.stats.busy_cycles for t in vm.threads.values())
+            stall = sum(t.stats.stall_cycles for t in vm.threads.values())
+            queue = sum(t.stats.queue_cycles for t in vm.threads.values())
+            vm.total_busy_cycles = busy
+            vm.total_stall_cycles = stall
+            report.per_variant[vm.index] = {
+                "busy_cycles": busy,
+                "stall_cycles": stall,
+                "queue_cycles": queue,
+                "syscalls": vm.total_syscalls,
+                "sync_ops": vm.total_sync_ops,
+            }
+            report.total_syscalls += vm.total_syscalls
+            report.total_sync_ops += vm.total_sync_ops
+        return report
+
+    # -- scheduling ------------------------------------------------------------------------
+
+    def _push(self, time: float, kind: str, payload) -> None:
+        self._serial += 1
+        heapq.heappush(self._heap, (time, self._serial, kind, payload))
+
+    def _dispatch(self) -> None:
+        while self._free_cores > 0 and self._ready:
+            index = self.policy.pick(self._ready, self.rng)
+            thread = self._ready.pop(index)
+            if not thread.alive:
+                continue
+            thread.stats.queue_cycles += self.now - thread.ready_since
+            thread.state = ThreadState.RUNNING
+            thread.burst_cycles = 0.0
+            thread.burst_quantum = (self.costs.preempt_quantum
+                                    * self.policy.quantum_scale(self.rng))
+            self._free_cores -= 1
+            if thread.park_resume is not None:
+                # Mid-event resume: charge the carried cost, do not touch
+                # the generator.
+                duration = thread.take_carried_cost() + 1.0
+                self._push(self.now + duration, "step_done",
+                           (thread, self.now))
+            else:
+                self._begin_step(thread)
+
+    def _release_core(self) -> None:
+        self._free_cores += 1
+
+    def _park(self, thread: GuestThread, key: tuple, resume: tuple) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.park_key = key
+        thread.park_resume = resume
+        thread.park_time = self.now
+        self._parked.setdefault(key, []).append(thread)
+        self._release_core()
+
+    # -- stepping ----------------------------------------------------------------------------
+
+    def _begin_step(self, thread: GuestThread) -> None:
+        """Resume the generator to learn the next event; schedule commit."""
+        try:
+            event = thread.gen.send(thread.inbox)
+        except StopIteration as stop:
+            self._finish_thread(thread, stop.value)
+            return
+        except GuestFault as fault:
+            self._handle_fault(thread, fault)
+            return
+        thread.inbox = None
+        thread.pending_event = event
+        duration = self._base_duration(thread, event)
+        duration += thread.take_carried_cost()
+        jitter = self.costs.compute_jitter
+        if jitter:
+            duration *= 1.0 + self.rng.uniform(-jitter, jitter)
+        self._push(self.now + max(duration, 1.0), "step_done",
+                   (thread, self.now))
+
+    def _base_duration(self, thread: GuestThread, event) -> float:
+        costs = self.costs
+        # Deterministic logical progress (no jitter): what a performance
+        # counter would report, scaled by diversity's instruction_factor.
+        factor = thread.vm.instruction_factor_for(thread.logical_id)
+        if isinstance(event, Compute):
+            thread.stats.logical_instructions += event.cycles * factor
+        elif isinstance(event, SyncOp):
+            thread.stats.logical_instructions += 1.0 * factor
+        else:
+            thread.stats.logical_instructions += 10.0 * factor
+        if isinstance(event, Compute):
+            thread.stats.compute_events += 1
+            return max(event.cycles * thread.vm.compute_scale, 1.0)
+        if isinstance(event, SyncOp):
+            duration = costs.sync_op_exec
+            vm = thread.vm
+            # The application's own contention on the sync variable's
+            # cache line (per variant; granule-level like real lines).
+            sharers = self._line_contention.access(
+                (vm.index, event.addr >> 6), thread.global_id)
+            duration += coherence_cycles(costs, sharers)
+            if vm.agent is not None and vm.is_instrumented(event.site):
+                duration += costs.agent_wrapper
+            return duration
+        if isinstance(event, Syscall):
+            return costs.syscall_base
+        if isinstance(event, Spawn):
+            return costs.syscall_base + costs.clone_cost
+        if isinstance(event, Join):
+            return costs.syscall_base
+        if isinstance(event, Annotate):
+            return 1.0
+        raise TypeError(f"guest yielded a non-event: {event!r}")
+
+    def _commit_step(self, thread: GuestThread) -> None:
+        resume = thread.park_resume
+        if resume is not None:
+            thread.park_resume = None
+            kind = resume[0]
+            if kind == "recheck_syncop":
+                self._commit_syncop(thread, resume[1])
+            elif kind == "reask_syscall":
+                self._commit_syscall(thread, resume[1])
+            elif kind == "retry_kernel":
+                self._execute_kernel(thread, resume[1])
+            elif kind == "deliver":
+                thread.inbox = resume[1]
+                self._after_step(thread)
+            elif kind == "deliver_syscall":
+                self._finish_syscall(thread, resume[1], resume[2])
+            elif kind == "respawn":
+                self._commit_spawn(thread, resume[1], resume[2])
+            elif kind == "rejoin":
+                self._commit_join(thread, resume[1])
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unknown resume kind {kind}")
+            return
+        event = thread.pending_event
+        if isinstance(event, Compute):
+            thread.inbox = None
+            self._after_step(thread)
+        elif isinstance(event, SyncOp):
+            self._commit_syncop(thread, event)
+        elif isinstance(event, Syscall):
+            self._commit_syscall(thread, event)
+        elif isinstance(event, Spawn):
+            self._commit_spawn(thread, event, None)
+        elif isinstance(event, Join):
+            self._commit_join(thread, event)
+        elif isinstance(event, Annotate):
+            if self.trace_hook is not None:
+                self.trace_hook(thread.vm, thread, event.label, event.payload)
+            thread.inbox = None
+            self._after_step(thread)
+
+    def _after_step(self, thread: GuestThread, force_yield: bool = False) -> None:
+        """Thread finished an event; keep the core or yield it."""
+        if not thread.alive:
+            return
+        if self._ready and (force_yield
+                            or thread.burst_cycles >= thread.burst_quantum):
+            thread.state = ThreadState.READY
+            thread.ready_since = self.now
+            self._ready.append(thread)
+            self._release_core()
+        else:
+            self._begin_step(thread)
+
+    # -- sync ops ---------------------------------------------------------------------------------
+
+    def _commit_syncop(self, thread: GuestThread, event: SyncOp) -> None:
+        vm = thread.vm
+        instrumented = (vm.agent is not None
+                        and vm.is_instrumented(event.site))
+        if instrumented:
+            outcome = vm.agent.before_sync_op(vm, thread, event)
+            if isinstance(outcome, Wait):
+                thread.carry_cost(outcome.cost
+                                  + self.costs.ordering_wait_recheck)
+                self._park(thread, outcome.key, ("recheck_syncop", event))
+                return
+            thread.carry_cost(outcome.cost)
+        value = self._apply_syncop(vm, event)
+        thread.stats.sync_ops += 1
+        vm.total_sync_ops += 1
+        if vm.record_sync_trace:
+            vm.sync_trace.append(TraceEntry(
+                thread=thread.logical_id, kind="syncop",
+                name=f"{event.op}@{event.site}", detail=(event.addr,),
+                result=value, time=self.now))
+        if instrumented:
+            thread.carry_cost(vm.agent.after_sync_op(vm, thread, event,
+                                                     value))
+        thread.inbox = value
+        self._after_step(thread)
+
+    @staticmethod
+    def _apply_syncop(vm: VariantVM, event: SyncOp):
+        """Atomically apply the op to variant memory at commit time."""
+        space = vm.kernel.addr_space
+        op = event.op
+        if op == "cas":
+            expected, new = event.args
+            old = space.load(event.addr)
+            if old == expected:
+                space.store(event.addr, new)
+            return old
+        if op == "xchg":
+            (new,) = event.args
+            old = space.load(event.addr)
+            space.store(event.addr, new)
+            return old
+        if op == "fetch_add":
+            (delta,) = event.args
+            old = space.load(event.addr)
+            space.store(event.addr, old + delta)
+            return old
+        if op == "load":
+            return space.load(event.addr)
+        if op == "store":
+            (value,) = event.args
+            space.store(event.addr, value)
+            return None
+        raise TypeError(f"unknown sync op {op!r}")
+
+    # -- syscalls -----------------------------------------------------------------------------------
+
+    def _commit_syscall(self, thread: GuestThread, event: Syscall) -> None:
+        vm = thread.vm
+        spec = spec_for(event.name)
+        if self.interceptor is not None and not spec.unmonitored:
+            directive = self.interceptor.before_syscall(
+                vm, thread, event.name, event.args)
+            if isinstance(directive, Wait):
+                thread.carry_cost(directive.cost)
+                self._park(thread, directive.key, ("reask_syscall", event))
+                return
+            if isinstance(directive, Result):
+                thread.carry_cost(directive.cost)
+                self._record_syscall(vm, thread, event, directive.value)
+                thread.inbox = directive.value
+                self._after_step(thread)
+                return
+            if isinstance(directive, Kill):
+                self._kill_all(directive.report)
+                return
+            thread.carry_cost(directive.cost)
+        self._execute_kernel(thread, event)
+
+    def _execute_kernel(self, thread: GuestThread, event: Syscall) -> None:
+        vm = thread.vm
+        try:
+            outcome = vm.kernel.execute(event.name, event.args,
+                                        thread.global_id)
+        except GuestFault as fault:
+            self._handle_fault(thread, fault)
+            return
+        self._drain_kernel_wakeups(vm)
+        if isinstance(outcome, Blocked):
+            if outcome.timeout_cycles is not None:
+                self._push(self.now + outcome.timeout_cycles, "timer_wake",
+                           (thread, outcome.wait_key))
+            resume = (("retry_kernel", event) if outcome.retry
+                      else ("deliver_syscall", event, outcome.wake_result))
+            self._park(thread, outcome.wait_key, resume)
+            return
+        if (isinstance(outcome, tuple) and outcome
+                and outcome[0] == "exit_group"):
+            self._exit_group(vm, outcome[1])
+            return
+        self._finish_syscall(thread, event, outcome)
+
+    def _finish_syscall(self, thread: GuestThread, event: Syscall,
+                        outcome) -> None:
+        """Record, run the after-hook, and deliver a syscall result."""
+        vm = thread.vm
+        self._record_syscall(vm, thread, event, outcome)
+        spec = spec_for(event.name)
+        if self.interceptor is not None and not spec.unmonitored:
+            after = self.interceptor.after_syscall(
+                vm, thread, event.name, event.args, outcome)
+            if isinstance(after, Kill):
+                self._kill_all(after.report)
+                return
+            thread.carry_cost(after.cost)
+        thread.inbox = outcome
+        self._after_step(thread,
+                         force_yield=(event.name == "sched_yield"))
+
+    def _drain_kernel_wakeups(self, vm: VariantVM) -> None:
+        wakeups, vm.kernel.pending_wakeups = vm.kernel.pending_wakeups, []
+        for kind, target in wakeups:
+            if kind == "key":
+                self.wake_key(target)
+            else:
+                self.wake_thread(target)
+
+    def _record_syscall(self, vm: VariantVM, thread: GuestThread,
+                        event: Syscall, result) -> None:
+        spec = spec_for(event.name)
+        if spec.unmonitored:
+            # sched_yield & co: scheduling noise, not Table 2 traffic.
+            return
+        thread.stats.syscalls += 1
+        vm.total_syscalls += 1
+        if vm.record_trace:
+            detail = tuple(
+                "<addr>" if index in spec.address_args else arg
+                for index, arg in enumerate(event.args))
+            shown = "<addr>" if spec.address_result else result
+            vm.trace.append(TraceEntry(
+                thread=thread.logical_id, kind="syscall", name=event.name,
+                detail=detail, result=shown, time=self.now))
+
+    # -- spawn / join / exit -----------------------------------------------------------------------------
+
+    def _commit_spawn(self, thread: GuestThread, event: Spawn,
+                      child_id: str | None) -> None:
+        vm = thread.vm
+        if child_id is None:
+            child_id = (event.name if event.name is not None
+                        else thread.next_child_id())
+        if self.interceptor is not None:
+            directive = self.interceptor.before_syscall(
+                vm, thread, "clone", (child_id,))
+            if isinstance(directive, Wait):
+                thread.carry_cost(directive.cost)
+                self._park(thread, directive.key,
+                           ("respawn", event, child_id))
+                return
+            if isinstance(directive, Kill):
+                self._kill_all(directive.report)
+                return
+            thread.carry_cost(getattr(directive, "cost", 0.0))
+        gen = event.fn(*event.args)
+        self.add_thread(vm, child_id, gen)
+        self._record_syscall(vm, thread, Syscall("clone", (child_id,)),
+                             child_id)
+        if self.interceptor is not None:
+            after = self.interceptor.after_syscall(
+                vm, thread, "clone", (child_id,), child_id)
+            if isinstance(after, Kill):
+                self._kill_all(after.report)
+                return
+            thread.carry_cost(after.cost)
+        thread.inbox = child_id
+        self._after_step(thread)
+
+    def _commit_join(self, thread: GuestThread, event: Join) -> None:
+        vm = thread.vm
+        target = vm.threads.get(event.tid)
+        if target is None:
+            self._handle_fault(
+                thread, GuestFault(f"join on unknown thread {event.tid!r}",
+                                   variant=vm.index,
+                                   thread=thread.logical_id))
+            return
+        if target.state is ThreadState.DONE:
+            thread.inbox = target.result
+            self._after_step(thread)
+            return
+        self._park(thread, ("join", vm.index, event.tid), ("rejoin", event))
+        if vm.agent is not None:
+            vm.agent.on_thread_descheduled(vm, thread)
+
+    def _finish_thread(self, thread: GuestThread, value) -> None:
+        thread.result = value
+        thread.state = ThreadState.DONE
+        thread.pending_event = None
+        if self.interceptor is not None:
+            self.interceptor.on_thread_exit(thread.vm, thread)
+        if thread.vm.agent is not None:
+            thread.vm.agent.on_thread_descheduled(thread.vm, thread)
+        self._release_core()
+        self.wake_key(("join", thread.vm.index, thread.logical_id))
+
+    def _exit_group(self, vm: VariantVM, code: int) -> None:
+        """Terminate every thread of one variant (exit_group)."""
+        for other in vm.threads.values():
+            if other.alive:
+                if other.state is ThreadState.RUNNING:
+                    self._release_core()
+                elif other.state is ThreadState.BLOCKED:
+                    self._remove_parked(other)
+                elif other.state is ThreadState.READY:
+                    if other in self._ready:
+                        self._ready.remove(other)
+                other.state = ThreadState.DONE
+                other.result = code
+                self.wake_key(("join", vm.index, other.logical_id))
+
+    def _remove_parked(self, thread: GuestThread) -> None:
+        key = thread.park_key
+        if key is not None and key in self._parked:
+            waiting = self._parked[key]
+            if thread in waiting:
+                waiting.remove(thread)
+                if not waiting:
+                    del self._parked[key]
+        thread.park_key = None
+
+    # -- faults and kills --------------------------------------------------------------------------------------
+
+    def _handle_fault(self, thread: GuestThread, fault: GuestFault) -> None:
+        fault.variant = thread.vm.index
+        fault.thread = thread.logical_id
+        thread.state = ThreadState.KILLED
+        self._release_core()
+        if self.interceptor is not None:
+            directive = self.interceptor.on_fault(thread.vm, thread, fault)
+            if isinstance(directive, Kill):
+                self._kill_all(directive.report)
+                return
+            # Monitor tolerated the fault: the thread dies alone.
+            self.wake_key(("join", thread.vm.index, thread.logical_id))
+            return
+        self._fault = fault
+
+    def _kill_all(self, report) -> None:
+        """Divergence: terminate every variant (the MVEE's response)."""
+        self._divergence = report
+        for vm in self.vms:
+            vm.killed = True
+            for thread in vm.threads.values():
+                if thread.alive:
+                    thread.state = ThreadState.KILLED
+        self._heap.clear()
+        self._ready.clear()
+        self._parked.clear()
+        self._free_cores = self.cores

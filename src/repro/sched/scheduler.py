@@ -1,0 +1,47 @@
+"""Scheduling policies: who gets a free core next.
+
+The policy is the simulation's source of scheduling nondeterminism — the
+exact phenomenon that causes "benign divergence" in real MVEEs (Section 1:
+"if the thread schedules between two variants diverge, so will their
+externally visible behavior").  A seeded :class:`RandomPolicy` makes runs
+reproducible while still interleaving the variants' threads differently
+from one another; :class:`RoundRobinPolicy` exists for tests that need a
+fully predictable order.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class SchedulingPolicy:
+    """Interface: pick the index of the next thread to run."""
+
+    def pick(self, ready: list, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def quantum_scale(self, rng: random.Random) -> float:
+        """Multiplier applied to the preemption quantum for one grant.
+
+        Randomizing the quantum models timer-interrupt phase differences
+        between variants — a second, independent source of schedule
+        nondeterminism.
+        """
+        return 1.0
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random choice among ready threads (default)."""
+
+    def pick(self, ready: list, rng: random.Random) -> int:
+        return rng.randrange(len(ready))
+
+    def quantum_scale(self, rng: random.Random) -> float:
+        return rng.uniform(0.5, 1.5)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """FIFO among ready threads; fully deterministic given arrival order."""
+
+    def pick(self, ready: list, rng: random.Random) -> int:
+        return 0

@@ -1,0 +1,163 @@
+"""Attack demonstrations: exploit detection and covert channels.
+
+Three artifacts from the paper's security analysis:
+
+* :func:`exploit_payload` — the CVE-2013-2028-style request for the
+  vulnerable nginx build, "dynamically tailored to a specific running
+  victim variant" (its diversified code layout).  Against a single
+  (native) server the exploit reaches ``execve``; under an MVEE with
+  ASLR + DCL the same payload faults in every other variant and the
+  monitor kills the set before any shell spawns.
+
+* :class:`TimingCovertChannel` — the Section 5.4 PoC abusing
+  *replicated* ``gettimeofday`` results.  The master encodes a secret
+  (its variant-private ASLR bits) in the time deltas between calls; all
+  variants receive the master's timestamps, so every variant can decode
+  the master's secret and emit it *identically* — no divergence, and the
+  leak passes the monitor.
+
+* :class:`TrylockCovertChannel` — the second PoC abusing the replication
+  of synchronization primitives: a sender thread holds a mutex for a
+  data-dependent time; a receiver thread's ``pthread_mutex_trylock``
+  outcome is a sync-op result, which the agents faithfully replicate —
+  so the master's secret-dependent success/failure pattern reappears in
+  every slave.
+"""
+
+from __future__ import annotations
+
+from repro.guest.program import GuestContext, GuestProgram
+from repro.guest.sync import Barrier, Mutex
+from repro.kernel.vmem import LayoutBases
+
+
+def exploit_payload(target_layout: LayoutBases) -> bytes:
+    """Craft the attack request against a variant with ``target_layout``.
+
+    The payload carries the absolute address of a "gadget" inside the
+    target's code region — what a real attacker derives from an info
+    leak against the victim.
+    """
+    gadget = target_layout.code_base + 0x1234
+    return f"EXPLOIT {gadget:#x} chunked-overflow".encode()
+
+
+#: Number of secret bits transmitted by the covert-channel PoCs.
+SECRET_BITS = 8
+
+#: Delay (cycles) encoding a 1-bit; comfortably above jitter noise.
+BIT_DELAY_CYCLES = 200_000.0
+
+
+def _aslr_secret(ctx: GuestContext) -> int:
+    """A variant-private value: page bits of a static's address."""
+    return (ctx.static_addr("beacon") >> 12) & 0xFF
+
+
+class TimingCovertChannel(GuestProgram):
+    """Replicated-gettimeofday covert channel — the full §5.4 exchange.
+
+    Every variant measures the delta between two ``gettimeofday`` calls
+    around a possibly-delayed computation.  The deltas are coupled
+    across variants (slaves receive the master's replicated timestamps;
+    the master's second call waits at the lockstep rendezvous), so a
+    data-dependent delay in *any* variant is observable in *all*.
+
+    As the paper describes, the variants "probabilistically decide
+    whether a variant is the master or slave by having each variant hash
+    a pointer value, which will differ across the variants" — here, the
+    parity of the variant-private ASLR bits picks which send slots a
+    variant uses.  After ``2 * SECRET_BITS`` slots, *every* variant holds
+    the randomized secrets of *both* roles and can print them without
+    causing divergence (all variants computed identical values).
+    """
+
+    name = "timing_covert_channel"
+    static_vars = ("beacon",)
+
+    def __init__(self, clock: str = "gettimeofday"):
+        """``clock`` selects the replicated time source: the
+        ``gettimeofday`` syscall or the ``rdtsc`` instruction — the paper
+        names both as replicated, channel-forming values."""
+        if clock not in ("gettimeofday", "rdtsc"):
+            raise ValueError(f"unsupported clock {clock!r}")
+        self.clock = clock
+
+    def _read_clock(self, ctx: GuestContext):
+        if self.clock == "rdtsc":
+            ticks = yield from ctx.syscall("rdtsc")
+            return ticks / 1_000.0  # cycles -> microsecond-ish units
+        seconds, microseconds = yield from ctx.gettimeofday()
+        return seconds * 1_000_000 + microseconds
+
+    def main(self, ctx: GuestContext):
+        secret = _aslr_secret(ctx)
+        my_role = secret & 1  # the probabilistic self-awareness hash
+        streams = {0: 0, 1: 0}
+        for slot in range(2 * SECRET_BITS):
+            sending_role = 1 if slot < SECRET_BITS else 0
+            bit_index = slot % SECRET_BITS
+            before = yield from self._read_clock(ctx)
+            if my_role == sending_role and (secret >> bit_index) & 1:
+                yield from ctx.compute(BIT_DELAY_CYCLES)
+            else:
+                yield from ctx.compute(1_000.0)
+            after = yield from self._read_clock(ctx)
+            delta_us = after - before
+            if delta_us > BIT_DELAY_CYCLES / 1_000.0 / 2.0:
+                streams[sending_role] |= 1 << bit_index
+        # Identical in every variant: both roles' randomized bits leave
+        # the system through ordinary, divergence-free output.
+        yield from ctx.printf(
+            f"leak_role1={streams[1]:#04x} leak_role0={streams[0]:#04x}\n")
+        return {"my_secret": secret, "my_role": my_role,
+                "streams": dict(streams)}
+
+
+class TrylockCovertChannel(GuestProgram):
+    """Mutex-trylock covert channel (two threads, Section 5.4).
+
+    Thread 1 (sender) acquires the mutex and holds it for a
+    secret-dependent time; thread 2 (receiver) attempts a trylock at a
+    fixed offset into each round.  The trylock's CAS result is replayed
+    by the synchronization agents, so slaves observe the master's
+    pattern.  A barrier separates rounds.
+    """
+
+    name = "trylock_covert_channel"
+    static_vars = ("beacon", "mutex", "bar_count", "bar_gen")
+
+    def main(self, ctx: GuestContext):
+        mutex = Mutex(ctx.static_addr("mutex"))
+        barrier = Barrier(ctx.static_addr("bar_count"),
+                          ctx.static_addr("bar_gen"), parties=2)
+        secret = _aslr_secret(ctx)
+        sender = yield from ctx.spawn(self.sender, mutex, barrier, secret)
+        receiver = yield from ctx.spawn(self.receiver, mutex, barrier)
+        yield from ctx.join(sender)
+        decoded = yield from ctx.join(receiver)
+        yield from ctx.printf(f"leaked={decoded:#04x}\n")
+        return {"my_secret": secret, "decoded": decoded}
+
+    def sender(self, ctx: GuestContext, mutex, barrier, secret):
+        for bit_index in range(SECRET_BITS):
+            yield from mutex.acquire(ctx)
+            yield from barrier.wait(ctx)   # round start: lock is held
+            if (secret >> bit_index) & 1:
+                yield from ctx.compute(BIT_DELAY_CYCLES)  # hold long
+            yield from mutex.release(ctx)
+            yield from barrier.wait(ctx)   # round end
+        return 0
+
+    def receiver(self, ctx: GuestContext, mutex, barrier):
+        decoded = 0
+        for bit_index in range(SECRET_BITS):
+            yield from barrier.wait(ctx)   # round start: sender holds
+            yield from ctx.compute(BIT_DELAY_CYCLES / 4.0)
+            got_it = yield from mutex.try_acquire(ctx)
+            if got_it:
+                yield from mutex.release(ctx)
+            else:
+                decoded |= 1 << bit_index  # long hold = bit set
+            yield from barrier.wait(ctx)   # round end
+        return decoded

@@ -1,0 +1,377 @@
+"""Synthetic benchmark twins generated from WorkloadSpecs.
+
+One :class:`SyntheticWorkload` reproduces, for a simulated slice of its
+original benchmark: the thread topology, the sync-op rate (through lock
+round-trips on a contention-profiled lock population), the syscall rate
+(through file I/O and occasional memory-mapping calls), and the
+compute-to-synchronization granularity.  All randomness is seeded by the
+spec alone, so every variant of an MVEE run executes an identical program
+— the only nondeterminism is the scheduler's, exactly as in the paper's
+threat model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.guest.program import GuestContext, GuestProgram
+from repro.guest.gomp import parallel_for
+from repro.guest.sync import Barrier, CondVar, Mutex, SpinLock
+from repro.workloads.spec import SlicePlan, WorkloadSpec, plan_slice
+
+#: Effective sync ops per lock round trip (CAS + store, plus the average
+#: contended-retry traffic observed in calibration runs).
+OPS_PER_ACQUIRE = 2.1
+
+#: Minimum worker units per slice (near-idle specs still do *something*;
+#: units beyond the op budget are pure compute).
+MIN_UNITS = 4
+
+#: Share of lock pool treated as "hot" (globally shared).
+HOT_FRACTION = 0.25
+
+
+class BoundedQueue:
+    """Guest-level bounded queue (mutex + condvars) for pipelines."""
+
+    def __init__(self, ctx: GuestContext, name: str, capacity: int = 8):
+        self.capacity = capacity
+        self.mutex = Mutex(ctx.alloc_static(f"{name}.mutex"))
+        self.not_full = CondVar(ctx.alloc_static(f"{name}.not_full"))
+        self.not_empty = CondVar(ctx.alloc_static(f"{name}.not_empty"))
+        self.count_addr = ctx.alloc_static(f"{name}.count")
+        self.head_addr = ctx.alloc_static(f"{name}.head")
+        self.slots = [ctx.alloc_static(f"{name}.slot{i}")
+                      for i in range(capacity)]
+
+    def push(self, ctx: GuestContext, value: int):
+        yield from self.mutex.acquire(ctx)
+        while ctx.mem_load(self.count_addr) >= self.capacity:
+            yield from self.not_full.wait(ctx, self.mutex)
+        head = ctx.mem_load(self.head_addr)
+        count = ctx.mem_load(self.count_addr)
+        ctx.mem_store(self.slots[(head + count) % self.capacity], value)
+        ctx.mem_store(self.count_addr, count + 1)
+        yield from self.mutex.release(ctx)
+        yield from self.not_empty.signal(ctx)
+
+    def pop(self, ctx: GuestContext):
+        yield from self.mutex.acquire(ctx)
+        while ctx.mem_load(self.count_addr) == 0:
+            yield from self.not_empty.wait(ctx, self.mutex)
+        head = ctx.mem_load(self.head_addr)
+        value = ctx.mem_load(self.slots[head % self.capacity])
+        ctx.mem_store(self.head_addr, head + 1)
+        ctx.mem_store(self.count_addr,
+                      ctx.mem_load(self.count_addr) - 1)
+        yield from self.mutex.release(ctx)
+        yield from self.not_full.signal(ctx)
+        return value
+
+
+class SyntheticWorkload(GuestProgram):
+    """A benchmark twin; see the module docstring."""
+
+    def __init__(self, spec: WorkloadSpec, scale: float = 1.0,
+                 plan: SlicePlan | None = None):
+        self.spec = spec
+        self.scale = scale
+        self.plan = plan or plan_slice(spec, scale=scale)
+        self.name = spec.name
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _allocate_locks(self, ctx: GuestContext) -> list[SpinLock]:
+        locks = []
+        for index in range(self.spec.n_locks):
+            lock = SpinLock(ctx.alloc_static(f"lock{index}"))
+            ctx.alloc_static(f"data{index}")
+            locks.append(lock)
+        return locks
+
+    def _lock_index(self, rng: random.Random, worker: int) -> int:
+        """Pick a lock: hot (shared) with probability ``contention``."""
+        n_locks = self.spec.n_locks
+        n_hot = max(1, int(n_locks * HOT_FRACTION))
+        if rng.random() < self.spec.contention or n_locks <= n_hot:
+            return rng.randrange(n_hot)
+        span = max(1, (n_locks - n_hot) // max(self.spec.workers, 1))
+        base = n_hot + (worker * span) % max(n_locks - n_hot, 1)
+        return base + rng.randrange(span) if span > 1 else base
+
+    def _locked_update(self, ctx, locks, index):
+        """One lock round trip protecting a data update."""
+        lock = locks[index]
+        data_addr = ctx.static_addr(f"data{index}")
+        yield from lock.acquire(ctx)
+        value = ctx.mem_load(data_addr)
+        yield from ctx.compute(
+            min(4_000.0, max(60.0, self.plan.gap_cycles * 0.15)))
+        ctx.mem_store(data_addr, value + 1)
+        yield from lock.release(ctx)
+        return value
+
+    def _io_action(self, ctx, rng, fd_out, fd_in):
+        kind = rng.random()
+        if kind < 0.70:
+            yield from ctx.write(fd_out, b"x" * 64)
+        elif kind < 0.92:
+            yield from ctx.read(fd_in, 64)
+        else:
+            addr = yield from ctx.syscall("mmap", 4096)
+            yield from ctx.syscall("munmap", addr)
+
+    def _digest(self, ctx, observations=()) -> int:
+        """Slice result: counter totals plus the workers' observations.
+
+        The observation component is a pure function of the global
+        increment interleaving, so the digest write at the end of main
+        is exactly the kind of schedule-dependent output through which
+        benign divergence becomes externally visible (Section 1).
+        """
+        totals = sum(ctx.mem_load(ctx.static_addr(f"data{i}"))
+                     for i in range(self.spec.n_locks))
+        witness = hash(tuple(observations)) & 0xFFFF
+        return (totals + witness) & 0xFFFFFF
+
+    # -- entry point ------------------------------------------------------------
+
+    def main(self, ctx: GuestContext):
+        ctx.vm.kernel.disk.create(f"/input/{self.spec.name}.dat").write_at(
+            0, b"i" * 4096)
+        if self.spec.topology == "pipeline":
+            result = yield from self._main_pipeline(ctx)
+        elif self.spec.topology == "phases":
+            result = yield from self._main_phases(ctx)
+        elif self.spec.topology == "gomp":
+            result = yield from self._main_gomp(ctx)
+        else:
+            result = yield from self._main_data_parallel(ctx)
+        yield from ctx.printf(f"{self.spec.name}: digest={result}\n")
+        return result
+
+    # -- data parallel -------------------------------------------------------------
+
+    def _worker_budget(self, threads: int) -> tuple[int, int, int, float]:
+        """(acquires, syscalls, units, gap) per worker thread."""
+        plan = self.plan
+        sync_ops = plan.sync_ops_total if self.spec.sync_rate_k else 0
+        acquires = int(sync_ops / OPS_PER_ACQUIRE / threads)
+        # Near-idle specs (swaptions does 10 syscalls *per second*) must
+        # not be given artificial I/O; zero is a valid budget.
+        syscalls = plan.syscalls_total // threads
+        if plan.syscalls_total and syscalls == 0 and threads <= 4:
+            syscalls = 1
+        units = max(MIN_UNITS, acquires + syscalls)
+        gap = plan.duration_cycles / units
+        return acquires, syscalls, units, min(gap, 4_000_000.0)
+
+    def _main_data_parallel(self, ctx: GuestContext):
+        locks = self._allocate_locks(ctx)
+        spec = self.spec
+        acquires, syscalls, units, gap = self._worker_budget(spec.workers)
+        tids = yield from ctx.spawn_all(
+            self._data_worker,
+            [(locks, i, acquires, syscalls, units, gap)
+             for i in range(spec.workers)])
+        observations = yield from ctx.join_all(tids)
+        return self._digest(ctx, observations)
+
+    def _data_worker(self, ctx, locks, worker, acquires, syscalls, units,
+                     gap):
+        rng = random.Random(f"{self.spec.name}:{worker}")
+        fd_in = fd_out = None
+        if syscalls:
+            fd_in = yield from ctx.open(f"/input/{self.spec.name}.dat")
+            fd_out = yield from ctx.open(
+                f"/out/{self.spec.name}.w{worker}", "w")
+        # Interleave the op budget across the units; excess units are
+        # pure compute (the near-idle benchmarks' character).
+        sys_every = units / syscalls if syscalls else 0
+        acq_every = units / acquires if acquires else 0
+        witness = 0  # running hash over every observed value: a full
+        sys_done = acq_done = 0   # record of this thread's interleaving
+        for unit in range(units):
+            yield from ctx.compute(gap)
+            if syscalls and unit >= sys_every * (sys_done + 1) - 1:
+                yield from self._io_action(ctx, rng, fd_out, fd_in)
+                sys_done += 1
+            elif acquires and unit >= acq_every * (acq_done + 1) - 1:
+                index = self._lock_index(rng, worker)
+                observed = yield from self._locked_update(ctx, locks,
+                                                          index)
+                witness = hash((witness, index, observed))
+                acq_done += 1
+        # Drain any leftover acquires (rounding) so the budget is met.
+        for _ in range(acquires - acq_done):
+            index = self._lock_index(rng, worker)
+            observed = yield from self._locked_update(ctx, locks, index)
+            witness = hash((witness, index, observed))
+        if syscalls:
+            yield from ctx.close(fd_out)
+            yield from ctx.close(fd_in)
+        return witness & 0xFFFFFFFF
+
+    # -- barrier phases ---------------------------------------------------------------
+
+    def _main_phases(self, ctx: GuestContext, phases: int = 6):
+        locks = self._allocate_locks(ctx)
+        spec = self.spec
+        barrier = Barrier(ctx.alloc_static("phase.count"),
+                          ctx.alloc_static("phase.gen"), spec.workers)
+        acquires, syscalls, units, gap = self._worker_budget(spec.workers)
+        # Scale the phase count to the sync budget so near-idle specs
+        # (radix) do not spend their entire budget on barrier traffic.
+        per_barrier_ops = spec.workers * 5
+        phases = max(1, min(phases,
+                            self.plan.sync_ops_total
+                            // max(per_barrier_ops, 1)))
+        # Barrier traffic (~5 ops per wait) consumes sync budget.
+        acquires = max(0, acquires - phases * 2)
+        tids = yield from ctx.spawn_all(
+            self._phase_worker,
+            [(locks, barrier, i, phases, acquires, syscalls, units, gap)
+             for i in range(spec.workers)])
+        observations = yield from ctx.join_all(tids)
+        return self._digest(ctx, observations)
+
+    def _phase_worker(self, ctx, locks, barrier, worker, phases,
+                      acquires, syscalls, units, gap):
+        rng = random.Random(f"{self.spec.name}:{worker}")
+        observed = 0
+        fd_in = fd_out = None
+        if syscalls:
+            fd_in = yield from ctx.open(f"/input/{self.spec.name}.dat")
+            fd_out = yield from ctx.open(
+                f"/out/{self.spec.name}.w{worker}", "w")
+        units_per_phase = max(1, units // phases)
+        acq_per_phase = acquires // phases
+        sys_per_phase = max(1, syscalls // phases)
+        for phase in range(phases):
+            acq_done = sys_done = 0
+            for unit in range(units_per_phase):
+                yield from ctx.compute(gap)
+                if (syscalls and sys_done < sys_per_phase
+                        and unit * sys_per_phase
+                        >= sys_done * units_per_phase):
+                    yield from self._io_action(ctx, rng, fd_out, fd_in)
+                    sys_done += 1
+                elif acq_done < acq_per_phase:
+                    index = self._lock_index(rng, worker)
+                    value = yield from self._locked_update(ctx, locks,
+                                                           index)
+                    observed = hash((observed, index, value)) & 0xFFFFFFFF
+                    acq_done += 1
+            yield from barrier.wait(ctx)
+        if syscalls:
+            yield from ctx.close(fd_out)
+            yield from ctx.close(fd_in)
+        return observed
+
+    # -- pipeline (dedup / ferret / vips) -------------------------------------------------
+
+    def _main_pipeline(self, ctx: GuestContext):
+        spec, plan = self.spec, self.plan
+        fixed, per_worker = spec.pipeline_threads
+        stages = max(2, (fixed + per_worker))  # stage count
+        threads_per_stage = max(1, spec.total_threads // stages)
+        queue_ops_per_token = 4  # effective rate-calibrated cost/token
+        tokens = max(threads_per_stage * 4,
+                     plan.sync_ops_total // (stages * queue_ops_per_token))
+        io_budget = plan.syscalls_total
+        io_every = max(1, (2 * tokens) // max(io_budget, 1))
+        # Pace each stage worker so its token share spans the slice.
+        self._pipeline_gap = (plan.duration_cycles
+                              / max(tokens // threads_per_stage, 1))
+        self._pipeline_gap = min(self._pipeline_gap, 4_000_000.0)
+        queues = [BoundedQueue(ctx, f"q{i}") for i in range(stages - 1)]
+        hot_lock = SpinLock(ctx.alloc_static("pipeline.hot_lock"))
+        ctx.alloc_static("pipeline.hot_data")
+        ctx.alloc_static("data0")  # digest compatibility
+        tids = []
+        for stage in range(stages):
+            for worker in range(threads_per_stage):
+                tid = yield from ctx.spawn(
+                    self._stage_worker, stage, stages, worker,
+                    threads_per_stage, queues, hot_lock, tokens,
+                    io_every)
+                tids.append(tid)
+        observations = yield from ctx.join_all(tids)
+        witness = hash(tuple(observations)) & 0xFFFF
+        total = ctx.mem_load(ctx.static_addr("pipeline.hot_data"))
+        return (total + witness) & 0xFFFFFF
+
+    def _stage_worker(self, ctx, stage, stages, worker, per_stage,
+                      queues, hot_lock, tokens, io_every):
+        rng = random.Random(f"{self.spec.name}:{stage}:{worker}")
+        gap = self._pipeline_gap
+        observed = 0
+        share = tokens // per_stage + (1 if worker < tokens % per_stage
+                                       else 0)
+        # Only the pipeline ends touch files (stage 0 reads input, the
+        # last stage writes output); middle stages are pure transforms.
+        fd_in = fd_out = None
+        if stage == 0:
+            fd_in = yield from ctx.open(f"/input/{self.spec.name}.dat")
+        if stage == stages - 1:
+            fd_out = yield from ctx.open(
+                f"/out/{self.spec.name}.s{stage}w{worker}", "w")
+        hot_data = ctx.static_addr("pipeline.hot_data")
+        if stage == 0:
+            for token in range(share):
+                yield from ctx.compute(gap)
+                if token % io_every == 0:
+                    yield from ctx.read(fd_in, 128)
+                yield from queues[0].push(ctx, token)
+            # One poison pill per producer: stage k has as many consumers
+            # as stage 0 has producers, and each consumer forwards its
+            # pill downstream, so the count is preserved along the chain.
+            yield from queues[0].push(ctx, -1)
+        else:
+            upstream = queues[stage - 1]
+            downstream = queues[stage] if stage < stages - 1 else None
+            while True:
+                token = yield from upstream.pop(ctx)
+                if token == -1:
+                    if downstream is not None:
+                        yield from downstream.push(ctx, -1)
+                    break
+                yield from ctx.compute(gap)
+                # dedup-style shared hash-table update on a hot lock.
+                if rng.random() < self.spec.contention:
+                    yield from hot_lock.acquire(ctx)
+                    value = ctx.mem_load(hot_data)
+                    ctx.mem_store(hot_data, value + 1)
+                    observed = hash((observed, value)) & 0xFFFFFFFF
+                    yield from hot_lock.release(ctx)
+                if downstream is not None:
+                    yield from downstream.push(ctx, token)
+                elif token % io_every == 0:
+                    yield from ctx.write(fd_out, b"o" * 128)
+        if fd_in is not None:
+            yield from ctx.close(fd_in)
+        if fd_out is not None:
+            yield from ctx.close(fd_out)
+        return observed
+
+    # -- OpenMP (freqmine) ---------------------------------------------------------------------
+
+    def _main_gomp(self, ctx: GuestContext):
+        spec, plan = self.spec, self.plan
+        ctx.alloc_static("data0")
+        chunk = 4
+        iterations = max(spec.workers * chunk,
+                         plan.sync_ops_total * chunk)
+        work = plan.duration_cycles * spec.workers / iterations
+        yield from parallel_for(ctx, workers=spec.workers,
+                                iterations=iterations, body=None,
+                                chunk=chunk,
+                                work_cycles=min(work, 4_000_000.0))
+        return iterations & 0xFFFFFF
+
+
+def make_benchmark(name: str, scale: float = 1.0) -> SyntheticWorkload:
+    """Instantiate a benchmark twin by Table 2 name."""
+    from repro.workloads.spec import spec_by_name
+
+    return SyntheticWorkload(spec_by_name(name), scale=scale)

@@ -1,0 +1,113 @@
+"""Tests for the textual assembly front end."""
+
+import pytest
+
+from repro.analysis.asmtext import (
+    LISTING1_ASM,
+    AsmParseError,
+    parse_asm,
+)
+from repro.analysis.identify import identify_sync_ops
+from repro.analysis.ir import AddrOf, Copy, HeapAlloc, Imm, Mem, Reg
+from repro.analysis.scanner import scan_module
+
+
+class TestOperandParsing:
+    def test_register(self):
+        module = parse_asm(".func f\nmov %eax, %ebx\n")
+        ins = module.functions[0].instructions[0]
+        assert ins.operands == (Reg("ebx"), Reg("eax"))  # dst first
+
+    def test_immediate_and_memory(self):
+        module = parse_asm(".func f\nmov $7, (ptr)\n")
+        ins = module.functions[0].instructions[0]
+        assert ins.operands == (Mem("ptr"), Imm(7))
+        assert ins.is_store
+
+    def test_memory_with_offset(self):
+        module = parse_asm(".func f\nmov 8(ptr), %eax\n")
+        mem_op = module.functions[0].instructions[0].memory_operands()[0]
+        assert (mem_op.ptr, mem_op.offset) == ("ptr", 8)
+
+    def test_bad_operand_reports_line(self):
+        with pytest.raises(AsmParseError) as excinfo:
+            parse_asm(".func f\nmov @wat, %eax\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_dangling_lock_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_asm(".func f\nlock\n")
+
+
+class TestDirectives:
+    def test_module_and_function_names(self):
+        module = parse_asm(".module libx.so\n.func alpha\nnop\n"
+                           ".func beta\nnop\n")
+        assert module.name == "libx.so"
+        assert [fn.name for fn in module.functions] == ["alpha", "beta"]
+
+    def test_loc_attaches_debug_info(self):
+        module = parse_asm(".func f\n.loc foo.c 42\nnop\n")
+        assert module.functions[0].instructions[0].source == ("foo.c", 42)
+
+    def test_facts(self):
+        module = parse_asm(
+            ".func f\n"
+            ".fact p = &x\n"
+            ".fact q = p\n"
+            ".fact h = malloc node_t @site9\n")
+        facts = module.functions[0].pointer_facts
+        assert facts[0] == AddrOf("p", "x")
+        assert facts[1] == Copy("q", "p")
+        assert facts[2] == HeapAlloc("h", "site9", "node_t")
+
+    def test_unknown_fact_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_asm(".func f\n.fact p <- &x\n")
+
+    def test_site_annotation(self):
+        module = parse_asm(".func f\nmov $0, (p) ; site=lib.x.store\n")
+        assert module.functions[0].instructions[0].site == "lib.x.store"
+
+    def test_unaligned_suffix(self):
+        module = parse_asm(".func f\nmov.u $0, (p)\n")
+        assert not module.functions[0].instructions[0].aligned
+
+
+class TestPipelineIntegration:
+    def test_listing1_matches_builtin_corpus(self):
+        """The textual Listing 1 classifies exactly like the handwritten
+        IR module: 1 type (i), 0 type (ii), 1 type (iii)."""
+        module = parse_asm(LISTING1_ASM)
+        report = identify_sync_ops(module)
+        assert report.counts == (1, 0, 1)
+        assert report.sites() == {"listing1.lock.cmpxchg",
+                                  "listing1.unlock.store"}
+
+    def test_scanner_finds_lock_and_xchg(self):
+        listing = """
+        .func f
+        .fact p = &v
+        lock xadd %eax, (p)
+        xchg %ebx, (p)
+        mov (p), %ecx
+        mov %ecx, %edx
+        """
+        scan = scan_module(parse_asm(listing))
+        assert scan.counts == (1, 1)
+        assert scan.sync_pointers == {"p"}
+
+    def test_debug_lines_flow_to_report(self):
+        module = parse_asm(LISTING1_ASM)
+        scan = scan_module(module)
+        assert ("listing1.c", 4) in scan.source_lines
+
+    def test_unaligned_store_not_type3(self):
+        listing = """
+        .func f
+        .fact p = &v
+        lock cmpxchg %eax, (p)
+        mov.u $0, (p)
+        """
+        report = identify_sync_ops(parse_asm(listing))
+        assert report.counts == (1, 0, 0)

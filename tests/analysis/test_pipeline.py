@@ -1,0 +1,209 @@
+"""Tests for the two-stage sync-op identification pipeline (§4.3)."""
+
+import pytest
+
+from repro.analysis.corpus import (
+    NGINX_SYNC_OPS,
+    TABLE3_PAPER,
+    heap_imprecision_module,
+    make_library_module,
+    nginx_module,
+    paper_corpus,
+    spinlock_module,
+    volatile_flag_module,
+)
+from repro.analysis.identify import identify_sync_ops, table3_rows
+from repro.analysis.instrument import (
+    BEFORE_CALL,
+    AFTER_CALL,
+    instrument_module,
+    instrumented_sites,
+)
+from repro.analysis.ir import AddrOf, Function, Instruction, Module, Reg, mem
+from repro.analysis.scanner import scan_module
+
+
+class TestStage1Scanner:
+    def test_lock_prefix_is_type1(self):
+        module = spinlock_module()
+        report = scan_module(module)
+        assert len(report.type1) == 1
+        assert report.type1[0].opcode == "cmpxchg"
+
+    def test_xchg_is_type2(self):
+        module = Module(name="m", functions=[Function(
+            name="f",
+            instructions=[Instruction("xchg", (mem("p"), Reg("eax")))],
+            pointer_facts=[AddrOf("p", "v")])])
+        report = scan_module(module)
+        assert len(report.type2) == 1
+
+    def test_xchg_reg_reg_not_marked(self):
+        """XCHG between registers is not a memory access."""
+        module = Module(name="m", functions=[Function(
+            name="f",
+            instructions=[Instruction("xchg",
+                                      (Reg("eax"), Reg("ebx")))])])
+        report = scan_module(module)
+        assert report.counts == (0, 0)
+
+    def test_plain_mov_not_marked_in_stage1(self):
+        module = spinlock_module()
+        report = scan_module(module)
+        stores = [i for _, i in module.all_instructions()
+                  if i.opcode == "mov"]
+        assert stores and all(i not in report.type1 + report.type2
+                              for i in stores)
+
+    def test_sync_pointers_collected(self):
+        report = scan_module(spinlock_module())
+        assert "ptr_lock" in report.sync_pointers
+
+    def test_debug_source_lines_reported(self):
+        report = scan_module(spinlock_module())
+        assert ("listing1.c", 4) in report.source_lines
+
+
+class TestStage2Identification:
+    def test_listing1_unlock_store_found(self):
+        """Listing 1: the plain unlock store aliases the CAS's variable."""
+        report = identify_sync_ops(spinlock_module())
+        assert report.counts == (1, 0, 1)
+        assert "listing1.unlock.store" in report.sites()
+
+    def test_listing2_volatile_flag_missed(self):
+        """Listing 2: the documented false negative — no LOCK/XCHG root."""
+        report = identify_sync_ops(volatile_flag_module())
+        assert report.counts == (0, 0, 0)
+
+    def test_volatile_extension_recovers_listing2(self):
+        """The paper's proposed extension: treat volatile variables as
+        sync variables before the points-to stage."""
+        report = identify_sync_ops(volatile_flag_module(),
+                                   treat_volatile_as_sync=True)
+        assert report.counts == (0, 0, 2)
+
+    def test_non_aliasing_accesses_rejected(self):
+        module = make_library_module("toy", (2, 1, 3), fillers=50)
+        report = identify_sync_ops(module)
+        assert report.counts == (2, 1, 3)
+        assert report.rejected == 50
+
+    def test_unaligned_accesses_never_type3(self):
+        module = spinlock_module()
+        module.functions.append(Function(
+            name="unaligned",
+            instructions=[Instruction("mov", (mem("q"), Reg("eax")),
+                                      aligned=False)],
+            pointer_facts=[AddrOf("q", "spinlock")]))
+        report = identify_sync_ops(module)
+        assert len(report.type3) == 1  # only the aligned unlock store
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError):
+            identify_sync_ops(spinlock_module(), analysis="magic")
+
+
+class TestPointsToPrecision:
+    def test_steensgaard_unifies_incompatible_heap_objects(self):
+        """Section 4.3.1: DSA-style unification misclassifies the plain
+        data-buffer access as a sync op; SVF-style subsets do not."""
+        steens = identify_sync_ops(heap_imprecision_module(),
+                                   analysis="steensgaard")
+        anders = identify_sync_ops(heap_imprecision_module(),
+                                   analysis="andersen")
+        assert len(steens.type3) > len(anders.type3)
+        assert len(anders.type3) == 0
+
+    def test_both_analyses_agree_on_simple_corpus(self):
+        module = spinlock_module()
+        steens = identify_sync_ops(module, analysis="steensgaard")
+        anders = identify_sync_ops(module, analysis="andersen")
+        assert steens.counts == anders.counts
+
+
+class TestTable3Corpus:
+    def test_counts_match_paper_exactly(self):
+        rows = table3_rows(paper_corpus())
+        for name, type1, type2, type3 in rows:
+            assert (type1, type2, type3) == TABLE3_PAPER[name], name
+
+    def test_nginx_totals_51_sync_ops(self):
+        report = identify_sync_ops(nginx_module())
+        assert sum(report.counts) == NGINX_SYNC_OPS
+
+    def test_runtime_sites_recovered_for_libpthread(self):
+        from repro.guest.sync import LIBPTHREAD_SITES
+        corpus = {m.name: m for m in paper_corpus()}
+        report = identify_sync_ops(corpus["libpthreads-2.19.so"])
+        assert LIBPTHREAD_SITES <= report.sites()
+
+    def test_runtime_sites_recovered_for_libc(self):
+        from repro.guest.libc import LIBC_SITES
+        corpus = {m.name: m for m in paper_corpus()}
+        report = identify_sync_ops(corpus["libc-2.19.so"])
+        assert LIBC_SITES <= report.sites()
+
+
+class TestInstrumentation:
+    def test_wrappers_inserted_around_sync_ops(self):
+        module = spinlock_module()
+        report = identify_sync_ops(module)
+        result = instrument_module(module, report)
+        assert result.wrapped == 2
+        opcodes = [i.opcode for _, i in result.module.all_instructions()]
+        cas_index = opcodes.index("cmpxchg")
+        assert opcodes[cas_index - 1] == BEFORE_CALL
+        assert opcodes[cas_index + 1] == AFTER_CALL
+
+    def test_non_sync_instructions_untouched(self):
+        module = make_library_module("toy", (1, 0, 0), fillers=10)
+        report = identify_sync_ops(module)
+        result = instrument_module(module, report)
+        assert result.wrapped == 1
+        # 10 fillers + 1 sync op + 2 wrappers
+        assert result.module.instruction_count() == 13
+
+    def test_site_union(self):
+        reports = [identify_sync_ops(m) for m in paper_corpus()[:3]]
+        sites = instrumented_sites(*reports)
+        assert "libc.malloc.lock.cmpxchg" in sites
+        assert "libpthread.mutex.lock.cmpxchg" in sites
+
+
+class TestEndToEndBridge:
+    """Static pipeline output drives the MVEE — the full §4 workflow."""
+
+    def test_analysis_driven_instrumentation_runs_clean(self, fast_costs):
+        from repro.core.injection import instrument_sites
+        from repro.core.mvee import run_mvee
+        from tests.guestlib import MutexCounterProgram
+
+        corpus = {m.name: m for m in paper_corpus()}
+        sites = instrumented_sites(
+            identify_sync_ops(corpus["libpthreads-2.19.so"]),
+            identify_sync_ops(corpus["libc-2.19.so"]))
+        outcome = run_mvee(MutexCounterProgram(workers=4, iters=60),
+                           variants=2, agent="wall_of_clocks", seed=4,
+                           costs=fast_costs,
+                           instrument=instrument_sites(sites))
+        assert outcome.verdict == "clean"
+
+    def test_missing_library_in_analysis_causes_divergence(self,
+                                                           fast_costs):
+        """Analyze only libc, not libpthread: the mutex sites stay
+        un-instrumented and benign divergence returns — the nginx
+        phenomenon in miniature."""
+        from repro.core.injection import instrument_sites
+        from repro.core.mvee import run_mvee
+        from tests.guestlib import CounterProgram
+
+        corpus = {m.name: m for m in paper_corpus()}
+        sites = instrumented_sites(
+            identify_sync_ops(corpus["libc-2.19.so"]))
+        outcome = run_mvee(CounterProgram(workers=4, iters=150),
+                           variants=2, agent="wall_of_clocks", seed=7,
+                           costs=fast_costs,
+                           instrument=instrument_sites(sites),
+                           max_cycles=5e9)
+        assert outcome.verdict != "clean"

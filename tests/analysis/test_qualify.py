@@ -1,0 +1,159 @@
+"""Tests for the _Atomic qualifier checker and Figure 3 fixpoint loop."""
+
+import pytest
+
+from repro.analysis.qualify import (
+    AtomicQualifierChecker,
+    CAddrOf,
+    CAsmUse,
+    CAssign,
+    CAtomicIntrinsic,
+    CProgram,
+    CVar,
+    refactor_to_fixpoint,
+)
+
+
+def program_with(variables, statements):
+    program = CProgram()
+    for var in variables:
+        program.add_var(var)
+    program.statements = list(statements)
+    return program
+
+
+class TestCheckerDiagnostics:
+    def test_add_qualifier_cast_is_warning(self):
+        program = program_with(
+            [CVar("p", is_pointer=True, pointee_atomic=True),
+             CVar("q", is_pointer=True)],
+            [CAssign(dst="p", src="q")])
+        diags = AtomicQualifierChecker(program).check()
+        assert [d.severity for d in diags] == ["warning"]
+        assert diags[0].kind == "qualify-add"
+
+    def test_drop_qualifier_cast_is_error(self):
+        program = program_with(
+            [CVar("p", is_pointer=True, pointee_atomic=True),
+             CVar("q", is_pointer=True)],
+            [CAssign(dst="q", src="p")])
+        diags = AtomicQualifierChecker(program).check()
+        assert [d.severity for d in diags] == ["error"]
+        assert diags[0].kind == "qualify-drop"
+
+    def test_atomic_in_asm_is_error(self):
+        program = program_with(
+            [CVar("lock", atomic=True)],
+            [CAsmUse("lock")])
+        diags = AtomicQualifierChecker(program).check()
+        assert diags and diags[0].kind == "asm-atomic"
+
+    def test_well_typed_program_is_silent(self):
+        program = program_with(
+            [CVar("lock", atomic=True),
+             CVar("p", is_pointer=True, pointee_atomic=True)],
+            [CAddrOf(ptr="p", var="lock"), CAtomicIntrinsic("p")])
+        assert AtomicQualifierChecker(program).check() == []
+
+    def test_addr_of_atomic_into_plain_pointer_is_error(self):
+        program = program_with(
+            [CVar("lock", atomic=True), CVar("p", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock")])
+        diags = AtomicQualifierChecker(program).check()
+        assert diags[0].severity == "error"
+
+
+class TestFixpointRefactoring:
+    def test_qualifier_propagates_through_chain(self):
+        """seed -> &lock -> p -> q -> intrinsic: everything qualifies."""
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True),
+             CVar("q", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"),
+             CAssign(dst="q", src="p"),
+             CAtomicIntrinsic("q")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert {"lock", "p", "q"} <= result.qualified
+        assert result.unfixable == []
+        assert AtomicQualifierChecker(program).check() == []
+
+    def test_propagation_is_bidirectional(self):
+        """Qualifying a pointee through one pointer qualifies variables
+        reached through other pointers to the same data (down the chain)."""
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True),
+             CVar("other"), ],
+            [CAddrOf(ptr="p", var="lock"),
+             CAddrOf(ptr="p", var="other")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert "other" in result.qualified
+
+    def test_asm_use_is_unfixable(self):
+        """Inline-assembly uses survive as errors the tool cannot fix —
+        the paper's 'permit _Atomic in easy-to-analyze asm' future work."""
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"), CAsmUse("lock")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert len(result.unfixable) == 1
+        assert result.unfixable[0].kind == "asm-atomic"
+
+    def test_fixpoint_reached_in_few_iterations(self):
+        chain_vars = [CVar("lock")] + [
+            CVar(f"p{i}", is_pointer=True) for i in range(10)]
+        statements = [CAddrOf(ptr="p0", var="lock")] + [
+            CAssign(dst=f"p{i + 1}", src=f"p{i}") for i in range(9)]
+        program = program_with(chain_vars, statements)
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert result.iterations <= 12
+        assert all(f"p{i}" in result.qualified for i in range(10))
+
+    def test_empty_seed_no_changes(self):
+        program = program_with(
+            [CVar("x"), CVar("p", is_pointer=True)],
+            [CAddrOf(ptr="p", var="x")])
+        result = refactor_to_fixpoint(program, seed_vars=set())
+        assert result.qualified == set()
+
+
+class TestProposedExtensions:
+    """The three improvements §4.3.1 sketches for the qualifier tool."""
+
+    def test_volatile_variables_auto_seeded(self):
+        """Extension 1: volatile scalars become seeds, recovering the
+        Listing 2 primitive the binary scan cannot see."""
+        program = program_with(
+            [CVar("flag", volatile=True), CVar("p", is_pointer=True)],
+            [CAddrOf(ptr="p", var="flag")])
+        result = refactor_to_fixpoint(program, seed_vars=set(),
+                                      include_volatile=True)
+        assert "flag" in result.qualified
+        assert "p" in result.qualified
+
+    def test_volatile_pointers_not_seeded(self):
+        """Only the pointed-to data is synchronization state."""
+        from repro.analysis.qualify import volatile_seed_vars
+        program = program_with(
+            [CVar("vp", is_pointer=True, volatile=True), CVar("x")], [])
+        assert volatile_seed_vars(program) == set()
+
+    def test_easy_asm_blocks_accepted(self):
+        """Extension 3: _Atomic is permitted in easy-to-analyze asm."""
+        program = program_with(
+            [CVar("lock", atomic=True)],
+            [CAsmUse("lock", easy=True)])
+        assert AtomicQualifierChecker(program).check() == []
+
+    def test_hard_asm_blocks_still_rejected(self):
+        program = program_with(
+            [CVar("lock", atomic=True)],
+            [CAsmUse("lock", easy=False)])
+        diags = AtomicQualifierChecker(program).check()
+        assert diags and diags[0].kind == "asm-atomic"
+
+    def test_easy_asm_not_unfixable_in_refactoring(self):
+        program = program_with(
+            [CVar("lock")],
+            [CAsmUse("lock", easy=True)])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert result.unfixable == []

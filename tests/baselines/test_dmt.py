@@ -1,0 +1,68 @@
+"""Tests for the Kendo-style DMT baseline — Section 2.1's argument.
+
+DMT makes each variant's schedule a deterministic function of logical
+instruction counts.  For identical variants that is enough; diversity
+perturbs the counts, each variant deterministically computes a
+*different* schedule, and benign divergence returns.
+"""
+
+import pytest
+
+from repro.core.mvee import run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.run import run_native
+from tests.guestlib import ScheduleWitnessProgram
+
+
+def witness(**kwargs):
+    return ScheduleWitnessProgram(workers=4, iters=40, **kwargs)
+
+
+class TestDMTDeterminism:
+    @pytest.mark.parametrize("seed", [0, 3, 8])
+    def test_identical_variants_never_diverge(self, seed, fast_costs):
+        outcome = run_mvee(witness(), variants=2, agent="dmt", seed=seed,
+                           costs=fast_costs, max_cycles=5e9)
+        assert outcome.verdict == "clean"
+
+    def test_schedule_is_seed_independent(self, fast_costs):
+        """The witness digest must be identical across scheduler seeds —
+        the deterministic-multithreading property itself."""
+        digests = set()
+        for seed in (0, 1, 2, 3):
+            outcome = run_mvee(witness(), variants=2, agent="dmt",
+                               seed=seed, costs=fast_costs,
+                               max_cycles=5e9)
+            assert outcome.verdict == "clean"
+            digests.add(outcome.stdout)
+        assert len(digests) == 1
+
+    def test_without_dmt_schedule_varies(self, fast_costs):
+        """Control: natively (no DMT), different seeds give different
+        interleavings — otherwise the test above proves nothing."""
+        digests = {run_native(witness(), seed=seed).stdout
+                   for seed in range(6)}
+        assert len(digests) > 1
+
+
+class TestDMTUnderDiversity:
+    def test_diversified_variants_diverge(self, fast_costs):
+        """Instruction-count diversity (NOP insertion) gives each variant
+        a fixed but *different* schedule — 'which does not eliminate the
+        possibility of benign divergence' (Section 2.1)."""
+        outcome = run_mvee(
+            witness(), variants=2, agent="dmt", seed=0,
+            costs=fast_costs, max_cycles=5e9,
+            diversity=DiversitySpec(noise=0.30, seed=5))
+        assert outcome.verdict == "divergence"
+
+    @pytest.mark.parametrize("agent",
+                             ["total_order", "partial_order",
+                              "wall_of_clocks"])
+    def test_paper_agents_handle_the_same_diversity(self, agent,
+                                                    fast_costs):
+        outcome = run_mvee(
+            witness(), variants=2, agent=agent, seed=0,
+            costs=fast_costs,
+            diversity=DiversitySpec(noise=0.30, seed=5))
+        assert outcome.verdict == "clean"

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import VirtualKernel
+from repro.perf.costs import CostModel
+from repro.sched.vm import VariantVM
+
+
+@pytest.fixture
+def disk() -> VirtualDisk:
+    return VirtualDisk()
+
+
+@pytest.fixture
+def kernel(disk) -> VirtualKernel:
+    return VirtualKernel(disk, role="native")
+
+
+@pytest.fixture
+def vm(kernel) -> VariantVM:
+    return VariantVM(index=0, kernel=kernel)
+
+
+@pytest.fixture
+def fast_costs() -> CostModel:
+    """Cost model with low monitor overhead: keeps MVEE tests quick while
+    preserving all ordering semantics."""
+    return CostModel(monitor_syscall_overhead=2_000.0,
+                     preempt_quantum=20_000.0)

@@ -1,0 +1,62 @@
+"""Ring-buffer backpressure: bounded sync buffers pace the master.
+
+The paper's sync buffers are rings in shared memory; when the slowest
+slave lags a full capacity behind, the master's recorder must stall until
+consumption catches up.  Replay must stay correct at any capacity — the
+bound only trades master progress for memory.
+"""
+
+import pytest
+
+from repro.core.mvee import run_mvee
+from tests.guestlib import CounterProgram, MutexCounterProgram
+
+AGENTS = ["total_order", "partial_order", "wall_of_clocks"]
+
+
+class TestBackpressure:
+    @pytest.mark.parametrize("agent", AGENTS)
+    @pytest.mark.parametrize("capacity", [2, 8, 1 << 16])
+    def test_replay_correct_at_any_capacity(self, agent, capacity,
+                                            fast_costs):
+        outcome = run_mvee(CounterProgram(workers=3, iters=60),
+                           variants=2, agent=agent, seed=5,
+                           costs=fast_costs,
+                           agent_options={"buffer_capacity": capacity})
+        assert outcome.verdict == "clean"
+        assert "total=180" in outcome.stdout
+
+    @pytest.mark.parametrize("agent", AGENTS)
+    def test_small_buffers_stall_the_producer(self, agent, fast_costs):
+        def producer_waits(capacity):
+            outcome = run_mvee(CounterProgram(workers=4, iters=60,
+                                              chatty=False),
+                               variants=2, agent=agent, seed=3,
+                               costs=fast_costs,
+                               agent_options={
+                                   "buffer_capacity": capacity})
+            assert outcome.verdict == "clean"
+            return outcome.agent_shared.stats.producer_waits
+
+        assert producer_waits(2) > producer_waits(1 << 16)
+
+    @pytest.mark.parametrize("agent", AGENTS)
+    def test_futex_workload_with_tiny_buffers(self, agent, fast_costs):
+        """Backpressure must compose with the blocking-call streams."""
+        outcome = run_mvee(MutexCounterProgram(workers=3, iters=30),
+                           variants=2, agent=agent, seed=7,
+                           costs=fast_costs,
+                           agent_options={"buffer_capacity": 3})
+        assert outcome.verdict == "clean"
+        assert "total=90" in outcome.stdout
+
+    def test_three_variants_slowest_consumer_paces(self, fast_costs):
+        """With 3 variants the master is paced by the *slowest* slave."""
+        outcome = run_mvee(CounterProgram(workers=2, iters=40,
+                                          chatty=False),
+                           variants=3, agent="wall_of_clocks", seed=2,
+                           costs=fast_costs,
+                           agent_options={"buffer_capacity": 4})
+        assert outcome.verdict == "clean"
+        stats = outcome.agent_shared.stats
+        assert stats.replayed == 2 * stats.recorded

@@ -1,0 +1,115 @@
+"""Unit tests for sync buffers and the wall-of-clocks primitives."""
+
+import pytest
+
+from repro.core.agents.clocks import ClockWall, clock_for_address
+from repro.core.buffers import (
+    ConsumptionWindow,
+    MultiProducerLog,
+    SPSCBuffer,
+    SyncRecord,
+)
+
+
+def record(thread="t", addr=0x1000, site="s"):
+    return SyncRecord(thread=thread, addr=addr, site=site)
+
+
+class TestMultiProducerLog:
+    def test_append_returns_positions(self):
+        log = MultiProducerLog()
+        assert log.append(record("a")) == 0
+        assert log.append(record("b")) == 1
+        assert len(log) == 2
+
+    def test_per_thread_positions(self):
+        log = MultiProducerLog()
+        log.append(record("a"))
+        log.append(record("b"))
+        log.append(record("a"))
+        assert log.thread_entry_position("a", 0) == 0
+        assert log.thread_entry_position("a", 1) == 2
+        assert log.thread_entry_position("a", 2) is None
+        assert log.thread_entry_position("c", 0) is None
+        assert log.thread_entry_count("a") == 2
+
+
+class TestConsumptionWindow:
+    def test_frontier_advances_over_contiguous(self):
+        window = ConsumptionWindow()
+        window.mark_consumed(0, "a")
+        assert window.frontier == 1
+        window.mark_consumed(2, "b")
+        assert window.frontier == 1
+        window.mark_consumed(1, "a")
+        assert window.frontier == 3
+        assert window.window_size() == 0
+
+    def test_is_consumed(self):
+        window = ConsumptionWindow()
+        window.mark_consumed(1, "a")
+        assert window.is_consumed(1)
+        assert not window.is_consumed(0)
+
+    def test_per_thread_counts(self):
+        window = ConsumptionWindow()
+        window.mark_consumed(0, "a")
+        window.mark_consumed(1, "a")
+        assert window.next_index_for("a") == 2
+        assert window.next_index_for("b") == 0
+
+
+class TestSPSCBuffer:
+    def test_independent_consumers(self):
+        buffer = SPSCBuffer("m1")
+        buffer.produce(record("m1", 1))
+        buffer.produce(record("m1", 2))
+        assert buffer.peek(1).addr == 1
+        buffer.advance(1)
+        assert buffer.peek(1).addr == 2
+        assert buffer.peek(2).addr == 1  # consumer 2 untouched
+
+    def test_peek_drained_returns_none(self):
+        buffer = SPSCBuffer("m1")
+        assert buffer.peek(1) is None
+        buffer.produce(record())
+        buffer.advance(1)
+        assert buffer.peek(1) is None
+
+    def test_counters(self):
+        buffer = SPSCBuffer("m1")
+        buffer.produce(record())
+        assert buffer.produced() == 1
+        assert buffer.consumed(1) == 0
+
+
+class TestClockHash:
+    def test_deterministic(self):
+        assert clock_for_address(0x1234) == clock_for_address(0x1234)
+
+    def test_adjacent_words_share_granule_clock(self):
+        """Section 4.5: two 32-bit variables in one 64-bit granule must
+        map to the same clock (CMPXCHG8B could touch both)."""
+        base = 0x7F00_0000
+        assert clock_for_address(base) == clock_for_address(base + 4)
+
+    def test_different_granules_usually_differ(self):
+        base = 0x7F00_0000
+        clocks = {clock_for_address(base + 8 * k) for k in range(64)}
+        assert len(clocks) > 32  # good spread
+
+    def test_range_respected(self):
+        for addr in range(0x1000, 0x1400, 8):
+            assert 0 <= clock_for_address(addr, 16) < 16
+
+
+class TestClockWall:
+    def test_tick_returns_pre_increment(self):
+        wall = ClockWall(8)
+        assert wall.tick(3) == 0
+        assert wall.tick(3) == 1
+        assert wall.read(3) == 2
+        assert wall.read(0) == 0
+
+    def test_len(self):
+        assert len(ClockWall(32)) == 32

@@ -1,0 +1,109 @@
+"""Injection layer, agent registry, and assorted MVEE regressions."""
+
+import pytest
+
+from repro.core.agents import AGENT_REGISTRY
+from repro.core.agents.base import make_agents
+from repro.core.injection import (
+    instrument_all,
+    instrument_excluding,
+    instrument_sites,
+    inject_agents,
+)
+from repro.core.mvee import MVEE, run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import VirtualKernel
+from repro.sched.vm import VariantVM
+from tests.guestlib import MallocStormProgram
+
+
+def make_vms(count):
+    return [VariantVM(index=i,
+                      kernel=VirtualKernel(VirtualDisk(),
+                                           variant_index=i))
+            for i in range(count)]
+
+
+class TestInstrumentationPredicates:
+    def test_instrument_all(self):
+        assert instrument_all("anything.at.all")
+
+    def test_instrument_sites(self):
+        predicate = instrument_sites({"a.x", "b.y"})
+        assert predicate("a.x") and not predicate("c.z")
+
+    def test_instrument_excluding(self):
+        predicate = instrument_excluding(("nginx.",))
+        assert predicate("libpthread.mutex.lock.cmpxchg")
+        assert not predicate("nginx.spinlock.lock.cmpxchg")
+
+
+class TestInjection:
+    def test_none_agent_clears_agents(self):
+        vms = make_vms(2)
+        shared = inject_agents(vms, None)
+        assert shared is None
+        assert all(vm.agent is None for vm in vms)
+
+    def test_agents_share_state(self):
+        vms = make_vms(3)
+        shared = inject_agents(vms, "wall_of_clocks")
+        assert all(vm.agent.shared is shared for vm in vms)
+        assert vms[0].agent.is_master
+        assert not vms[1].agent.is_master
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(ValueError):
+            make_agents("flux_capacitor", 2)
+
+    def test_registry_contains_paper_agents(self):
+        assert {"total_order", "partial_order",
+                "wall_of_clocks"} <= set(AGENT_REGISTRY)
+
+    def test_dmt_lazily_registered(self):
+        shared, agents = make_agents("dmt", 2)
+        assert agents[0].name == "dmt"
+
+    def test_agent_options_forwarded(self):
+        shared, _ = make_agents("wall_of_clocks", 2, n_clocks=32)
+        assert shared.n_clocks == 32
+
+
+class TestMVEEValidation:
+    def test_rejects_single_variant(self):
+        from tests.guestlib import CounterProgram
+        with pytest.raises(ValueError):
+            MVEE(CounterProgram(), variants=1)
+
+    def test_rejects_unknown_monitor_kind(self):
+        from tests.guestlib import CounterProgram
+        with pytest.raises(ValueError):
+            MVEE(CounterProgram(), variants=2, monitor_kind="psychic")
+
+
+class TestRegressions:
+    def test_malloc_under_aslr_is_clean(self, fast_costs):
+        """brk carries an *address argument*; without masking it, the
+        diversified variants' identical allocations would look like an
+        argument mismatch (regression for the Figure 1 bench bug)."""
+        outcome = run_mvee(MallocStormProgram(workers=3, allocs=20),
+                           variants=2, agent="wall_of_clocks", seed=4,
+                           costs=fast_costs,
+                           diversity=DiversitySpec(aslr=True, seed=8))
+        assert outcome.verdict == "clean"
+
+    def test_mmap_munmap_under_aslr_is_clean(self, fast_costs):
+        from repro.guest.program import GuestProgram
+
+        class MapLoop(GuestProgram):
+            def main(self, ctx):
+                for _ in range(5):
+                    addr = yield from ctx.syscall("mmap", 8192)
+                    yield from ctx.compute(500)
+                    yield from ctx.syscall("munmap", addr)
+
+        outcome = run_mvee(MapLoop(), variants=2, agent=None, seed=1,
+                           costs=fast_costs,
+                           diversity=DiversitySpec(aslr=True, seed=8))
+        assert outcome.verdict == "clean"

@@ -1,0 +1,243 @@
+"""Monitor-specific behaviour: replication, ordering, policies, roles."""
+
+import pytest
+
+from repro.core.divergence import (
+    POLICY_NO_LOCKSTEP,
+    DivergenceKind,
+    MonitorPolicy,
+)
+from repro.core.mvee import MVEE, run_mvee
+from repro.guest.program import GuestProgram
+from repro.kernel.fs import VirtualDisk
+from tests.guestlib import CounterProgram, LooselyCoupledProgram
+
+AGENTS = ["total_order", "partial_order", "wall_of_clocks"]
+
+
+class TestReplication:
+    def test_input_replication_reads_identical(self, fast_costs):
+        class Reader(GuestProgram):
+            def main(self, ctx):
+                fd = yield from ctx.open("/input.txt")
+                data = yield from ctx.read(fd, 100)
+                yield from ctx.close(fd)
+                yield from ctx.printf(f"read:{data.decode()}\n")
+                return data
+
+        disk = VirtualDisk()
+        disk.add_file("/input.txt", b"shared input")
+        outcome = run_mvee(Reader(), variants=3, agent=None, seed=1,
+                           costs=fast_costs, disk=disk)
+        assert outcome.verdict == "clean"
+        for vm in outcome.vms:
+            assert vm.threads["main"].result == b"shared input"
+
+    def test_output_performed_once(self, fast_costs):
+        class Writer(GuestProgram):
+            def main(self, ctx):
+                yield from ctx.printf("exactly once\n")
+
+        outcome = run_mvee(Writer(), variants=4, agent=None, seed=1,
+                           costs=fast_costs)
+        assert outcome.verdict == "clean"
+        assert outcome.stdout == "exactly once\n"
+
+    def test_file_write_applied_once(self, fast_costs):
+        class Writer(GuestProgram):
+            def main(self, ctx):
+                fd = yield from ctx.open("/out.txt", "w")
+                yield from ctx.write(fd, b"ABC")
+                yield from ctx.close(fd)
+
+        disk = VirtualDisk()
+        outcome = run_mvee(Writer(), variants=3, agent=None, seed=0,
+                           costs=fast_costs, disk=disk)
+        assert outcome.verdict == "clean"
+        assert bytes(disk.lookup("/out.txt").data) == b"ABC"
+
+    def test_gettimeofday_replicated_equal(self, fast_costs):
+        class Timer(GuestProgram):
+            def main(self, ctx):
+                seconds, microseconds = yield from ctx.gettimeofday()
+                return (seconds, microseconds)
+
+        mvee = MVEE(Timer(), variants=3, agent=None, seed=1,
+                    costs=fast_costs)
+        outcome = mvee.run()
+        results = {vm.threads["main"].result for vm in outcome.vms}
+        assert len(results) == 1  # covert-channel precondition (§5.4)
+
+    def test_getpid_hides_multiple_processes(self, fast_costs):
+        class Pid(GuestProgram):
+            def main(self, ctx):
+                pid = yield from ctx.syscall("getpid")
+                return pid
+
+        outcome = run_mvee(Pid(), variants=2, agent=None, seed=0,
+                           costs=fast_costs)
+        pids = {vm.threads["main"].result for vm in outcome.vms}
+        assert len(pids) == 1
+
+
+class TestSelfAwareness:
+    def test_mvee_get_role_returns_variant_index(self, fast_costs):
+        class Role(GuestProgram):
+            def main(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                return role
+
+        outcome = run_mvee(Role(), variants=3, agent=None, seed=0,
+                           costs=fast_costs)
+        assert [vm.threads["main"].result
+                for vm in outcome.vms] == [0, 1, 2]
+
+    def test_mvee_get_role_is_enosys_natively(self):
+        from repro.run import run_native
+
+        class Role(GuestProgram):
+            def main(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                return role
+
+        assert run_native(Role(), seed=0).vm.threads["main"].result == -38
+
+
+class TestSyscallOrdering:
+    def test_master_order_replayed_in_slaves(self, fast_costs):
+        """Ordered calls follow the master's interleaving: FD numbers for
+        racing opens must match across variants (checked by the monitor's
+        result comparison, so a clean verdict is the assertion)."""
+        from tests.guestlib import FDRaceProgram
+        disk = VirtualDisk()
+        FDRaceProgram.populate(disk)
+        for seed in (0, 1, 2):
+            outcome = run_mvee(FDRaceProgram(workers=3), variants=2,
+                               agent=None, seed=seed, costs=fast_costs,
+                               disk=disk)
+            assert outcome.verdict == "clean"
+
+    def test_ordering_log_accumulates(self, fast_costs):
+        from tests.guestlib import FDRaceProgram
+        disk = VirtualDisk()
+        FDRaceProgram.populate(disk)
+        mvee = MVEE(FDRaceProgram(workers=2), variants=2, agent=None,
+                    seed=0, costs=fast_costs, disk=disk)
+        outcome = mvee.run()
+        assert outcome.verdict == "clean"
+        log = mvee.monitor.orderer.master_log
+        assert len(log) > 0
+        assert all(thread.startswith("main") for thread in log)
+
+
+class TestPolicies:
+    def test_no_lockstep_tolerates_divergence(self, fast_costs):
+        """Under POLICY_NO_LOCKSTEP the benign divergence goes undetected —
+        the dangerous configuration Section 2 warns about."""
+        outcome = run_mvee(CounterProgram(workers=4, iters=100),
+                           variants=2, agent=None, seed=7,
+                           costs=fast_costs, policy=POLICY_NO_LOCKSTEP)
+        assert outcome.verdict == "clean"  # silently wrong, by design
+
+    def test_sensitive_only_still_detects_write_divergence(self,
+                                                           fast_costs):
+        outcome = run_mvee(CounterProgram(workers=4, iters=100),
+                           variants=2, agent=None, seed=7,
+                           costs=fast_costs,
+                           policy=MonitorPolicy(lockstep="sensitive"))
+        assert outcome.verdict == "divergence"
+
+    @pytest.mark.parametrize("agent", AGENTS)
+    def test_all_policies_clean_with_agent(self, agent, fast_costs):
+        for policy in (MonitorPolicy(lockstep="all"),
+                       MonitorPolicy(lockstep="sensitive"),
+                       POLICY_NO_LOCKSTEP):
+            outcome = run_mvee(CounterProgram(workers=3, iters=50),
+                               variants=2, agent=agent, seed=5,
+                               costs=fast_costs, policy=policy)
+            assert outcome.verdict == "clean"
+
+
+class TestThreadExitDivergence:
+    def test_early_exit_in_one_variant_detected(self, fast_costs):
+        class EarlyExit(GuestProgram):
+            static_vars = ()
+
+            def main(self, ctx):
+                tid = yield from ctx.spawn(self.worker)
+                yield from ctx.join(tid)
+
+            def worker(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                steps = 3 if role == 0 else 6
+                for step in range(steps):
+                    yield from ctx.printf(f"step {step}\n")
+
+        outcome = run_mvee(EarlyExit(), variants=2, agent=None, seed=0,
+                           costs=fast_costs)
+        assert outcome.verdict == "divergence"
+        assert outcome.divergence.kind is DivergenceKind.THREAD_EXIT_MISMATCH
+
+
+class TestFaultDivergence:
+    def test_variant_fault_is_divergence(self, fast_costs):
+        class FaultOne(GuestProgram):
+            def main(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                yield from ctx.compute(1000)
+                if role == 1:
+                    ctx.mem_load(0xDEAD_BEEF)  # slave-only crash
+                yield from ctx.printf("survived\n")
+
+        outcome = run_mvee(FaultOne(), variants=2, agent=None, seed=0,
+                           costs=fast_costs)
+        assert outcome.verdict == "divergence"
+        assert outcome.divergence.kind is DivergenceKind.VARIANT_FAULT
+
+
+class TestPolicyOverrides:
+    """ReMon-style per-deployment syscall classification overrides."""
+
+    def test_never_lockstep_tolerates_specific_divergence(self,
+                                                          fast_costs):
+        """Exempting 'write' from lockstep makes the counter program's
+        benign divergence invisible — outputs differ but are never
+        compared (each variant's writes deduplicate via replication)."""
+        from repro.core.divergence import MonitorPolicy
+        outcome = run_mvee(CounterProgram(workers=4, iters=120),
+                           variants=2, agent=None, seed=7,
+                           costs=fast_costs,
+                           policy=MonitorPolicy(
+                               never_lockstep=frozenset({"write"})))
+        assert outcome.verdict == "clean"
+
+    def test_extra_sensitive_widens_sensitive_policy(self, fast_costs):
+        """'read' is not statically sensitive; adding it via
+        extra_sensitive makes the sensitive-only policy rendezvous on
+        it (observable through a role-dependent read divergence)."""
+        from repro.core.divergence import MonitorPolicy
+        from repro.guest.program import GuestProgram
+        from repro.kernel.fs import VirtualDisk
+
+        class RoleReads(GuestProgram):
+            def main(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                fd = yield from ctx.open("/data.txt")
+                count = 4 if role == 0 else 8  # divergent read args
+                yield from ctx.read(fd, count)
+                yield from ctx.close(fd)
+
+        disk = VirtualDisk()
+        disk.add_file("/data.txt", b"0123456789abcdef")
+        tolerant = run_mvee(RoleReads(), variants=2, agent=None, seed=1,
+                            costs=fast_costs, disk=disk,
+                            policy=MonitorPolicy(lockstep="sensitive"))
+        assert tolerant.verdict == "clean"
+        disk2 = VirtualDisk()
+        disk2.add_file("/data.txt", b"0123456789abcdef")
+        strict = run_mvee(RoleReads(), variants=2, agent=None, seed=1,
+                          costs=fast_costs, disk=disk2,
+                          policy=MonitorPolicy(
+                              lockstep="sensitive",
+                              extra_sensitive=frozenset({"read"})))
+        assert strict.verdict == "divergence"

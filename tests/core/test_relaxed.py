@@ -1,0 +1,87 @@
+"""Tests for the VARAN-style relaxed monitor baseline (Section 6)."""
+
+import pytest
+
+from repro.core.divergence import DivergenceKind
+from repro.core.mvee import MVEE, run_mvee
+from repro.guest.program import GuestProgram
+from repro.kernel.fs import VirtualDisk
+from tests.guestlib import CounterProgram, LooselyCoupledProgram
+
+
+class TestRelaxedOnLooselyCoupled:
+    def test_clean_without_any_agent(self, fast_costs):
+        """VARAN's sweet spot: threads that do not communicate."""
+        outcome = run_mvee(LooselyCoupledProgram(workers=4, steps=15),
+                           variants=2, agent=None, seed=5,
+                           monitor_kind="relaxed", costs=fast_costs)
+        assert outcome.verdict == "clean"
+
+    def test_leader_runs_ahead(self, fast_costs):
+        mvee = MVEE(LooselyCoupledProgram(workers=3, steps=20),
+                    variants=2, agent=None, seed=6,
+                    monitor_kind="relaxed", costs=fast_costs)
+        # Make the follower slower (NOP-insertion-style diversity): a
+        # lockstep monitor would drag the leader down; VARAN must not.
+        mvee.vms[1].compute_scale = 3.0
+        outcome = mvee.run()
+        assert outcome.verdict == "clean"
+        assert mvee.monitor.max_lead >= 1, (
+            "the leader should get ahead of followers (no lockstep)")
+
+    def test_io_replicated_to_followers(self, fast_costs):
+        class Reader(GuestProgram):
+            def main(self, ctx):
+                fd = yield from ctx.open("/in.txt")
+                data = yield from ctx.read(fd, 10)
+                return data
+
+        disk = VirtualDisk()
+        disk.add_file("/in.txt", b"0123456789")
+        outcome = run_mvee(Reader(), variants=2, agent=None, seed=0,
+                           monitor_kind="relaxed", costs=fast_costs,
+                           disk=disk)
+        assert outcome.verdict == "clean"
+        assert all(vm.threads["main"].result == b"0123456789"
+                   for vm in outcome.vms)
+
+
+class TestRelaxedOnCommunicatingThreads:
+    def test_diverges_without_agent(self, fast_costs):
+        """The paper's criticism of VARAN: explicit inter-thread sync via
+        shared memory breaks the per-thread sequence equality."""
+        outcome = run_mvee(CounterProgram(workers=4, iters=120),
+                           variants=2, agent=None, seed=7,
+                           monitor_kind="relaxed", costs=fast_costs)
+        assert outcome.verdict == "divergence"
+        assert outcome.divergence.kind is DivergenceKind.SEQUENCE_MISMATCH
+
+    @pytest.mark.parametrize("agent",
+                             ["total_order", "partial_order",
+                              "wall_of_clocks"])
+    def test_clean_with_paper_agents(self, agent, fast_costs):
+        """Adding this paper's sync agents fixes the relaxed monitor too."""
+        outcome = run_mvee(CounterProgram(workers=4, iters=80),
+                           variants=2, agent=agent, seed=7,
+                           monitor_kind="relaxed", costs=fast_costs)
+        assert outcome.verdict == "clean"
+
+
+class TestFollowerShortExit:
+    def test_follower_exiting_early_is_sequence_mismatch(self,
+                                                         fast_costs):
+        """A follower whose thread makes fewer calls than the leader
+        recorded deviated from the leader's sequence."""
+        from repro.guest.program import GuestProgram
+
+        class RoleShort(GuestProgram):
+            def main(self, ctx):
+                role = yield from ctx.mvee_get_role()
+                steps = 6 if role == 0 else 2
+                for step in range(steps):
+                    yield from ctx.printf(f"s{step}\n")
+
+        outcome = run_mvee(RoleShort(), variants=2, agent=None, seed=1,
+                           monitor_kind="relaxed", costs=fast_costs,
+                           max_cycles=1e9)
+        assert outcome.verdict != "clean"

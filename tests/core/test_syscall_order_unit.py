@@ -1,0 +1,82 @@
+"""Direct unit tests of the Lamport syscall orderer (§4.1)."""
+
+import pytest
+
+from repro.core.syscall_order import SyscallOrderer
+from repro.sched.interceptor import Proceed, Wait
+
+
+class FakeWake:
+    def __init__(self):
+        self.keys = []
+
+    def __call__(self, key):
+        self.keys.append(key)
+
+
+@pytest.fixture
+def orderer():
+    wake = FakeWake()
+    orderer = SyscallOrderer(n_variants=2, wake=wake)
+    orderer._test_wake = wake
+    return orderer
+
+
+class TestMasterCriticalSection:
+    def test_master_enters_freely(self, orderer):
+        assert isinstance(orderer.check(0, "main", "v0:main"), Proceed)
+
+    def test_second_master_thread_waits(self, orderer):
+        orderer.check(0, "main", "v0:main")
+        outcome = orderer.check(0, "main/1", "v0:main/1")
+        assert isinstance(outcome, Wait)
+        assert outcome.key == ("order_cs",)
+
+    def test_reentrant_for_same_thread(self, orderer):
+        orderer.check(0, "main", "v0:main")
+        assert isinstance(orderer.check(0, "main", "v0:main"), Proceed)
+
+    def test_finish_releases_and_wakes(self, orderer):
+        orderer.check(0, "main", "v0:main")
+        orderer.finish(0, "main", "v0:main")
+        assert ("order_cs",) in orderer._test_wake.keys
+        assert isinstance(orderer.check(0, "main/1", "v0:main/1"),
+                          Proceed)
+
+
+class TestSlaveOrdering:
+    def _master_sequence(self, orderer, threads):
+        for thread in threads:
+            assert isinstance(orderer.check(0, thread, f"v0:{thread}"),
+                              Proceed)
+            orderer.finish(0, thread, f"v0:{thread}")
+
+    def test_slave_waits_for_unrecorded_call(self, orderer):
+        outcome = orderer.check(1, "main", "v1:main")
+        assert isinstance(outcome, Wait)
+        assert outcome.key == ("order_log", 1)
+
+    def test_slave_follows_master_interleaving(self, orderer):
+        # Master order: A, B, A.
+        self._master_sequence(orderer, ["A", "B", "A"])
+        # Slave: B arrives first but its stamp is position 1 -> waits.
+        outcome = orderer.check(1, "B", "v1:B")
+        assert isinstance(outcome, Wait)
+        assert outcome.key == ("order_clock", 1)
+        # A's first call has stamp 0 -> may proceed.
+        assert isinstance(orderer.check(1, "A", "v1:A"), Proceed)
+        orderer.finish(1, "A", "v1:A")
+        assert ("order_clock", 1) in orderer._test_wake.keys
+        # Now B's turn (stamp 1), then A again (stamp 2).
+        assert isinstance(orderer.check(1, "B", "v1:B"), Proceed)
+        orderer.finish(1, "B", "v1:B")
+        assert isinstance(orderer.check(1, "A", "v1:A"), Proceed)
+
+    def test_master_log_property(self, orderer):
+        self._master_sequence(orderer, ["A", "B"])
+        assert orderer.master_log == ["A", "B"]
+
+    def test_finish_wakes_slave_log_waiters(self, orderer):
+        orderer.check(0, "A", "v0:A")
+        orderer.finish(0, "A", "v0:A")
+        assert ("order_log", 1) in orderer._test_wake.keys

@@ -1,0 +1,68 @@
+"""Listing 3's weak-symbol semantics: instrumentation without a loaded
+agent is a no-op.
+
+"This way, the program would call the agent, if it is running, or
+perform a no-op, if the agent is not running."  In the simulation:
+``vm.instrument`` marks a site as instrumented, but with ``vm.agent is
+None`` the wrappers never run and the program behaves (and costs)
+exactly like the bare binary.
+"""
+
+import pytest
+
+from repro.core.divergence import DivergenceReport
+from repro.run import run_native
+from tests.guestlib import CounterProgram
+
+
+class TestWeakSymbols:
+    def _run(self, instrument):
+        from repro.guest.program import build_context
+        from repro.kernel.fs import VirtualDisk
+        from repro.kernel.kernel import VirtualKernel
+        from repro.sched.machine import Machine
+        from repro.sched.vm import VariantVM
+
+        program = CounterProgram(workers=3, iters=40, chatty=False)
+        kernel = VirtualKernel(VirtualDisk(), role="native")
+        vm = VariantVM(index=0, kernel=kernel, instrument=instrument)
+        machine = Machine(cores=16, seed=7)
+        machine.add_vm(vm)
+        ctx = build_context(vm, program)
+        machine.add_thread(vm, "main", program.main(ctx))
+        report = machine.run()
+        return report, vm
+
+    def test_instrumented_without_agent_is_free(self):
+        bare_report, _ = self._run(instrument=None)
+        weak_report, weak_vm = self._run(instrument=lambda site: True)
+        assert weak_vm.agent is None
+        # Identical behaviour and identical cycle count: with the same
+        # seed, the no-op wrappers must not even perturb timing.
+        assert weak_report.cycles == bare_report.cycles
+        assert weak_report.total_sync_ops == bare_report.total_sync_ops
+
+    def test_agent_wrapper_costs_appear_only_with_agent(self):
+        """Control: injecting a recording agent does add the wrapper
+        cost, so the equality above is meaningful."""
+        from repro.baselines.recplay import RecordingAgent, SyncLog
+
+        bare_report, _ = self._run(instrument=None)
+
+        from repro.guest.program import build_context
+        from repro.kernel.fs import VirtualDisk
+        from repro.kernel.kernel import VirtualKernel
+        from repro.sched.machine import Machine
+        from repro.sched.vm import VariantVM
+
+        program = CounterProgram(workers=3, iters=40, chatty=False)
+        kernel = VirtualKernel(VirtualDisk(), role="native")
+        vm = VariantVM(index=0, kernel=kernel,
+                       instrument=lambda site: True)
+        vm.agent = RecordingAgent(SyncLog())
+        machine = Machine(cores=16, seed=7)
+        machine.add_vm(vm)
+        ctx = build_context(vm, program)
+        machine.add_thread(vm, "main", program.main(ctx))
+        report = machine.run()
+        assert report.cycles > bare_report.cycles

@@ -1,0 +1,95 @@
+"""Tests for the diversity transforms (ASLR, DCL, noise, allocator)."""
+
+import pytest
+
+from repro.diversity.aslr import aslr_layout
+from repro.diversity.dcl import code_regions_disjoint, dcl_layouts
+from repro.diversity.spec import DiversitySpec, apply_diversity, layouts_for
+from repro.kernel.vmem import PAGE_SIZE, LayoutBases
+from repro.sched.vm import VariantVM
+from repro.kernel.kernel import VirtualKernel
+from repro.kernel.fs import VirtualDisk
+
+
+def make_vm(index):
+    return VariantVM(index=index,
+                     kernel=VirtualKernel(VirtualDisk(),
+                                          variant_index=index))
+
+
+class TestASLR:
+    def test_layouts_differ_per_variant(self):
+        first = aslr_layout(0, seed=1)
+        second = aslr_layout(1, seed=1)
+        assert first.static_base != second.static_base
+        assert first.heap_base != second.heap_base
+
+    def test_deterministic_per_seed(self):
+        assert aslr_layout(2, seed=9) == aslr_layout(2, seed=9)
+        assert aslr_layout(2, seed=9) != aslr_layout(2, seed=10)
+
+    def test_bases_page_aligned(self):
+        layout = aslr_layout(3, seed=4)
+        for base in (layout.code_base, layout.static_base,
+                     layout.heap_base, layout.mmap_base):
+            assert base % PAGE_SIZE == 0
+
+    def test_regions_do_not_collide(self):
+        """Randomized regions must stay usable: build an address space
+        and allocate from it."""
+        from repro.kernel.vmem import AddressSpace
+        for variant in range(8):
+            space = AddressSpace(aslr_layout(variant, seed=5))
+            addr = space.alloc_static()
+            space.store(addr, 1)
+            assert space.load(addr) == 1
+
+
+class TestDCL:
+    def test_disjoint_code_regions(self):
+        layouts = dcl_layouts(4)
+        assert code_regions_disjoint(layouts)
+
+    def test_preserves_other_bases(self):
+        base_layouts = [aslr_layout(v, seed=2) for v in range(3)]
+        layouts = dcl_layouts(3, base_layouts)
+        for produced, original in zip(layouts, base_layouts):
+            assert produced.static_base == original.static_base
+        assert code_regions_disjoint(layouts)
+
+    def test_overlap_detected(self):
+        same = [LayoutBases(), LayoutBases()]
+        assert not code_regions_disjoint(same)
+
+
+class TestDiversitySpec:
+    def test_no_spec_gives_identical_layouts(self):
+        layouts = layouts_for(None, 3)
+        assert all(layout == layouts[0] for layout in layouts)
+
+    def test_aslr_spec_gives_distinct_layouts(self):
+        layouts = layouts_for(DiversitySpec(aslr=True, seed=6), 3)
+        assert len({layout.static_base for layout in layouts}) == 3
+
+    def test_noise_applies_to_slaves_only(self):
+        vms = [make_vm(0), make_vm(1), make_vm(2)]
+        apply_diversity(DiversitySpec(noise=0.2, seed=1), vms)
+        assert vms[0].compute_scale == 1.0
+        assert vms[1].compute_scale != 1.0
+        assert vms[1].instruction_noise == 0.2
+
+    def test_noise_per_thread_factors_vary(self):
+        vm = make_vm(1)
+        apply_diversity(DiversitySpec(noise=0.2, seed=1), [make_vm(0),
+                                                           vm])
+        factors = {vm.instruction_factor_for(f"main/{i}")
+                   for i in range(6)}
+        assert len(factors) > 1
+        # cached and deterministic
+        assert (vm.instruction_factor_for("main/1")
+                == vm.instruction_factor_for("main/1"))
+
+    def test_allocator_padding_scales_with_index(self):
+        vms = [make_vm(0), make_vm(1), make_vm(2)]
+        apply_diversity(DiversitySpec(allocator_padding=16), vms)
+        assert [vm.malloc_padding for vm in vms] == [0, 16, 32]

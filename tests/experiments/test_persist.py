@@ -1,0 +1,45 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.experiments.persist import (
+    load_metadata,
+    load_results,
+    save_results,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+def cell(**overrides):
+    base = dict(benchmark="fft", agent="wall_of_clocks", variants=2,
+                native_cycles=100.0, mvee_cycles=120.0, verdict="clean",
+                sync_ops=10, syscalls=5, stall_cycles=3.0)
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        results = [cell(), cell(benchmark="dedup", mvee_cycles=250.0)]
+        path = tmp_path / "grid.json"
+        save_results(results, path, metadata={"scale": 0.25})
+        loaded = load_results(path)
+        assert [r.benchmark for r in loaded] == ["fft", "dedup"]
+        assert loaded[1].slowdown == pytest.approx(2.5)
+        assert load_metadata(path) == {"scale": 0.25}
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 99, "cells": []}')
+        with pytest.raises(ValueError, match="format version"):
+            load_results(path)
+
+    def test_loaded_results_feed_tables(self, tmp_path):
+        from repro.experiments.tables import table1
+        path = tmp_path / "grid.json"
+        save_results([cell(agent=a, variants=v)
+                      for a in ("total_order", "partial_order",
+                                "wall_of_clocks")
+                      for v in (2, 3, 4)], path)
+        text = table1(load_results(path))
+        assert "wall_of_clocks" in text

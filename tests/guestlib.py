@@ -1,0 +1,353 @@
+"""Reusable guest programs for the test suite.
+
+Each program exercises a distinct slice of the paper's problem space:
+schedule-dependent output, FD races, futex-backed primitives, hidden libc
+sync ops, pipelines.  Tests parameterize over these.
+"""
+
+from __future__ import annotations
+
+from repro.guest.libc import GuestLibc
+from repro.guest.program import GuestProgram
+from repro.guest.sync import (
+    Barrier,
+    CondVar,
+    Mutex,
+    Semaphore,
+    SpinLock,
+    TicketLock,
+)
+
+
+class CounterProgram(GuestProgram):
+    """Spinlock-protected shared counter; periodic schedule-dependent
+    printf makes benign divergence observable (Section 1's scenario)."""
+
+    name = "counter"
+    static_vars = ("lock", "counter")
+
+    def __init__(self, workers: int = 4, iters: int = 150,
+                 compute: float = 2000.0, chatty: bool = True):
+        self.workers = workers
+        self.iters = iters
+        self.compute = compute
+        self.chatty = chatty
+
+    def main(self, ctx):
+        lock = SpinLock(ctx.static_addr("lock"))
+        tids = yield from ctx.spawn_all(
+            self.worker, [(lock, i) for i in range(self.workers)])
+        yield from ctx.join_all(tids)
+        total = ctx.mem_load(ctx.static_addr("counter"))
+        yield from ctx.printf(f"total={total}\n")
+        return total
+
+    def worker(self, ctx, lock, index):
+        observed = 0
+        for step in range(self.iters):
+            yield from ctx.compute(self.compute)
+            yield from lock.acquire(ctx)
+            observed = ctx.mem_load(ctx.static_addr("counter"))
+            ctx.mem_store(ctx.static_addr("counter"), observed + 1)
+            yield from lock.release(ctx)
+            if self.chatty and step % 40 == 39:
+                yield from ctx.printf(f"w{index} saw {observed}\n")
+        return observed
+
+
+class MutexCounterProgram(GuestProgram):
+    """Same shape but with the futex-backed mutex (contended slow path)."""
+
+    name = "mutex_counter"
+    static_vars = ("mutex", "counter")
+
+    def __init__(self, workers: int = 4, iters: int = 100):
+        self.workers = workers
+        self.iters = iters
+
+    def main(self, ctx):
+        mutex = Mutex(ctx.static_addr("mutex"))
+        tids = yield from ctx.spawn_all(
+            self.worker, [(mutex,) for _ in range(self.workers)])
+        yield from ctx.join_all(tids)
+        total = ctx.mem_load(ctx.static_addr("counter"))
+        yield from ctx.printf(f"total={total}\n")
+        return total
+
+    def worker(self, ctx, mutex):
+        for _ in range(self.iters):
+            yield from ctx.compute(400)
+            yield from mutex.acquire(ctx)
+            value = ctx.mem_load(ctx.static_addr("counter"))
+            yield from ctx.compute(150)
+            ctx.mem_store(ctx.static_addr("counter"), value + 1)
+            yield from mutex.release(ctx)
+        return 0
+
+
+class FDRaceProgram(GuestProgram):
+    """Section 3.1's example: threads race to open files and print the FD
+    values they received.  Without cross-variant syscall ordering the FD
+    numbers differ between variants."""
+
+    name = "fd_race"
+    static_vars = ()
+
+    def __init__(self, workers: int = 4, files_per_worker: int = 6):
+        self.workers = workers
+        self.files_per_worker = files_per_worker
+
+    @staticmethod
+    def populate(disk) -> None:
+        for index in range(64):
+            disk.add_file(f"/data/input{index}.txt",
+                          f"contents {index}\n".encode())
+
+    def main(self, ctx):
+        tids = yield from ctx.spawn_all(
+            self.worker, [(i,) for i in range(self.workers)])
+        yield from ctx.join_all(tids)
+        return 0
+
+    def worker(self, ctx, index):
+        fds = []
+        for k in range(self.files_per_worker):
+            yield from ctx.compute(700)
+            fd = yield from ctx.open(
+                f"/data/input{index * 8 + k}.txt")
+            fds.append(fd)
+            yield from ctx.printf(f"w{index} got fd {fd}\n")
+        for fd in fds:
+            data = yield from ctx.read(fd, 64)
+            yield from ctx.compute(200)
+            yield from ctx.close(fd)
+        return tuple(fds)
+
+
+class ProducerConsumerProgram(GuestProgram):
+    """Bounded buffer with mutex + two condition variables."""
+
+    name = "producer_consumer"
+    static_vars = ("mutex", "not_full", "not_empty", "count", "produced",
+                   "consumed")
+
+    def __init__(self, producers: int = 2, consumers: int = 2,
+                 items_per_producer: int = 40, capacity: int = 4):
+        self.producers = producers
+        self.consumers = consumers
+        self.items_per_producer = items_per_producer
+        self.capacity = capacity
+
+    def main(self, ctx):
+        mutex = Mutex(ctx.static_addr("mutex"))
+        not_full = CondVar(ctx.static_addr("not_full"))
+        not_empty = CondVar(ctx.static_addr("not_empty"))
+        total = self.producers * self.items_per_producer
+        prods = yield from ctx.spawn_all(
+            self.producer,
+            [(mutex, not_full, not_empty) for _ in range(self.producers)])
+        cons_share = total // self.consumers
+        cons = yield from ctx.spawn_all(
+            self.consumer,
+            [(mutex, not_full, not_empty, cons_share)
+             for _ in range(self.consumers)])
+        yield from ctx.join_all(prods + cons)
+        consumed = ctx.mem_load(ctx.static_addr("consumed"))
+        yield from ctx.printf(f"consumed={consumed}\n")
+        return consumed
+
+    def producer(self, ctx, mutex, not_full, not_empty):
+        count_addr = ctx.static_addr("count")
+        for _ in range(self.items_per_producer):
+            yield from ctx.compute(500)
+            yield from mutex.acquire(ctx)
+            while ctx.mem_load(count_addr) >= self.capacity:
+                yield from not_full.wait(ctx, mutex)
+            ctx.mem_store(count_addr, ctx.mem_load(count_addr) + 1)
+            produced_addr = ctx.static_addr("produced")
+            ctx.mem_store(produced_addr,
+                          ctx.mem_load(produced_addr) + 1)
+            yield from mutex.release(ctx)
+            yield from not_empty.signal(ctx)
+        return 0
+
+    def consumer(self, ctx, mutex, not_full, not_empty, quota):
+        count_addr = ctx.static_addr("count")
+        for _ in range(quota):
+            yield from mutex.acquire(ctx)
+            while ctx.mem_load(count_addr) == 0:
+                yield from not_empty.wait(ctx, mutex)
+            ctx.mem_store(count_addr, ctx.mem_load(count_addr) - 1)
+            consumed_addr = ctx.static_addr("consumed")
+            ctx.mem_store(consumed_addr,
+                          ctx.mem_load(consumed_addr) + 1)
+            yield from mutex.release(ctx)
+            yield from not_full.signal(ctx)
+            yield from ctx.compute(400)
+        return 0
+
+
+class BarrierPhasesProgram(GuestProgram):
+    """Phased computation: all threads synchronize at a barrier each phase
+    and the phase results depend on every thread's contribution."""
+
+    name = "barrier_phases"
+    static_vars = ("bar_count", "bar_gen", "accum")
+
+    def __init__(self, workers: int = 4, phases: int = 5):
+        self.workers = workers
+        self.phases = phases
+
+    def main(self, ctx):
+        barrier = Barrier(ctx.static_addr("bar_count"),
+                          ctx.static_addr("bar_gen"), self.workers)
+        tids = yield from ctx.spawn_all(
+            self.worker, [(barrier, i) for i in range(self.workers)])
+        results = yield from ctx.join_all(tids)
+        yield from ctx.printf(f"accum={max(results)}\n")
+        return max(results)
+
+    def worker(self, ctx, barrier, index):
+        accum_addr = ctx.static_addr("accum")
+        for phase in range(self.phases):
+            yield from ctx.compute(1000 + 173 * index)
+            yield from ctx.fetch_add(accum_addr, index + 1,
+                                     site="app.accum.xadd")
+            yield from barrier.wait(ctx)
+        return ctx.mem_load(accum_addr)
+
+
+class MallocStormProgram(GuestProgram):
+    """Hammers guest malloc from many threads: exercises the *hidden*
+    libc-internal spinlock and allocation-ordering (Section 3.3)."""
+
+    name = "malloc_storm"
+    static_vars = ()
+
+    def __init__(self, workers: int = 4, allocs: int = 30):
+        self.workers = workers
+        self.allocs = allocs
+
+    def main(self, ctx):
+        yield from GuestLibc.setup(ctx)
+        tids = yield from ctx.spawn_all(
+            self.worker, [(i,) for i in range(self.workers)])
+        blocks = yield from ctx.join_all(tids)
+        yield from ctx.printf(f"allocated {sum(len(b) for b in blocks)}\n")
+        return blocks
+
+    def worker(self, ctx, index):
+        blocks = []
+        for k in range(self.allocs):
+            yield from ctx.compute(300)
+            block = yield from ctx.libc.malloc(ctx, 48 + 16 * (k % 5))
+            blocks.append(block)
+        return blocks
+
+
+class PipelineProgram(GuestProgram):
+    """dedup/ferret-style pipeline over OS pipes with semaphore pacing."""
+
+    name = "pipeline"
+    static_vars = ("sem_stage1", "items_done")
+
+    def __init__(self, items: int = 25):
+        self.items = items
+
+    def main(self, ctx):
+        read_fd, write_fd = yield from ctx.syscall("pipe")
+        sem = Semaphore(ctx.static_addr("sem_stage1"))
+        producer = yield from ctx.spawn(self.producer, write_fd, sem)
+        consumer = yield from ctx.spawn(self.consumer, read_fd, sem)
+        yield from ctx.join_all([producer, consumer])
+        done = ctx.mem_load(ctx.static_addr("items_done"))
+        yield from ctx.printf(f"pipeline done={done}\n")
+        return done
+
+    def producer(self, ctx, write_fd, sem):
+        for index in range(self.items):
+            yield from ctx.compute(600)
+            yield from ctx.write(write_fd, f"item-{index:04d};")
+            yield from sem.release(ctx)
+        yield from ctx.close(write_fd)
+        return 0
+
+    def consumer(self, ctx, read_fd, sem):
+        done_addr = ctx.static_addr("items_done")
+        buffered = b""
+        while True:
+            yield from sem.acquire(ctx)
+            data = yield from ctx.read(read_fd, 32)
+            if data == b"":
+                break
+            buffered += data
+            while b";" in buffered:
+                _, buffered = buffered.split(b";", 1)
+                ctx.mem_store(done_addr, ctx.mem_load(done_addr) + 1)
+            yield from ctx.compute(900)
+            if ctx.mem_load(done_addr) >= self.items:
+                break
+        yield from ctx.close(read_fd)
+        return 0
+
+
+class LooselyCoupledProgram(GuestProgram):
+    """Threads that never communicate: the case VARAN-style relaxed
+    monitoring handles fine (per-thread sequences are schedule-independent)."""
+
+    name = "loosely_coupled"
+    static_vars = ()
+
+    def __init__(self, workers: int = 4, steps: int = 20):
+        self.workers = workers
+        self.steps = steps
+
+    def main(self, ctx):
+        tids = yield from ctx.spawn_all(
+            self.worker, [(i,) for i in range(self.workers)])
+        yield from ctx.join_all(tids)
+        return 0
+
+    def worker(self, ctx, index):
+        for step in range(self.steps):
+            yield from ctx.compute(800 + index * 37)
+            yield from ctx.printf(f"w{index} step {step}\n")
+        return index
+
+
+class ScheduleWitnessProgram(GuestProgram):
+    """Workers record the counter values they observe at each increment;
+    main prints a digest after joining.  The digest is a pure function of
+    the global increment interleaving, and the program performs *no*
+    monitored syscalls until that single final write — ideal for
+    comparing schedulers (DMT vs the paper's agents) without the
+    lockstep-rendezvous interference mid-run."""
+
+    name = "schedule_witness"
+    static_vars = ("lock", "counter")
+
+    def __init__(self, workers: int = 4, iters: int = 50,
+                 compute: float = 1500.0):
+        self.workers = workers
+        self.iters = iters
+        self.compute = compute
+
+    def main(self, ctx):
+        lock = SpinLock(ctx.static_addr("lock"))
+        tids = yield from ctx.spawn_all(
+            self.worker, [(lock,) for _ in range(self.workers)])
+        observations = yield from ctx.join_all(tids)
+        digest = hash(tuple(tuple(obs) for obs in observations)) & 0xFFFF
+        yield from ctx.printf(f"witness digest={digest}\n")
+        return observations
+
+    def worker(self, ctx, lock):
+        observed = []
+        for _ in range(self.iters):
+            yield from ctx.compute(self.compute)
+            yield from lock.acquire(ctx)
+            value = ctx.mem_load(ctx.static_addr("counter"))
+            ctx.mem_store(ctx.static_addr("counter"), value + 1)
+            observed.append(value)
+            yield from lock.release(ctx)
+        return observed

@@ -1,0 +1,66 @@
+"""Tests for lowest-free FD allocation — the Section 3.1 hazard."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.fdtable import FDTable
+
+
+class TestFDTable:
+    def test_stdio_preinstalled(self):
+        table = FDTable()
+        assert table.open_fds() == [0, 1, 2]
+        assert table.get(1).kind == "stream"
+
+    def test_lowest_free_allocation(self):
+        table = FDTable()
+        first = table.install("file", object())
+        second = table.install("file", object())
+        assert (first.fd, second.fd) == (3, 4)
+
+    def test_reuses_lowest_closed_fd(self):
+        table = FDTable()
+        table.install("file", object())   # 3
+        table.install("file", object())   # 4
+        table.close(3)
+        assert table.install("file", object()).fd == 3
+
+    def test_allocation_order_determines_numbers(self):
+        """Two tables handed the same objects in different orders assign
+        different FDs — the root cause of cross-variant FD divergence."""
+        obj_a, obj_b = object(), object()
+        table1 = FDTable()
+        table2 = FDTable()
+        fd_a1 = table1.install("file", obj_a).fd
+        fd_b1 = table1.install("file", obj_b).fd
+        fd_b2 = table2.install("file", obj_b).fd
+        fd_a2 = table2.install("file", obj_a).fd
+        assert fd_a1 == fd_b2 and fd_b1 == fd_a2
+        assert fd_a1 != fd_a2
+
+    def test_get_closed_fd_is_ebadf(self):
+        table = FDTable()
+        fd = table.install("file", object()).fd
+        table.close(fd)
+        with pytest.raises(SyscallError) as excinfo:
+            table.get(fd)
+        assert excinfo.value.errno_name == "EBADF"
+
+    def test_dup_targets_lowest_free(self):
+        table = FDTable()
+        source = table.install("file", object())
+        table.close(0)
+        duplicate = table.dup(source.fd)
+        assert duplicate.fd == 0
+        assert duplicate.obj is source.obj
+
+    def test_close_returns_entry(self):
+        table = FDTable()
+        entry = table.install("file", object())
+        closed = table.close(entry.fd)
+        assert closed is entry
+
+    def test_contains_and_len(self):
+        table = FDTable()
+        assert 1 in table
+        assert len(table) == 3

@@ -1,0 +1,91 @@
+"""Tests for the shared virtual disk, files, and pipes."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.fs import Pipe, VirtualDisk, VirtualFile
+
+
+class TestVirtualFile:
+    def test_read_within_bounds(self):
+        vfile = VirtualFile("/a", bytearray(b"hello world"))
+        assert vfile.read_at(0, 5) == b"hello"
+        assert vfile.read_at(6, 100) == b"world"
+
+    def test_read_past_end_returns_empty(self):
+        vfile = VirtualFile("/a", bytearray(b"abc"))
+        assert vfile.read_at(10, 4) == b""
+
+    def test_write_extends_file(self):
+        vfile = VirtualFile("/a")
+        assert vfile.write_at(4, b"xy") == 2
+        assert vfile.size == 6
+        assert vfile.read_at(0, 6) == b"\x00\x00\x00\x00xy"
+
+    def test_overwrite_in_place(self):
+        vfile = VirtualFile("/a", bytearray(b"abcdef"))
+        vfile.write_at(2, b"ZZ")
+        assert bytes(vfile.data) == b"abZZef"
+
+
+class TestVirtualDisk:
+    def test_add_and_lookup(self, disk):
+        disk.add_file("/x", b"data")
+        assert disk.lookup("/x").read_at(0, 4) == b"data"
+        assert disk.lookup("/missing") is None
+
+    def test_create_is_idempotent(self, disk):
+        first = disk.create("/y")
+        first.write_at(0, b"keep")
+        second = disk.create("/y")
+        assert second is first
+        assert bytes(second.data) == b"keep"
+
+    def test_unlink_removes(self, disk):
+        disk.add_file("/z", b"")
+        disk.unlink("/z")
+        assert not disk.exists("/z")
+
+    def test_unlink_missing_raises_enoent(self, disk):
+        with pytest.raises(SyscallError) as excinfo:
+            disk.unlink("/nope")
+        assert excinfo.value.errno_name == "ENOENT"
+
+    def test_paths_sorted(self, disk):
+        disk.add_file("/b")
+        disk.add_file("/a")
+        assert disk.paths() == ["/a", "/b"]
+
+    def test_streams_capture_output(self, disk):
+        disk.append_stream("stdout", b"hello ")
+        disk.append_stream("stdout", b"world")
+        assert disk.stream_text("stdout") == "hello world"
+
+    def test_unknown_stream_is_empty(self, disk):
+        assert disk.stream_text("whatever") == ""
+
+
+class TestPipe:
+    def test_write_then_read(self):
+        pipe = Pipe(1)
+        pipe.write(b"abcdef")
+        assert pipe.read(4) == b"abcd"
+        assert pipe.read(4) == b"ef"
+
+    def test_empty_open_pipe_would_block(self):
+        pipe = Pipe(1)
+        assert pipe.read(4) is None
+
+    def test_eof_after_writers_close(self):
+        pipe = Pipe(1)
+        pipe.write(b"xy")
+        pipe.write_ends = 0
+        assert pipe.read(10) == b"xy"
+        assert pipe.read(10) == b""
+
+    def test_write_without_readers_is_epipe(self):
+        pipe = Pipe(1)
+        pipe.read_ends = 0
+        with pytest.raises(SyscallError) as excinfo:
+            pipe.write(b"data")
+        assert excinfo.value.errno_name == "EPIPE"

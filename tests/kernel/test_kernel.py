@@ -1,0 +1,180 @@
+"""Tests for the per-variant virtual kernel's syscall semantics."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.fs import VirtualDisk
+from repro.kernel.kernel import ENOENT, ENOSYS, Blocked, VirtualKernel
+from repro.kernel.net import Network
+from repro.kernel.vmem import Protection
+
+
+class TestFileSyscalls:
+    def test_open_read_close(self, kernel, disk):
+        disk.add_file("/in.txt", b"payload")
+        fd = kernel.execute("open", ("/in.txt", "r"), "t")
+        assert fd == 3
+        assert kernel.execute("read", (fd, 4), "t") == b"payl"
+        assert kernel.execute("read", (fd, 4), "t") == b"oad"
+        assert kernel.execute("close", (fd,), "t") == 0
+
+    def test_open_missing_is_enoent(self, kernel):
+        assert kernel.execute("open", ("/ghost", "r"), "t") == ENOENT
+
+    def test_open_for_write_creates(self, kernel, disk):
+        fd = kernel.execute("open", ("/out.txt", "w"), "t")
+        kernel.execute("write", (fd, b"hi"), "t")
+        assert disk.lookup("/out.txt").read_at(0, 2) == b"hi"
+
+    def test_write_str_is_encoded(self, kernel, disk):
+        kernel.execute("write", (1, "héllo"), "t")
+        assert disk.stream_text("stdout") == "héllo"
+
+    def test_lseek_whences(self, kernel, disk):
+        disk.add_file("/f", b"0123456789")
+        fd = kernel.execute("open", ("/f", "r"), "t")
+        assert kernel.execute("lseek", (fd, 4, "set"), "t") == 4
+        assert kernel.execute("lseek", (fd, 2, "cur"), "t") == 6
+        assert kernel.execute("lseek", (fd, -1, "end"), "t") == 9
+        with pytest.raises(SyscallError):
+            kernel.execute("lseek", (fd, 0, "bogus"), "t")
+
+    def test_stat(self, kernel, disk):
+        disk.add_file("/f", b"abc")
+        assert kernel.execute("stat", ("/f",), "t") == 3
+        assert kernel.execute("stat", ("/ghost",), "t") == ENOENT
+
+    def test_dup_shares_object(self, kernel, disk):
+        disk.add_file("/f", b"abc")
+        fd = kernel.execute("open", ("/f", "r"), "t")
+        dup_fd = kernel.execute("dup", (fd,), "t")
+        assert dup_fd != fd
+        assert kernel.execute("read", (dup_fd, 3), "t") == b"abc"
+
+
+class TestPipeSyscalls:
+    def test_pipe_roundtrip(self, kernel):
+        read_fd, write_fd = kernel.execute("pipe", (), "t")
+        kernel.execute("write", (write_fd, b"msg"), "t")
+        assert kernel.execute("read", (read_fd, 10), "t") == b"msg"
+
+    def test_pipe_read_blocks_when_empty(self, kernel):
+        read_fd, _ = kernel.execute("pipe", (), "t")
+        outcome = kernel.execute("read", (read_fd, 10), "t")
+        assert isinstance(outcome, Blocked)
+        assert outcome.retry
+
+    def test_pipe_eof_after_close(self, kernel):
+        read_fd, write_fd = kernel.execute("pipe", (), "t")
+        kernel.execute("close", (write_fd,), "t")
+        assert kernel.execute("read", (read_fd, 10), "t") == b""
+
+    def test_pipe_write_wakes_readers(self, kernel):
+        read_fd, write_fd = kernel.execute("pipe", (), "t")
+        kernel.execute("write", (write_fd, b"x"), "t")
+        assert kernel.pending_wakeups  # the pipe key wake
+
+
+class TestMemorySyscalls:
+    def test_brk_mmap_mprotect(self, kernel):
+        base = kernel.execute("brk", (None,), "t")
+        assert kernel.execute("brk", (base + 64,), "t") == base + 64
+        start = kernel.execute("mmap", (4096,), "t")
+        assert kernel.execute("mprotect", (start, Protection.READ),
+                              "t") == 0
+        assert kernel.execute("munmap", (start,), "t") == 0
+
+
+class TestFutexSyscalls:
+    def test_wait_blocks_when_value_matches(self, kernel):
+        addr = kernel.addr_space.alloc_static()
+        kernel.addr_space.store(addr, 7)
+        outcome = kernel.execute("futex_wait", (addr, 7), "t1")
+        assert isinstance(outcome, Blocked)
+        assert not outcome.retry and outcome.wake_result == 0
+
+    def test_wait_returns_eagain_on_mismatch(self, kernel):
+        addr = kernel.addr_space.alloc_static()
+        kernel.addr_space.store(addr, 3)
+        assert kernel.execute("futex_wait", (addr, 7), "t1") == -11
+
+    def test_wake_releases_fifo(self, kernel):
+        addr = kernel.addr_space.alloc_static()
+        kernel.execute("futex_wait", (addr, 0), "t1")
+        kernel.execute("futex_wait", (addr, 0), "t2")
+        assert kernel.execute("futex_wake", (addr, 1), "t3") == 1
+        assert kernel.pending_wakeups[-1] == ("thread", "t1")
+
+    def test_wake_with_no_waiters(self, kernel):
+        addr = kernel.addr_space.alloc_static()
+        assert kernel.execute("futex_wake", (addr, 1), "t") == 0
+
+
+class TestTimeAndIdentity:
+    def test_gettimeofday_epoch(self, kernel):
+        seconds, microseconds = kernel.execute("gettimeofday", (), "t")
+        assert seconds >= 1_490_000_000
+        assert 0 <= microseconds < 1_000_000
+
+    def test_rdtsc_tracks_bound_clock(self, kernel):
+        kernel.clock.bind(lambda: 12345.0)
+        assert kernel.execute("rdtsc", (), "t") == 12345
+
+    def test_getpid_constant(self, kernel):
+        assert kernel.execute("getpid", (), "t") == 4242
+
+    def test_nanosleep_blocks_with_timeout(self, kernel):
+        outcome = kernel.execute("nanosleep", (0.001,), "t")
+        assert isinstance(outcome, Blocked)
+        assert outcome.timeout_cycles == pytest.approx(1_000_000)
+
+    def test_unknown_syscall_is_enosys(self, kernel):
+        assert kernel.execute("does_not_exist", (), "t") == ENOSYS
+
+    def test_mvee_get_role_is_enosys_natively(self, kernel):
+        assert kernel.execute("mvee_get_role", (), "t") == ENOSYS
+
+
+class TestNetworkSyscalls:
+    def _server(self):
+        disk = VirtualDisk()
+        net = Network()
+        kernel = VirtualKernel(disk, network=net, role="native")
+        sock = kernel.execute("socket", (), "t")
+        kernel.execute("bind", (sock, 8080), "t")
+        kernel.execute("listen", (sock,), "t")
+        return kernel, net, sock
+
+    def test_accept_blocks_then_succeeds(self):
+        kernel, net, sock = self._server()
+        outcome = kernel.execute("accept", (sock,), "t")
+        assert isinstance(outcome, Blocked)
+        conn = net.client_connect(8080)
+        fd = kernel.execute("accept", (sock,), "t")
+        assert isinstance(fd, int)
+        net.client_send(conn, b"GET /")
+        assert kernel.execute("recv", (fd, 16), "t") == b"GET /"
+        kernel.execute("send", (fd, b"200 OK"), "t")
+        assert net.client_recv(conn) == b"200 OK"
+
+    def test_execve_is_recorded(self, kernel):
+        kernel.execute("execve", ("/bin/sh", ("-c", "id")), "t")
+        assert kernel.exec_log[0].path == "/bin/sh"
+
+    def test_replicate_read_advances_offset(self, disk):
+        disk.add_file("/f", b"abcdef")
+        kernel = VirtualKernel(disk, role="slave")
+        fd = kernel.execute("open", ("/f", "r"), "t")
+        kernel.apply_replicated("read", (fd, 3), b"abc")
+        assert kernel.fdt.get(fd).offset == 3
+
+    def test_replicate_accept_materializes_fd(self, disk):
+        kernel = VirtualKernel(disk, role="slave")
+        sock = kernel.execute("socket", (), "t")
+        kernel.execute("bind", (sock, 80), "t")
+        kernel.execute("listen", (sock,), "t")   # slave: no net wiring
+        before = set(kernel.fdt.open_fds())
+        kernel.apply_replicated("accept", (sock,), 4)
+        created = set(kernel.fdt.open_fds()) - before
+        assert len(created) == 1
+        assert kernel.fdt.get(created.pop()).kind == "conn_sock"

@@ -1,0 +1,148 @@
+"""Tests for the virtual signal subsystem."""
+
+import pytest
+
+from repro.kernel.kernel import Blocked
+from repro.kernel.signals import SIGUSR1, SIGUSR2, SignalState
+
+
+class TestSignalState:
+    def test_send_without_waiter_pends(self):
+        state = SignalState()
+        assert state.send(SIGUSR1) is None
+        assert state.pending[SIGUSR1] == 1
+
+    def test_send_wakes_fifo_waiter(self):
+        state = SignalState()
+        state.add_waiter(SIGUSR1, "t1")
+        state.add_waiter(SIGUSR1, "t2")
+        assert state.send(SIGUSR1) == "t1"
+        assert state.send(SIGUSR1) == "t2"
+        assert state.send(SIGUSR1) is None
+
+    def test_signals_do_not_cross_numbers(self):
+        state = SignalState()
+        state.add_waiter(SIGUSR2, "t1")
+        assert state.send(SIGUSR1) is None
+        assert state.waiting_threads() == ["t1"]
+
+    def test_try_consume(self):
+        state = SignalState()
+        state.send(SIGUSR1)
+        assert state.try_consume(SIGUSR1)
+        assert not state.try_consume(SIGUSR1)
+
+
+class TestSignalSyscalls:
+    def test_sigwait_blocks_until_kill(self, kernel):
+        outcome = kernel.execute("sigwait", (SIGUSR1,), "waiter")
+        assert isinstance(outcome, Blocked)
+        assert outcome.wake_result == SIGUSR1
+        kernel.execute("kill", (SIGUSR1,), "sender")
+        assert kernel.pending_wakeups[-1] == ("thread", "waiter")
+
+    def test_sigwait_consumes_pending_immediately(self, kernel):
+        kernel.execute("kill", (SIGUSR1,), "sender")
+        assert kernel.execute("sigwait", (SIGUSR1,), "w") == SIGUSR1
+
+    def test_sigpending_counts(self, kernel):
+        assert kernel.execute("sigpending", (SIGUSR1,), "t") == 0
+        kernel.execute("kill", (SIGUSR1,), "t")
+        kernel.execute("kill", (SIGUSR1,), "t")
+        assert kernel.execute("sigpending", (SIGUSR1,), "t") == 2
+
+
+class TestSignalPrograms:
+    def _logger_program(self, signals_to_send=5):
+        from repro.guest.program import GuestProgram
+
+        class SignalDriven(GuestProgram):
+            """§6's pattern: a thread waiting in an infinite loop for an
+            asynchronous event, making no sync ops at all."""
+
+            static_vars = ()
+
+            def main(self, ctx):
+                logger = yield from ctx.spawn(self.logger)
+                for index in range(signals_to_send):
+                    yield from ctx.compute(3_000)
+                    yield from ctx.kill(SIGUSR1)
+                result = yield from ctx.join(logger)
+                yield from ctx.printf(f"logged {result} events\n")
+                return result
+
+            def logger(self, ctx):
+                handled = 0
+                while handled < signals_to_send:
+                    sig = yield from ctx.sigwait(SIGUSR1)
+                    assert sig == SIGUSR1
+                    handled += 1
+                    yield from ctx.compute(500)
+                return handled
+
+        return SignalDriven()
+
+    def test_signal_driven_program_native(self):
+        from repro.run import run_native
+        result = run_native(self._logger_program(), seed=2)
+        assert "logged 5 events" in result.stdout
+
+    @pytest.mark.parametrize("agent", [None, "wall_of_clocks"])
+    def test_signal_replication_under_mvee(self, agent, fast_costs):
+        from repro.core.mvee import run_mvee
+        outcome = run_mvee(self._logger_program(), variants=2,
+                           agent=agent, seed=2, costs=fast_costs)
+        assert outcome.verdict == "clean"
+        assert outcome.stdout.count("logged 5 events") == 1
+
+    def test_slave_never_sleeps_in_sigwait(self, fast_costs):
+        from repro.core.mvee import MVEE
+        mvee = MVEE(self._logger_program(), variants=2, agent=None,
+                    seed=2, costs=fast_costs)
+        outcome = mvee.run()
+        assert outcome.verdict == "clean"
+        assert outcome.vms[1].kernel.signals.waiting_threads() == []
+
+    def test_dmt_wedges_on_signal_waiting_thread(self, fast_costs):
+        """Section 6: DMT approaches that require every thread to reach a
+        synchronization point are incompatible with threads that wait
+        forever for asynchronous events.  Our Kendo-style baseline treats
+        the sigwait-blocked logger as a participant with a frozen clock,
+        so the workers' sync ops can never become eligible."""
+        from repro.core.mvee import run_mvee
+        from repro.guest.program import GuestProgram
+        from repro.guest.sync import SpinLock
+
+        class MixedProgram(GuestProgram):
+            static_vars = ("lock", "counter")
+
+            def main(self, ctx):
+                logger = yield from ctx.spawn(self.logger)
+                workers = yield from ctx.spawn_all(
+                    self.worker, [() for _ in range(2)])
+                yield from ctx.join_all(workers)
+                yield from ctx.kill(SIGUSR1)  # release the logger
+                yield from ctx.join(logger)
+                return 0
+
+            def logger(self, ctx):
+                yield from ctx.sigwait(SIGUSR1)
+                return 0
+
+            def worker(self, ctx):
+                lock = SpinLock(ctx.static_addr("lock"))
+                for _ in range(20):
+                    yield from ctx.compute(1_000)
+                    yield from lock.acquire(ctx)
+                    addr = ctx.static_addr("counter")
+                    ctx.mem_store(addr, ctx.mem_load(addr) + 1)
+                    yield from lock.release(ctx)
+                return 0
+
+        dmt = run_mvee(MixedProgram(), variants=2, agent="dmt", seed=2,
+                       costs=fast_costs, max_cycles=3e8)
+        assert dmt.verdict == "deadlock"
+        # The paper's agents do not quantify over blocked threads:
+        woc = run_mvee(MixedProgram(), variants=2,
+                       agent="wall_of_clocks", seed=2, costs=fast_costs)
+        assert woc.verdict == "clean"

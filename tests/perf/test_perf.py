@@ -1,0 +1,128 @@
+"""Tests for the performance model: costs, contention, reports."""
+
+import math
+
+import pytest
+
+from repro.kernel.vtime import (
+    CYCLES_PER_SECOND,
+    VirtualClock,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+from repro.perf.contention import (
+    ContentionTracker,
+    SharedLineModel,
+    coherence_cycles,
+)
+from repro.perf.costs import CostModel, DEFAULT_COSTS
+from repro.perf.report import (
+    SlowdownReport,
+    aggregate_slowdowns,
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+)
+
+
+class TestVirtualTime:
+    def test_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(12345.0)) == \
+            pytest.approx(12345.0)
+
+    def test_one_cycle_is_one_nanosecond(self):
+        assert CYCLES_PER_SECOND == 1_000_000_000
+
+    def test_clock_formats(self):
+        clock = VirtualClock()
+        clock.bind(lambda: 1_500_000.0)  # 1.5 ms
+        seconds, microseconds = clock.gettimeofday()
+        assert seconds == int(clock.epoch)
+        assert microseconds == 1_500
+        mono_s, mono_ns = clock.clock_gettime()
+        assert (mono_s, mono_ns) == (0, 1_500_000)
+        assert clock.rdtsc() == 1_500_000
+
+
+class TestCostModel:
+    def test_scaled_returns_modified_copy(self):
+        base = CostModel()
+        tuned = base.scaled(coherence_penalty=999.0)
+        assert tuned.coherence_penalty == 999.0
+        assert base.coherence_penalty != 999.0
+        assert tuned.sync_op_exec == base.sync_op_exec
+
+    def test_defaults_positive(self):
+        for field, value in vars(DEFAULT_COSTS).items():
+            assert value >= 0, field
+
+
+class TestSharedLine:
+    def test_window_forgets_old_accessors(self):
+        line = SharedLineModel(window=4)
+        line.access("a")
+        for _ in range(6):
+            line.access("b")
+        # "a" fell out of the window: b is alone again.
+        assert line.access("b") == 0
+
+    def test_two_sharers(self):
+        line = SharedLineModel()
+        line.access("a")
+        assert line.access("b") == 1
+
+    def test_tracker_isolated_lines(self):
+        tracker = ContentionTracker()
+        tracker.access("line1", "a")
+        assert tracker.access("line2", "b") == 0
+        assert tracker.line_count() == 2
+
+    def test_coherence_saturates(self):
+        costs = CostModel(coherence_penalty=100.0, numa_factor=1.0)
+        assert coherence_cycles(costs, 1) == 100.0
+        assert coherence_cycles(costs, 2) == pytest.approx(130.0)
+        # sub-linear growth
+        assert coherence_cycles(costs, 8) < 8 * 100.0
+
+    def test_numa_multiplies(self):
+        one = CostModel(coherence_penalty=100.0, numa_factor=1.0)
+        two = CostModel(coherence_penalty=100.0, numa_factor=2.0)
+        assert coherence_cycles(two, 3) == 2 * coherence_cycles(one, 3)
+
+
+class TestReports:
+    def test_slowdown_math(self):
+        report = SlowdownReport(benchmark="x", agent="woc", variants=2,
+                                native_cycles=100.0, mvee_cycles=150.0)
+        assert report.slowdown == pytest.approx(1.5)
+        assert report.native_seconds == pytest.approx(1e-7)
+
+    def test_zero_native_is_infinite(self):
+        report = SlowdownReport(benchmark="x", agent="woc", variants=2,
+                                native_cycles=0.0, mvee_cycles=1.0)
+        assert math.isinf(report.slowdown)
+
+    def test_means(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == 2.0
+        assert math.isnan(arithmetic_mean([]))
+        assert math.isnan(geometric_mean([]))
+
+    def test_aggregate_groups_by_agent_and_variants(self):
+        reports = [
+            SlowdownReport("a", "woc", 2, 100, 110),
+            SlowdownReport("b", "woc", 2, 100, 130),
+            SlowdownReport("a", "to", 2, 100, 300),
+        ]
+        means = aggregate_slowdowns(reports)
+        assert means[("woc", 2)] == pytest.approx(1.2)
+        assert means[("to", 2)] == pytest.approx(3.0)
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "x"], [["aaa", "1"], ["b", "22"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1] and "x" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert len(lines) == 5

@@ -1,0 +1,118 @@
+"""Property-based tests over the static analysis pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.identify import identify_sync_ops
+from repro.analysis.ir import (
+    AddrOf,
+    Copy,
+    Function,
+    HeapAlloc,
+    Instruction,
+    Module,
+    Reg,
+    mem,
+)
+from repro.analysis.pointsto import AndersenAnalysis, SteensgaardAnalysis
+from repro.workloads.spec import WorkloadSpec, plan_slice
+
+# -- random pointer-fact programs -------------------------------------------
+
+pointer_names = st.sampled_from([f"p{i}" for i in range(6)])
+object_names = st.sampled_from([f"obj{i}" for i in range(4)])
+
+pointer_facts = st.lists(
+    st.one_of(
+        st.builds(AddrOf, dst=pointer_names, obj=object_names),
+        st.builds(Copy, dst=pointer_names, src=pointer_names),
+        st.builds(HeapAlloc, dst=pointer_names,
+                  site_id=st.sampled_from(["h1", "h2", "h3"]),
+                  type_name=st.sampled_from(["A", "B"])),
+    ),
+    max_size=20)
+
+
+def module_from_facts(facts) -> Module:
+    return Module(name="prop", functions=[
+        Function(name="f", instructions=[], pointer_facts=list(facts))])
+
+
+class TestPointsToProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(facts=pointer_facts)
+    def test_andersen_is_at_most_steensgaard(self, facts):
+        """Subset-based analysis is never less precise than unification:
+        pts_andersen(p) ⊆ pts_steensgaard(p) for every pointer.  (The
+        reverse direction is the §4.3.1 imprecision.)"""
+        module = module_from_facts(facts)
+        andersen = AndersenAnalysis(module)
+        steensgaard = SteensgaardAnalysis(module)
+        for index in range(6):
+            pointer = f"p{index}"
+            assert andersen.points_to(pointer) <= \
+                steensgaard.points_to(pointer)
+
+    @settings(max_examples=60, deadline=None)
+    @given(facts=pointer_facts)
+    def test_addrof_always_included(self, facts):
+        """Soundness floor: p = &x implies x in pts(p) for both."""
+        module = module_from_facts(facts)
+        andersen = AndersenAnalysis(module)
+        steensgaard = SteensgaardAnalysis(module)
+        for fact in facts:
+            if isinstance(fact, AddrOf):
+                assert fact.obj in andersen.points_to(fact.dst)
+                assert fact.obj in steensgaard.points_to(fact.dst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(facts=pointer_facts)
+    def test_may_alias_symmetric(self, facts):
+        module = module_from_facts(facts)
+        for analysis in (AndersenAnalysis(module),
+                         SteensgaardAnalysis(module)):
+            for left in ("p0", "p1", "p2"):
+                for right in ("p3", "p4", "p5"):
+                    assert (analysis.may_alias(left, right)
+                            == analysis.may_alias(right, left))
+
+
+class TestIdentificationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(facts=pointer_facts, n_plain=st.integers(0, 10))
+    def test_type3_only_from_marked_roots(self, facts, n_plain):
+        """A plain access is type (iii) only if some locked instruction
+        exists — no roots, no type (iii) (Listing 2's soundness shape)."""
+        module = module_from_facts(facts)
+        for index in range(n_plain):
+            module.functions.append(Function(
+                name=f"plain{index}",
+                instructions=[Instruction("mov",
+                                          (Reg("eax"), mem("p0")))]))
+        report = identify_sync_ops(module)
+        assert report.type1 == [] and report.type2 == []
+        assert report.type3 == []
+
+
+class TestPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(runtime=st.floats(min_value=1.0, max_value=200.0),
+           syscall_k=st.floats(min_value=0.0, max_value=200.0),
+           sync_k=st.floats(min_value=0.0, max_value=20_000.0),
+           scale=st.floats(min_value=0.05, max_value=1.0))
+    def test_plan_always_bounded(self, runtime, syscall_k, sync_k, scale):
+        spec = WorkloadSpec(name="prop", suite="parsec",
+                            native_runtime_s=runtime,
+                            syscall_rate_k=syscall_k,
+                            sync_rate_k=sync_k)
+        plan = plan_slice(spec, scale=scale)
+        assert 0 < plan.duration_s <= min(0.050, runtime)
+        # The budget binds except when the minimum slice length floors
+        # the duration for extreme rates.
+        floor_ops = sync_k * 1000 * 0.00005
+        assert plan.sync_ops_total <= max(5_000 * scale, 200,
+                                          floor_ops) * 1.01
+        assert plan.gap_cycles >= 50.0
+        assert plan.syscalls_total >= 1

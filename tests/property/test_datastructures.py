@@ -1,0 +1,159 @@
+"""Property-based tests over the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.agents.clocks import ClockWall, clock_for_address
+from repro.core.buffers import (
+    ConsumptionWindow,
+    MultiProducerLog,
+    SPSCBuffer,
+    SyncRecord,
+)
+from repro.kernel.fdtable import FDTable
+from repro.perf.contention import SharedLineModel, coherence_cycles
+from repro.perf.costs import CostModel
+
+addresses = st.integers(min_value=0x1000, max_value=0x7FFF_FFFF_FFFF)
+
+
+class TestClockHashProperties:
+    @given(addresses)
+    def test_hash_in_range(self, addr):
+        for n_clocks in (1, 7, 512):
+            assert 0 <= clock_for_address(addr, n_clocks) < n_clocks
+
+    @given(addresses)
+    def test_granule_aliasing(self, addr):
+        """All addresses within one 8-byte granule share a clock."""
+        base = addr & ~0x7
+        clocks = {clock_for_address(base + off) for off in range(8)}
+        assert len(clocks) == 1
+
+    @given(addresses, st.integers(min_value=1, max_value=64))
+    def test_deterministic(self, addr, n_clocks):
+        assert (clock_for_address(addr, n_clocks)
+                == clock_for_address(addr, n_clocks))
+
+
+class TestClockWallProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=200))
+    def test_tick_counts_match_reads(self, ticks):
+        wall = ClockWall(16)
+        for clock_id in ticks:
+            wall.tick(clock_id)
+        for clock_id in range(16):
+            assert wall.read(clock_id) == ticks.count(clock_id)
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_tick_returns_pre_increment(self, clock_id):
+        wall = ClockWall(8)
+        for expected in range(5):
+            assert wall.tick(clock_id) == expected
+
+
+class TestLogProperties:
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=60))
+    def test_per_thread_positions_partition_the_log(self, threads):
+        log = MultiProducerLog()
+        for thread in threads:
+            log.append(SyncRecord(thread=thread, addr=0, site="s"))
+        positions = []
+        for thread in "abc":
+            for index in range(log.thread_entry_count(thread)):
+                position = log.thread_entry_position(thread, index)
+                assert log.entry(position).thread == thread
+                positions.append(position)
+        assert sorted(positions) == list(range(len(threads)))
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=60))
+    def test_per_thread_positions_are_increasing(self, threads):
+        log = MultiProducerLog()
+        for thread in threads:
+            log.append(SyncRecord(thread=thread, addr=0, site="s"))
+        for thread in "abc":
+            series = [log.thread_entry_position(thread, i)
+                      for i in range(log.thread_entry_count(thread))]
+            assert series == sorted(series)
+
+
+class TestConsumptionWindowProperties:
+    @given(st.permutations(list(range(24))))
+    def test_frontier_reaches_end_in_any_order(self, order):
+        window = ConsumptionWindow()
+        for position in order:
+            window.mark_consumed(position, "t")
+        assert window.frontier == 24
+        assert window.window_size() == 0
+
+    @given(st.permutations(list(range(16))))
+    def test_is_consumed_consistent(self, order):
+        window = ConsumptionWindow()
+        seen = set()
+        for position in order:
+            window.mark_consumed(position, "t")
+            seen.add(position)
+            for probe in range(16):
+                assert window.is_consumed(probe) == (probe in seen)
+
+
+class TestSPSCBufferProperties:
+    @given(st.lists(st.integers(), max_size=50),
+           st.integers(min_value=1, max_value=3))
+    def test_each_consumer_sees_fifo(self, values, consumers):
+        buffer = SPSCBuffer("p")
+        for value in values:
+            buffer.produce(SyncRecord(thread="p", addr=value, site="s"))
+        for consumer in range(1, consumers + 1):
+            drained = []
+            while True:
+                record = buffer.peek(consumer)
+                if record is None:
+                    break
+                drained.append(record.addr)
+                buffer.advance(consumer)
+            assert drained == values
+
+
+class TestFDTableProperties:
+    @given(st.lists(st.booleans(), max_size=40))
+    def test_lowest_free_invariant(self, ops):
+        """After any open/close sequence, a new FD is always the lowest
+        unused number (the §3.1 semantics)."""
+        table = FDTable()
+        open_fds = [0, 1, 2]
+        for do_open in ops:
+            if do_open or len(open_fds) <= 3:
+                fd = table.install("file", object()).fd
+                assert fd == min(set(range(fd + 2)) - set(open_fds))
+                open_fds.append(fd)
+            else:
+                victim = open_fds.pop()
+                if victim > 2:
+                    table.close(victim)
+                else:
+                    open_fds.append(victim)
+        assert sorted(table.open_fds()) == sorted(set(open_fds))
+
+
+class TestContentionProperties:
+    @given(st.lists(st.sampled_from(["t1", "t2", "t3", "t4"]),
+                    min_size=1, max_size=100))
+    def test_sharers_bounded_by_distinct_threads(self, accesses):
+        line = SharedLineModel(window=16)
+        for thread in accesses:
+            sharers = line.access(thread)
+            assert 0 <= sharers < 4
+
+    def test_single_thread_never_pays(self):
+        line = SharedLineModel()
+        assert all(line.access("only") == 0 for _ in range(50))
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_coherence_cycles_monotone(self, sharers):
+        costs = CostModel()
+        assert (coherence_cycles(costs, sharers)
+                <= coherence_cycles(costs, sharers + 1))
+
+    def test_zero_sharers_free(self):
+        assert coherence_cycles(CostModel(), 0) == 0.0

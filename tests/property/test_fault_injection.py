@@ -1,0 +1,75 @@
+"""Fault-injection properties: a fault anywhere in any variant is always
+detected as divergence, never a hang or a silent pass.
+
+Hypothesis chooses which variant faults, at which loop step, and under
+which scheduler seed; the MVEE must always produce a VARIANT_FAULT
+divergence and never let any variant's final output escape.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.divergence import DivergenceKind
+from repro.core.mvee import run_mvee
+from repro.guest.program import GuestProgram
+from repro.guest.sync import SpinLock
+from repro.perf.costs import CostModel
+
+FAST = CostModel(monitor_syscall_overhead=1_000.0)
+
+
+class FaultInjectedProgram(GuestProgram):
+    """A normal locking workload with a planted crash."""
+
+    static_vars = ("lock", "counter")
+
+    def __init__(self, fault_variant: int, fault_step: int,
+                 fault_kind: str):
+        self.fault_variant = fault_variant
+        self.fault_step = fault_step
+        self.fault_kind = fault_kind
+
+    def main(self, ctx):
+        role = yield from ctx.mvee_get_role()
+        lock = SpinLock(ctx.static_addr("lock"))
+        tid = yield from ctx.spawn(self.worker, lock, role)
+        yield from ctx.join(tid)
+        yield from ctx.printf("survived\n")
+        return 0
+
+    def worker(self, ctx, lock, role):
+        for step in range(12):
+            yield from ctx.compute(500)
+            if role == self.fault_variant and step == self.fault_step:
+                if self.fault_kind == "wild_read":
+                    ctx.mem_load(0xDEAD_0000)
+                else:
+                    ctx.mem_store(ctx.vm.kernel.addr_space.bases
+                                  .code_base, 0x90)  # write to code
+            yield from lock.acquire(ctx)
+            addr = ctx.static_addr("counter")
+            ctx.mem_store(addr, ctx.mem_load(addr) + 1)
+            yield from lock.release(ctx)
+        return 0
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(fault_variant=st.integers(min_value=0, max_value=1),
+       fault_step=st.integers(min_value=0, max_value=11),
+       fault_kind=st.sampled_from(["wild_read", "code_write"]),
+       seed=st.integers(min_value=0, max_value=99),
+       agent=st.sampled_from([None, "wall_of_clocks"]))
+def test_any_fault_is_detected(fault_variant, fault_step, fault_kind,
+                               seed, agent):
+    program = FaultInjectedProgram(fault_variant, fault_step, fault_kind)
+    outcome = run_mvee(program, variants=2, agent=agent, seed=seed,
+                       costs=FAST, max_cycles=5e8)
+    assert outcome.verdict == "divergence"
+    assert outcome.divergence.kind is DivergenceKind.VARIANT_FAULT
+    # The faulting variant is named in the report.
+    assert f"variant {fault_variant} faulted" in outcome.divergence.detail
+    # No variant's completion output escaped the kill.
+    assert "survived" not in outcome.stdout

@@ -1,0 +1,98 @@
+"""Detection properties of the strict monitor, quantified by hypothesis.
+
+* **Soundness of tolerance**: any deterministic single-threaded syscall
+  script runs clean under the MVEE — identical variants never produce
+  false positives, regardless of script content or scheduling seed.
+* **Completeness of detection**: perturb the script in exactly one
+  variant — change one call's argument, insert a call, or drop a call —
+  and the monitor always reports divergence, never a clean verdict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.divergence import DivergenceKind
+from repro.core.mvee import run_mvee
+from repro.guest.program import GuestProgram
+from repro.perf.costs import CostModel
+
+FAST = CostModel(monitor_syscall_overhead=500.0)
+
+#: A script step: which call to make, with a small argument payload.
+script_steps = st.lists(
+    st.tuples(st.sampled_from(["write", "getpid", "gettimeofday",
+                               "stat"]),
+              st.integers(min_value=0, max_value=9)),
+    min_size=1, max_size=8)
+
+
+class ScriptedProgram(GuestProgram):
+    """Executes a syscall script; optionally perturbed in one variant."""
+
+    def __init__(self, script, perturb=None):
+        self.script = script
+        self.perturb = perturb  # None | ("mutate"|"insert"|"drop", idx)
+
+    def _effective_script(self, role):
+        if self.perturb is None or role == 0:
+            return list(self.script)
+        kind, index = self.perturb
+        index %= len(self.script)
+        script = list(self.script)
+        if kind == "mutate":
+            name, payload = script[index]
+            script[index] = (name, payload + 1)
+        elif kind == "insert":
+            script.insert(index, ("getpid", 0))
+        else:  # drop
+            del script[index]
+        return script
+
+    def main(self, ctx):
+        role = yield from ctx.mvee_get_role()
+        for name, payload in self._effective_script(role):
+            yield from ctx.compute(300)
+            if name == "write":
+                yield from ctx.write(1, f"w{payload}")
+            elif name == "stat":
+                yield from ctx.syscall("stat", f"/f{payload}")
+            else:
+                yield from ctx.syscall(name)
+        return 0
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=script_steps, seed=st.integers(0, 99),
+       variants=st.integers(2, 4))
+def test_identical_variants_never_flagged(script, seed, variants):
+    outcome = run_mvee(ScriptedProgram(script), variants=variants,
+                       agent=None, seed=seed, costs=FAST,
+                       max_cycles=1e9)
+    assert outcome.verdict == "clean"
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=script_steps,
+       perturb=st.tuples(st.sampled_from(["mutate", "insert", "drop"]),
+                         st.integers(min_value=0, max_value=7)),
+       seed=st.integers(0, 99))
+def test_single_call_perturbations_always_detected(script, perturb,
+                                                   seed):
+    kind, index = perturb
+    if kind == "mutate":
+        # Mutating a payload only matters for calls that carry one.
+        name, _ = script[index % len(script)]
+        if name in ("getpid", "gettimeofday"):
+            kind = "insert"
+            perturb = (kind, index)
+    outcome = run_mvee(ScriptedProgram(script, perturb), variants=2,
+                       agent=None, seed=seed, costs=FAST,
+                       max_cycles=1e9)
+    assert outcome.verdict == "divergence"
+    assert outcome.divergence.kind in (
+        DivergenceKind.SYSCALL_MISMATCH,
+        DivergenceKind.THREAD_EXIT_MISMATCH)

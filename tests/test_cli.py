@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.agent == "wall_of_clocks"
+        assert args.variants == 2
+        assert not args.diversity
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "radiosity" in out and "pipeline" in out
+
+    def test_table3(self, capsys):
+        assert main(["table", "3"]) == 0
+        assert "libc-2.19.so" in capsys.readouterr().out
+
+    def test_run_clean_exits_zero(self, capsys):
+        code = main(["run", "fft", "--agent", "wall_of_clocks",
+                     "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict   : clean" in out
+
+    def test_run_divergence_exits_nonzero(self, capsys):
+        code = main(["run", "radiosity", "--agent", "none",
+                     "--scale", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "divergence" in out
+
+    def test_fig5_subset(self, capsys):
+        assert main(["fig5", "--benchmarks", "fft",
+                     "--scale", "0.1"]) == 0
+        assert "fft" in capsys.readouterr().out
+
+    def test_trace_command(self, capsys):
+        code = main(["trace", "volrend", "--scale", "0.05"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: clean" in out
+        assert "sync-op replay, v1" in out

@@ -1,0 +1,63 @@
+"""Whole-system determinism: identical seeds give identical runs.
+
+Everything in the simulation — scheduling, jitter, diversity layouts,
+workload patterns — derives from explicit seeds, so repeated runs must
+agree to the cycle.  This is what makes every other test in the suite
+meaningful, and what a debugging session on an MVEE trace depends on.
+"""
+
+import pytest
+
+from repro.core.mvee import run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.run import run_native
+from repro.workloads.synthetic import make_benchmark
+from tests.guestlib import CounterProgram, ProducerConsumerProgram
+
+
+class TestNativeDeterminism:
+    @pytest.mark.parametrize("program_factory", [
+        lambda: CounterProgram(workers=4, iters=50),
+        lambda: ProducerConsumerProgram(),
+        lambda: make_benchmark("barnes", scale=0.05),
+        lambda: make_benchmark("dedup", scale=0.05),
+    ])
+    def test_repeat_runs_identical(self, program_factory):
+        first = run_native(program_factory(), seed=11)
+        second = run_native(program_factory(), seed=11)
+        assert first.report.cycles == second.report.cycles
+        assert first.stdout == second.stdout
+        assert first.report.total_sync_ops == second.report.total_sync_ops
+
+
+class TestMVEEDeterminism:
+    @pytest.mark.parametrize("agent", ["total_order", "partial_order",
+                                       "wall_of_clocks"])
+    def test_repeat_mvee_runs_identical(self, agent, fast_costs):
+        def once():
+            return run_mvee(CounterProgram(workers=3, iters=40),
+                            variants=2, agent=agent, seed=9,
+                            costs=fast_costs,
+                            diversity=DiversitySpec(aslr=True, seed=4))
+
+        first, second = once(), once()
+        assert first.verdict == second.verdict == "clean"
+        assert first.cycles == second.cycles
+        assert first.stdout == second.stdout
+
+    def test_divergence_reports_reproducible(self, fast_costs):
+        def once():
+            return run_mvee(CounterProgram(workers=4, iters=150),
+                            variants=2, agent=None, seed=7,
+                            costs=fast_costs)
+
+        first, second = once(), once()
+        assert first.verdict == second.verdict == "divergence"
+        assert str(first.divergence) == str(second.divergence)
+
+    def test_different_seeds_differ_somewhere(self, fast_costs):
+        cycles = {run_mvee(CounterProgram(workers=3, iters=40),
+                           variants=2, agent="wall_of_clocks",
+                           seed=seed, costs=fast_costs).cycles
+                  for seed in range(4)}
+        assert len(cycles) > 1

@@ -1,0 +1,143 @@
+"""The nginx use case (Section 5.5): divergence without instrumentation,
+clean runs with it, attack detection, throughput."""
+
+import pytest
+
+from repro.core.mvee import MVEE, run_mvee
+from repro.diversity.spec import DiversitySpec
+from repro.run import run_native
+from repro.workloads.attacks import exploit_payload
+from repro.workloads.nginx import (
+    NginxConfig,
+    NginxServer,
+    TrafficStats,
+    make_traffic,
+    pthread_only_sites,
+)
+
+
+def small_config(**overrides) -> NginxConfig:
+    defaults = dict(pool_threads=8, connections=6,
+                    requests_per_connection=3, work_cycles=20_000.0)
+    defaults.update(overrides)
+    return NginxConfig(**defaults)
+
+
+def run_server_native(config, latency_s=0.0, seed=1):
+    stats = TrafficStats()
+    from repro.kernel.net import Network
+    network = Network()
+    result = run_native(NginxServer(config), seed=seed, network=network,
+                        traffic=make_traffic(config, latency_s, stats))
+    return result, stats
+
+
+def run_server_mvee(config, latency_s=0.0, seed=1, variants=2,
+                    instrument=None, diversity=None, costs=None,
+                    max_cycles=None):
+    stats = TrafficStats()
+    mvee = MVEE(NginxServer(config), variants=variants,
+                agent="wall_of_clocks", seed=seed, costs=costs,
+                instrument=(instrument if instrument is not None
+                            else (lambda site: True)),
+                diversity=diversity, with_network=True,
+                traffic=make_traffic(config, latency_s, stats),
+                max_cycles=max_cycles)
+    return mvee.run(), stats
+
+
+class TestNativeServer:
+    def test_serves_all_requests(self):
+        config = small_config()
+        result, stats = run_server_native(config)
+        expected = config.connections * config.requests_per_connection
+        assert stats.responses == expected
+        assert f"served {expected} requests" in result.stdout
+
+    def test_throughput_positive(self):
+        config = small_config()
+        _, stats = run_server_native(config)
+        assert stats.throughput_rps() > 0
+
+    def test_network_latency_reduces_throughput(self):
+        config = small_config()
+        _, fast = run_server_native(config, latency_s=0.0)
+        _, slow = run_server_native(config, latency_s=0.000_5)
+        assert slow.throughput_rps() < fast.throughput_rps()
+
+
+class TestMVEEServer:
+    def test_uninstrumented_custom_sync_diverges(self, fast_costs):
+        """The paper's observation: without instrumenting nginx's own
+        primitives, 'the server does start up normally, but quickly
+        triggers a divergence when network traffic starts flowing in'."""
+        outcome, _ = run_server_mvee(small_config(), costs=fast_costs,
+                                     instrument=pthread_only_sites,
+                                     max_cycles=5e9)
+        assert outcome.verdict != "clean"
+
+    def test_fully_instrumented_runs_clean(self, fast_costs):
+        config = small_config()
+        outcome, stats = run_server_mvee(config, costs=fast_costs)
+        assert outcome.verdict == "clean"
+        expected = config.connections * config.requests_per_connection
+        assert stats.responses == expected
+
+    def test_clean_under_aslr_and_dcl(self, fast_costs):
+        """Section 5.5 runs with ASLR + DCL (+PIE) enabled."""
+        outcome, stats = run_server_mvee(
+            small_config(), costs=fast_costs,
+            diversity=DiversitySpec(aslr=True, dcl=True, seed=11))
+        assert outcome.verdict == "clean"
+        assert stats.responses > 0
+
+    def test_responses_served_once(self, fast_costs):
+        """Two variants, each 'sends' responses — the client must see
+        each response exactly once (output deduplication)."""
+        config = small_config()
+        _, native_stats = run_server_native(config)
+        outcome, mvee_stats = run_server_mvee(config, costs=fast_costs)
+        assert outcome.verdict == "clean"
+        assert mvee_stats.bytes_received == native_stats.bytes_received
+
+
+class TestAttackDetection:
+    def _attack_config(self):
+        return small_config(vulnerable=True, connections=4,
+                            requests_per_connection=2)
+
+    def test_attack_succeeds_natively(self):
+        """Baseline: against an unprotected server the exploit reaches
+        execve (the attacker's shell)."""
+        from repro.kernel.vmem import LayoutBases
+        config = self._attack_config()
+        stats = TrafficStats()
+        from repro.kernel.net import Network
+        network = Network()
+        payload = exploit_payload(LayoutBases())  # native layout
+        result = run_native(
+            NginxServer(config), seed=1, network=network,
+            traffic=make_traffic(config, 0.0, stats,
+                                 exploit_payload=payload))
+        assert result.vm.kernel.exec_log, "exploit should have spawned a shell"
+
+    def test_attack_detected_by_mvee(self, fast_costs):
+        """Under the MVEE with DCL, the payload tailored to variant 0
+        faults in variant 1; divergence is detected and no variant ever
+        completes the execve."""
+        from repro.diversity.spec import layouts_for
+        config = self._attack_config()
+        diversity = DiversitySpec(aslr=True, dcl=True, seed=11)
+        victim_layout = layouts_for(diversity, 2)[0]
+        stats = TrafficStats()
+        mvee = MVEE(NginxServer(config), variants=2,
+                    agent="wall_of_clocks", seed=1, costs=fast_costs,
+                    diversity=diversity, with_network=True,
+                    traffic=make_traffic(
+                        config, 0.0, stats,
+                        exploit_payload=exploit_payload(victim_layout)),
+                    max_cycles=5e9)
+        outcome = mvee.run()
+        assert outcome.verdict == "divergence"
+        assert not any(vm.kernel.exec_log for vm in outcome.vms), (
+            "the MVEE must kill the variants before any execve completes")

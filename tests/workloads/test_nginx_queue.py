@@ -1,0 +1,110 @@
+"""Unit tests for nginx's custom connection queue and spinlock."""
+
+import pytest
+
+from repro.guest.program import GuestProgram
+from repro.run import run_native
+from repro.workloads.nginx import NginxConnQueue, NginxCustomLock
+
+
+class TestNginxCustomLock:
+    def test_mutual_exclusion(self):
+        class P(GuestProgram):
+            static_vars = ("lk", "x")
+
+            def main(self, ctx):
+                lock = NginxCustomLock(ctx.static_addr("lk"))
+                tids = yield from ctx.spawn_all(
+                    self.worker, [(lock,) for _ in range(4)])
+                yield from ctx.join_all(tids)
+                return ctx.mem_load(ctx.static_addr("x"))
+
+            def worker(self, ctx, lock):
+                for _ in range(30):
+                    yield from ctx.compute(300)
+                    yield from lock.acquire(ctx)
+                    addr = ctx.static_addr("x")
+                    ctx.mem_store(addr, ctx.mem_load(addr) + 1)
+                    yield from lock.release(ctx)
+
+        result = run_native(P(), seed=2)
+        assert result.vm.threads["main"].result == 120
+
+    def test_sites_are_custom_namespaced(self):
+        assert NginxCustomLock.SITE_LOCK.startswith("nginx.")
+        assert NginxCustomLock.SITE_UNLOCK.startswith("nginx.")
+
+
+class TestNginxConnQueue:
+    def test_fifo_over_threads(self):
+        class P(GuestProgram):
+            def main(self, ctx):
+                queue = NginxConnQueue(ctx, capacity=8)
+                consumer = yield from ctx.spawn(self.consumer, queue)
+                for value in range(10):
+                    yield from queue.push(ctx, value)
+                yield from queue.push(ctx, -1)
+                drained = yield from ctx.join(consumer)
+                return drained
+
+            def consumer(self, ctx, queue):
+                drained = []
+                while True:
+                    value = yield from queue.pop(ctx)
+                    if value == -1:
+                        return drained
+                    drained.append(value)
+
+        result = run_native(P(), seed=4)
+        assert result.vm.threads["main"].result == list(range(10))
+
+    def test_capacity_backpressure(self):
+        """A full queue blocks the pusher until a pop frees a slot."""
+
+        class P(GuestProgram):
+            def main(self, ctx):
+                queue = NginxConnQueue(ctx, capacity=2)
+                consumer = yield from ctx.spawn(self.slow_consumer,
+                                                queue)
+                for value in range(6):
+                    yield from queue.push(ctx, value)
+                yield from queue.push(ctx, -1)
+                return (yield from ctx.join(consumer))
+
+            def slow_consumer(self, ctx, queue):
+                drained = []
+                while True:
+                    yield from ctx.compute(5_000)
+                    value = yield from queue.pop(ctx)
+                    if value == -1:
+                        return drained
+                    drained.append(value)
+
+        result = run_native(P(), seed=4)
+        assert result.vm.threads["main"].result == list(range(6))
+
+    def test_multiple_consumers_partition_values(self):
+        class P(GuestProgram):
+            def main(self, ctx):
+                queue = NginxConnQueue(ctx, capacity=16)
+                consumers = yield from ctx.spawn_all(
+                    self.consumer, [(queue,) for _ in range(3)])
+                for value in range(30):
+                    yield from queue.push(ctx, value)
+                for _ in range(3):
+                    yield from queue.push(ctx, -1)
+                batches = yield from ctx.join_all(consumers)
+                merged = sorted(v for batch in batches for v in batch)
+                return merged
+
+            def consumer(self, ctx, queue):
+                drained = []
+                while True:
+                    value = yield from queue.pop(ctx)
+                    if value == -1:
+                        return drained
+                    drained.append(value)
+                    yield from ctx.compute(400)
+
+        result = run_native(P(), seed=5)
+        assert result.vm.threads["main"].result == list(range(30))

@@ -1,0 +1,124 @@
+"""Tests for the benchmark twins: rates, topologies, MVEE compatibility."""
+
+import pytest
+
+from repro.run import run_native
+from repro.workloads.spec import (
+    ALL_SPECS,
+    PARSEC_SPECS,
+    SPLASH_SPECS,
+    plan_slice,
+    spec_by_name,
+)
+from repro.workloads.synthetic import SyntheticWorkload, make_benchmark
+
+
+class TestSpecs:
+    def test_suite_sizes_match_paper(self):
+        """12 PARSEC (canneal excluded) + 13 SPLASH (cholesky excluded)."""
+        assert len(PARSEC_SPECS) == 12
+        assert len(SPLASH_SPECS) == 13
+
+    def test_four_worker_threads(self):
+        assert all(spec.workers == 4 for spec in ALL_SPECS.values())
+
+    def test_pipeline_thread_formulas(self):
+        """dedup runs 3n threads, ferret 2+4n, vips 2+n (footnote 8)."""
+        assert spec_by_name("dedup").total_threads == 12
+        assert spec_by_name("ferret").total_threads == 18
+        assert spec_by_name("vips").total_threads == 6
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            spec_by_name("doom3")
+
+    def test_plan_respects_budget(self):
+        for spec in ALL_SPECS.values():
+            plan = plan_slice(spec, scale=0.5)
+            assert plan.sync_ops_total <= 5_000
+            assert plan.duration_s <= spec.native_runtime_s
+
+    def test_scale_shrinks_budget(self):
+        spec = spec_by_name("radiosity")
+        small = plan_slice(spec, scale=0.1)
+        large = plan_slice(spec, scale=1.0)
+        assert small.sync_ops_total < large.sync_ops_total
+
+
+class TestRateFidelity:
+    @pytest.mark.parametrize("name", ["dedup", "radiosity", "bodytrack",
+                                      "streamcluster", "water_spatial"])
+    def test_rates_within_factor_five(self, name):
+        """The twin's measured rates stay within 5x of Table 2 at bench
+        scale (character preservation; EXPERIMENTS.md has the numbers)."""
+        spec = spec_by_name(name)
+        result = run_native(make_benchmark(name, scale=0.5), seed=1)
+        seconds = result.report.seconds
+        if spec.sync_rate_k > 1:
+            sync_rate = result.report.total_sync_ops / seconds / 1000
+            assert spec.sync_rate_k / 5 < sync_rate < spec.sync_rate_k * 5
+        if spec.syscall_rate_k > 10:
+            sys_rate = result.report.total_syscalls / seconds / 1000
+            assert (spec.syscall_rate_k / 5 < sys_rate
+                    < spec.syscall_rate_k * 5)
+
+    def test_rate_ranking_preserved(self):
+        """radiosity must remain the most sync-intensive benchmark and
+        water_spatial/dedup the most syscall-intensive (Table 2 ranks)."""
+        rates = {}
+        for name in ["radiosity", "dedup", "blackscholes",
+                     "water_spatial"]:
+            result = run_native(make_benchmark(name, scale=0.2), seed=1)
+            seconds = result.report.seconds
+            rates[name] = (result.report.total_syscalls / seconds,
+                           result.report.total_sync_ops / seconds)
+        assert rates["radiosity"][1] > rates["dedup"][1]
+        assert rates["dedup"][1] > rates["blackscholes"][1]
+        assert rates["water_spatial"][0] > rates["blackscholes"][0]
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("name", ["bodytrack", "fft", "dedup",
+                                      "freqmine"])
+    def test_each_topology_completes_natively(self, name):
+        result = run_native(make_benchmark(name, scale=0.1), seed=2)
+        assert f"{name}: digest=" in result.stdout
+
+    def test_pipeline_spawns_expected_threads(self):
+        result = run_native(make_benchmark("dedup", scale=0.1), seed=2)
+        # 12 pipeline threads + main
+        assert len(result.vm.threads) == 13
+
+    def test_program_is_deterministic_across_instances(self):
+        """Two instances of the same twin behave identically under the
+        same seed (precondition for multi-variant execution)."""
+        first = run_native(make_benchmark("barnes", scale=0.1), seed=3)
+        second = run_native(make_benchmark("barnes", scale=0.1), seed=3)
+        assert first.stdout == second.stdout
+
+
+class TestUnderMVEE:
+    @pytest.mark.parametrize("name", ["bodytrack", "dedup", "fft",
+                                      "freqmine", "swaptions"])
+    def test_clean_under_woc(self, name, fast_costs):
+        from repro.core.mvee import run_mvee
+        outcome = run_mvee(make_benchmark(name, scale=0.1), variants=2,
+                           agent="wall_of_clocks", seed=4,
+                           costs=fast_costs)
+        assert outcome.verdict == "clean"
+
+    def test_communicating_twin_diverges_without_agent(self, fast_costs):
+        from repro.core.mvee import run_mvee
+        outcome = run_mvee(make_benchmark("radiosity", scale=0.1),
+                           variants=2, agent=None, seed=4,
+                           costs=fast_costs, max_cycles=5e9)
+        # Schedule-dependent digests differ; the write is cross-checked.
+        assert outcome.verdict == "divergence"
+
+    def test_blackscholes_is_loosely_coupled(self, fast_costs):
+        """No sync ops at all: even without agents, no divergence."""
+        from repro.core.mvee import run_mvee
+        outcome = run_mvee(make_benchmark("blackscholes", scale=0.1),
+                           variants=2, agent=None, seed=4,
+                           costs=fast_costs)
+        assert outcome.verdict == "clean"
