@@ -13,14 +13,51 @@ Commands
     List the available benchmark twins with their Table 2 rates.
 ``nginx``
     Run the §5.5 demo (divergence, instrumented run, attack).
+``obs {summarize,convert} BUNDLE``
+    Inspect a divergence forensics bundle (``summarize``) or convert its
+    event tails to Chrome ``trace_event`` JSON for Perfetto (``convert``).
 
-All sweeps accept ``--scale`` (event-budget multiplier, default 0.25).
+The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
+Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
+metrics snapshot), and ``--bundle-out PATH`` (write a forensics bundle
+if the run diverges).  All sweeps accept ``--scale`` (event-budget
+multiplier, default 0.25).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _make_hub(args):
+    """Build an ObsHub when any observability flag is set (else None)."""
+    if not (args.trace_out or args.metrics or args.bundle_out):
+        return None
+    from repro.obs import ObsHub
+
+    return ObsHub()
+
+
+def _emit_obs(args, hub, outcome=None) -> None:
+    """Write/print the observability artifacts the flags asked for."""
+    if hub is None:
+        return
+    if args.trace_out:
+        hub.tracer.write_chrome(args.trace_out)
+        print(f"trace     : wrote {len(hub.tracer.events)} events to "
+              f"{args.trace_out}")
+    if args.bundle_out:
+        bundle = getattr(outcome, "obs_bundle", None)
+        if bundle is not None:
+            bundle.save(args.bundle_out)
+            print(f"bundle    : wrote forensics bundle to "
+                  f"{args.bundle_out}")
+        else:
+            print("bundle    : run did not diverge; no bundle written")
+    if args.metrics:
+        print("-- metrics --")
+        print(hub.metrics.render_text())
 
 
 def _cmd_table(args) -> int:
@@ -56,12 +93,13 @@ def _cmd_run(args) -> int:
     agent = None if args.agent == "none" else args.agent
     diversity = (DiversitySpec(aslr=True, dcl=True, seed=args.seed)
                  if args.diversity else None)
+    hub = _make_hub(args)
     native = native_cycles(args.benchmark, scale=args.scale,
                            seed=args.seed)
     outcome = run_mvee(make_benchmark(args.benchmark, scale=args.scale),
                        variants=args.variants, agent=agent,
                        seed=args.seed, diversity=diversity,
-                       max_cycles=native * 400)
+                       max_cycles=native * 400, obs=hub)
     print(f"benchmark : {args.benchmark}")
     print(f"agent     : {args.agent}, variants: {args.variants}, "
           f"diversity: {'ASLR+DCL' if args.diversity else 'off'}")
@@ -69,6 +107,7 @@ def _cmd_run(args) -> int:
     if outcome.divergence is not None:
         print(outcome.divergence.explain())
     print(f"slowdown  : {outcome.cycles / native:.2f}x vs native")
+    _emit_obs(args, hub, outcome)
     return 0 if outcome.verdict == "clean" else 1
 
 
@@ -79,10 +118,11 @@ def _cmd_trace(args) -> int:
     from repro.workloads.synthetic import make_benchmark
 
     agent = None if args.agent == "none" else args.agent
+    hub = _make_hub(args)
     mvee = MVEE(make_benchmark(args.benchmark, scale=args.scale),
                 variants=args.variants, agent=agent, seed=args.seed,
                 cores=PAPER_CORES, record_trace=True,
-                record_sync_trace=True)
+                record_sync_trace=True, obs=hub)
     outcome = mvee.run()
     print(f"verdict: {outcome.verdict}\n")
     for vm in outcome.vms:
@@ -101,7 +141,28 @@ def _cmd_trace(args) -> int:
         print()
     if outcome.divergence is not None:
         print(outcome.divergence.explain())
+    _emit_obs(args, hub, outcome)
     return 0 if outcome.verdict == "clean" else 1
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.forensics import (
+        DivergenceBundle,
+        bundle_to_chrome,
+        summarize_bundle,
+    )
+
+    bundle = DivergenceBundle.load(args.bundle)
+    if args.action == "summarize":
+        print(summarize_bundle(bundle))
+        return 0
+    import json
+
+    out = args.out or (args.bundle + ".trace.json")
+    with open(out, "w") as handle:
+        json.dump(bundle_to_chrome(bundle), handle, sort_keys=True)
+    print(f"wrote Chrome trace to {out}")
+    return 0
 
 
 def _cmd_list(args) -> int:
@@ -127,6 +188,17 @@ def _cmd_nginx(args) -> int:
     print("examples/nginx_attack_demo.py not found in this install; "
           "see the repository checkout.")
     return 1
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome trace_event JSON of the run "
+                             "(open in https://ui.perfetto.dev)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics snapshot after the run")
+    parser.add_argument("--bundle-out", default=None, metavar="PATH",
+                        help="write a divergence forensics bundle here "
+                             "if the run diverges")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", type=float, default=0.25)
     p_run.add_argument("--diversity", action="store_true",
                        help="enable ASLR + DCL")
+    _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -168,7 +241,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--variants", type=int, default=2)
     p_trace.add_argument("--seed", type=int, default=1)
     p_trace.add_argument("--scale", type=float, default=0.05)
+    _add_obs_flags(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect observability artifacts (forensics bundles)")
+    p_obs.add_argument("action", choices=("summarize", "convert"),
+                       help="summarize a bundle, or convert its event "
+                            "tails to a Chrome trace")
+    p_obs.add_argument("bundle", help="path to a forensics bundle JSON")
+    p_obs.add_argument("-o", "--out", default=None,
+                       help="output path for convert "
+                            "(default: BUNDLE.trace.json)")
+    p_obs.set_defaults(func=_cmd_obs)
 
     p_list = sub.add_parser("list", help="list benchmark twins")
     p_list.set_defaults(func=_cmd_list)

@@ -58,16 +58,20 @@ class PartialOrderAgent(BaseAgent):
 
     def before_sync_op(self, vm, thread, op):
         if self.is_master:
-            return self._master_check()
+            return self._master_check(thread)
         return self._slave_check(thread, op)
 
-    def _master_check(self):
+    def _master_check(self, thread):
         """Ring-buffer backpressure against the slowest window frontier."""
         shared: PartialOrderShared = self.shared
         slowest = min((w.frontier for w in shared.windows.values()),
                       default=len(shared.log))
         if len(shared.log) - slowest >= shared.buffer_capacity:
             shared.stats.producer_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(self.variant_index,
+                                      thread.logical_id,
+                                      "producer_wait", "po")
             return Wait(("po_full",), cost=self.costs.buffer_log)
         return Proceed()
 
@@ -78,6 +82,11 @@ class PartialOrderAgent(BaseAgent):
                 thread=thread.logical_id, addr=op.addr, site=op.site))
             shared.addr_positions.setdefault(op.addr, []).append(position)
             shared.stats.recorded += 1
+            if shared.obs is not None:
+                shared.obs.sync_record(
+                    vm.index, thread.logical_id, "po",
+                    shared.log.occupancy(w.frontier for w in
+                                         shared.windows.values()))
             cost = (self.costs.buffer_log
                     + self.costs.cursor_contention_factor * shared.coherence_cost(("po", "producer_cursor"),
                                             thread.global_id))
@@ -94,6 +103,11 @@ class PartialOrderAgent(BaseAgent):
         shared.addr_cursor[cursor_key] = (
             shared.addr_cursor.get(cursor_key, 0) + 1)
         shared.stats.replayed += 1
+        if shared.obs is not None:
+            shared.obs.sync_replay(
+                variant, thread.logical_id, "po",
+                shared.log.occupancy(w.frontier for w in
+                                     shared.windows.values()))
         cost = (self.costs.buffer_consume
                 + self.costs.cursor_contention_factor * shared.coherence_cost(("po", "window", variant),
                                         thread.global_id))
@@ -113,6 +127,9 @@ class PartialOrderAgent(BaseAgent):
         if position is None:
             shared.stats.stalls += 1
             shared.stats.log_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(variant, thread.logical_id,
+                                      "log_wait", "po")
             return Wait(("po_log", variant),
                         cost=self.costs.buffer_consume
                         + self.costs.cursor_contention_factor * shared.coherence_cost(("po", "window", variant),
@@ -130,6 +147,9 @@ class PartialOrderAgent(BaseAgent):
         if not ready:
             shared.stats.stalls += 1
             shared.stats.order_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(variant, thread.logical_id,
+                                      "order_wait", "po")
             return Wait(("po_consume", variant),
                         cost=scan_cost
                         + self.costs.cursor_contention_factor * shared.coherence_cost(("po", "window", variant),

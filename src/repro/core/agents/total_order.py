@@ -40,10 +40,10 @@ class TotalOrderAgent(BaseAgent):
 
     def before_sync_op(self, vm, thread, op):
         if self.is_master:
-            return self._master_check()
+            return self._master_check(thread)
         return self._slave_check(thread, op)
 
-    def _master_check(self):
+    def _master_check(self, thread):
         """Ring-buffer backpressure: the producer stalls when the log is
         a full capacity ahead of the slowest consumer."""
         shared: TotalOrderShared = self.shared
@@ -51,6 +51,10 @@ class TotalOrderAgent(BaseAgent):
                                     default=len(shared.log))
         if lag >= shared.buffer_capacity:
             shared.stats.producer_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(self.variant_index,
+                                      thread.logical_id,
+                                      "producer_wait", "to")
             return Wait(("to_full",), cost=self.costs.buffer_log)
         return Proceed()
 
@@ -60,6 +64,10 @@ class TotalOrderAgent(BaseAgent):
             shared.log.append(SyncRecord(thread=thread.logical_id,
                                          addr=op.addr, site=op.site))
             shared.stats.recorded += 1
+            if shared.obs is not None:
+                shared.obs.sync_record(
+                    vm.index, thread.logical_id, "to",
+                    shared.log.occupancy(shared.next_index.values()))
             # Claiming the next free log position is read-write sharing
             # among all master threads (Section 4.5's scalability remark).
             cost = (self.costs.buffer_log
@@ -72,6 +80,10 @@ class TotalOrderAgent(BaseAgent):
         variant = self.variant_index
         shared.next_index[variant] += 1
         shared.stats.replayed += 1
+        if shared.obs is not None:
+            shared.obs.sync_replay(
+                variant, thread.logical_id, "to",
+                shared.log.occupancy(shared.next_index.values()))
         cost = (self.costs.buffer_consume
                 + self.costs.cursor_contention_factor * shared.coherence_cost(("to", "consume_cursor", variant),
                                         thread.global_id))
@@ -94,6 +106,9 @@ class TotalOrderAgent(BaseAgent):
         if index >= len(shared.log):
             shared.stats.stalls += 1
             shared.stats.log_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(variant, thread.logical_id,
+                                      "log_wait", "to")
             return Wait(("to_log", variant), cost=check_cost)
         entry = shared.log.entry(index)
         if entry.thread != thread.logical_id:
@@ -101,6 +116,9 @@ class TotalOrderAgent(BaseAgent):
             # the unnecessary serialization on unrelated critical sections).
             shared.stats.stalls += 1
             shared.stats.order_waits += 1
+            if shared.obs is not None:
+                shared.obs.sync_stall(variant, thread.logical_id,
+                                      "order_wait", "to")
             return Wait(("to_next", variant), cost=check_cost)
         if shared.check_sites and entry.site != op.site:
             raise RuntimeError(

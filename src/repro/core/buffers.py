@@ -73,6 +73,16 @@ class MultiProducerLog:
     def thread_entry_count(self, thread: str) -> int:
         return len(self._thread_positions.get(thread, ()))
 
+    def occupancy(self, consumer_frontiers) -> int:
+        """Entries the slowest consumer has not yet replayed.
+
+        ``consumer_frontiers`` is an iterable of per-consumer consumed
+        counts (TO cursors, PO window frontiers); the observability
+        layer samples this after each append/consume.
+        """
+        slowest = min(consumer_frontiers, default=len(self._entries))
+        return len(self._entries) - slowest
+
 
 class ConsumptionWindow:
     """Per-slave-variant consumption state over a MultiProducerLog.
@@ -138,3 +148,7 @@ class SPSCBuffer:
 
     def consumed(self, consumer: int) -> int:
         return self._cursors.get(consumer, 0)
+
+    def occupancy(self) -> int:
+        """Entries the slowest consumer has not yet replayed."""
+        return len(self._entries) - min(self._cursors.values(), default=0)

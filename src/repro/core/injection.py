@@ -47,6 +47,47 @@ def instrument_excluding(prefixes: Iterable[str]) -> Callable[[str], bool]:
     return lambda site: not site.startswith(excluded)
 
 
+def make_divergence_probe(at_call: int, benign_calls: int = 6,
+                          divergent_syscall: str = "getpid",
+                          faulty_variant: int = 1):
+    """Build a guest program that diverges at a known monitored call.
+
+    The returned program issues ``benign_calls`` identical monitored
+    syscalls in every variant, except that ``faulty_variant`` substitutes
+    ``divergent_syscall`` at (zero-based) monitored call ``at_call`` —
+    the simulation analogue of flipping one compromised variant's
+    behaviour at a precise point.  Under a lockstepping monitor this
+    produces a ``SYSCALL_MISMATCH`` at exactly ``syscall_seq ==
+    at_call``, which makes it the reference workload for the forensics
+    tests: the divergence bundle's event tails must first differ at that
+    call.
+
+    The probe uses the role pseudo-syscall (Section 4.5) for variant
+    self-awareness, exactly as an injected attack payload tailored to
+    one diversified variant would behave differently in just that one.
+    """
+    from repro.guest.program import GuestProgram
+
+    if not 0 <= at_call < benign_calls:
+        raise ValueError(
+            f"at_call must be within [0, {benign_calls}); got {at_call}")
+
+    class DivergenceProbe(GuestProgram):
+        name = "divergence_probe"
+
+        def main(self, ctx):
+            role = yield from ctx.mvee_get_role()
+            for call in range(benign_calls):
+                yield from ctx.compute(500)
+                if call == at_call and role == faulty_variant:
+                    yield from ctx.syscall(divergent_syscall)
+                else:
+                    yield from ctx.syscall("gettimeofday")
+            return 0
+
+    return DivergenceProbe()
+
+
 def inject_agents(vms, agent_name: str | None,
                   costs: CostModel | None = None,
                   instrument: Callable[[str], bool] | None = instrument_all,

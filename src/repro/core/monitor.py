@@ -47,6 +47,7 @@ class _CallInfo:
     name: str
     overhead_charged: bool = False
     registered: bool = False
+    observed: bool = False
 
 
 @dataclass
@@ -95,6 +96,8 @@ class Monitor(SyscallInterceptor):
         self._stream: dict[tuple[str, int], Any] = {}
         self._stream_count: dict[tuple[int, str], int] = {}
         self.divergence: DivergenceReport | None = None
+        #: Optional :class:`repro.obs.ObsHub` (set by the MVEE bootstrap).
+        self.obs = None
 
     def bind_machine(self, machine) -> None:
         """Install the wake callback (MVEE bootstrap)."""
@@ -143,6 +146,11 @@ class Monitor(SyscallInterceptor):
         if spec.stream_replicated:
             return self._before_stream(vm, thread, name, args, spec)
         info = self._call_info(vm, thread, name)
+        obs = self.obs
+        if obs is not None and not info.observed:
+            info.observed = True
+            obs.monitored_call(vm.index, thread.logical_id, name,
+                               spec.cls.value, info.seq)
         base_cost = 0.0
         if not info.overhead_charged:
             base_cost += self.costs.monitor_syscall_overhead
@@ -158,6 +166,9 @@ class Monitor(SyscallInterceptor):
                 rdv.arrivals[vm.index] = (name,
                                           normalize_args(spec, args))
                 info.registered = True
+                if obs is not None:
+                    obs.rendezvous_arrive(rdv_key, vm.index,
+                                          thread.logical_id)
                 mismatch = self._check_exited_twins(thread, info.seq)
                 if mismatch is not None:
                     return mismatch
@@ -168,6 +179,10 @@ class Monitor(SyscallInterceptor):
                 observed = set(rdv.arrivals.values())
                 rdv.compared = True
                 self._wake(("rdv", rdv_key))
+                if obs is not None:
+                    obs.rendezvous_complete(rdv_key, vm.index,
+                                            thread.logical_id,
+                                            matched=len(observed) == 1)
                 if len(observed) > 1:
                     return self._kill(DivergenceReport(
                         kind=DivergenceKind.SYSCALL_MISMATCH,
@@ -179,6 +194,9 @@ class Monitor(SyscallInterceptor):
             outcome = self.orderer.check(vm.index, thread.logical_id,
                                          thread.global_id)
             if isinstance(outcome, Wait):
+                if obs is not None:
+                    obs.clock_stall(vm.index, thread.logical_id,
+                                    outcome.key)
                 outcome.cost += base_cost + self.costs.ordering_bookkeeping
                 return outcome
             base_cost += self.costs.ordering_bookkeeping
@@ -204,6 +222,8 @@ class Monitor(SyscallInterceptor):
         index = self._stream_count.get(key, 0)
         stream_key = (thread.logical_id, index)
         if stream_key not in self._stream:
+            if self.obs is not None:
+                self.obs.stream_wait(vm.index, thread.logical_id, index)
             return Wait(("stream", stream_key))
         self._stream_count[key] = index + 1
         return Result(self._stream[stream_key],
@@ -237,6 +257,9 @@ class Monitor(SyscallInterceptor):
                 stream_key = (thread.logical_id, index)
                 self._stream[stream_key] = result
                 self._wake(("stream", stream_key))
+                if self.obs is not None:
+                    self.obs.stream_publish(vm.index, thread.logical_id,
+                                            index)
             return Proceed(cost=self.costs.replication_copy)
         info = self._current.get((vm.index, thread.logical_id))
         if info is None:  # pragma: no cover - defensive
@@ -244,9 +267,12 @@ class Monitor(SyscallInterceptor):
         rdv_key = (thread.logical_id, info.seq)
         cost = 0.0
         if spec.ordered and self.policy.order_syscalls:
-            self.orderer.finish(vm.index, thread.logical_id,
-                                thread.global_id)
+            timestamp = self.orderer.finish(vm.index, thread.logical_id,
+                                            thread.global_id)
             cost += self.costs.ordering_bookkeeping
+            if self.obs is not None and vm.index == 0:
+                self.obs.clock_tick(vm.index, thread.logical_id,
+                                    timestamp)
         if spec.replicated and vm.index == 0:
             rdv = self._rendezvous.get(rdv_key)
             if rdv is None:

@@ -49,6 +49,10 @@ class MVEEOutcome:
     agent_shared: AgentSharedState | None
     machine: Machine
     deadlock: DeadlockError | None = None
+    #: The observability hub attached to the run (None when disabled).
+    obs: object | None = None
+    #: Forensics bundle captured when the run diverged under observation.
+    obs_bundle: object | None = None
 
     @property
     def cycles(self) -> float:
@@ -84,7 +88,8 @@ class MVEE:
                  with_network: bool = False,
                  traffic=None,
                  max_cycles: float | None = None,
-                 agent_options: dict | None = None):
+                 agent_options: dict | None = None,
+                 obs=None):
         if variants < 2:
             raise ValueError("an MVEE needs at least two variants")
         self.program = program
@@ -105,6 +110,8 @@ class MVEE:
         self.traffic = traffic
         self.max_cycles = max_cycles
         self.agent_options = agent_options or {}
+        #: Optional :class:`repro.obs.ObsHub` observing this run.
+        self.obs = obs
         self._build()
 
     # -- bootstrap --------------------------------------------------------
@@ -143,6 +150,8 @@ class MVEE:
         if self.agent_shared is not None:
             self.agent_shared.bind_machine(self.machine)
         self.monitor.bind_machine(self.machine)
+        if self.obs is not None:
+            self._attach_obs(self.obs)
         if self.network is not None:
             self.machine.attach_network(self.network)
         for vm in self.vms:
@@ -150,6 +159,16 @@ class MVEE:
             self.machine.add_thread(vm, "main", self.program.main(ctx))
         if self.traffic is not None:
             self.traffic(self.machine, self.network)
+
+    def _attach_obs(self, hub) -> None:
+        """Point every instrumented component at the observability hub."""
+        hub.bind_clock(lambda: self.machine.now)
+        self.machine.obs = hub
+        self.monitor.obs = hub
+        if self.agent_shared is not None:
+            self.agent_shared.obs = hub
+        for vm in self.vms:
+            vm.kernel.futexes.obs = hub
 
     # -- run ----------------------------------------------------------------
 
@@ -168,11 +187,21 @@ class MVEE:
 
     def _outcome(self, verdict, report, divergence,
                  deadlock=None) -> MVEEOutcome:
+        bundle = None
+        if self.obs is not None and divergence is not None:
+            from repro.obs.forensics import capture_bundle
+
+            bundle = capture_bundle(
+                self.obs, divergence, monitor=self.monitor,
+                config={"seed": self.seed, "agent": self.agent_name,
+                        "variants": self.variants,
+                        "monitor": self.monitor_kind,
+                        "cores": self.cores})
         return MVEEOutcome(
             verdict=verdict, report=report, divergence=divergence,
             disk=self.disk, vms=self.vms, monitor=self.monitor,
             agent_shared=self.agent_shared, machine=self.machine,
-            deadlock=deadlock)
+            deadlock=deadlock, obs=self.obs, obs_bundle=bundle)
 
 
 def run_mvee(program: GuestProgram, **kwargs) -> MVEEOutcome:

@@ -79,23 +79,29 @@ class SyscallOrderer:
     # -- completion (called from monitor.after_syscall) ------------------------
 
     def finish(self, variant: int, thread_logical: str,
-               thread_global: str) -> None:
-        """The ordered call returned; record/advance and wake waiters."""
+               thread_global: str) -> int:
+        """The ordered call returned; record/advance and wake waiters.
+
+        Returns the Lamport timestamp the call was sequenced at (the
+        master's log position, or the slave clock value just consumed).
+        """
         state = self._state
         if variant == 0:
-            position = len(state.master_log)
+            timestamp = len(state.master_log)
             state.master_log.append(thread_logical)
             state.thread_positions.setdefault(thread_logical,
-                                              []).append(position)
+                                              []).append(timestamp)
             state.master_cs_holder = None
             self._wake(("order_cs",))
             for slave in range(1, self.n_variants):
                 self._wake(("order_log", slave))
         else:
+            timestamp = state.slave_clock[variant]
             state.slave_clock[variant] += 1
             self._wake(("order_clock", variant))
         key = (variant, thread_logical)
         state.ordered_count[key] = state.ordered_count.get(key, 0) + 1
+        return timestamp
 
     # -- introspection -------------------------------------------------------------
 

@@ -76,22 +76,29 @@ def run_one(benchmark: str, agent: str, variants: int,
             scale: float = 1.0, seed: int = 1,
             cores: int = PAPER_CORES,
             costs: CostModel | None = None,
-            agent_options: dict | None = None) -> ExperimentResult:
-    """Run one grid cell (memoized) and return its result."""
+            agent_options: dict | None = None,
+            obs=None) -> ExperimentResult:
+    """Run one grid cell (memoized) and return its result.
+
+    Passing an :class:`repro.obs.ObsHub` as ``obs`` attaches the
+    observability layer to the MVEE run; observed cells bypass the memo
+    cache (the hub's events belong to one concrete execution).
+    """
     costs = costs or DEFAULT_COSTS
     options_key = tuple(sorted((agent_options or {}).items()))
     key = (benchmark, agent, variants, scale, seed, cores, options_key,
            id(costs) if costs is not DEFAULT_COSTS else None)
-    cached = _cell_cache.get(key)
-    if cached is not None:
-        return cached
+    if obs is None:
+        cached = _cell_cache.get(key)
+        if cached is not None:
+            return cached
     native = native_cycles(benchmark, scale, seed, cores,
                            costs if costs is not DEFAULT_COSTS else None)
     program = SyntheticWorkload(spec_by_name(benchmark), scale=scale)
     outcome = run_mvee(program, variants=variants, agent=agent,
                        seed=seed, cores=cores, costs=costs,
                        agent_options=agent_options or {},
-                       max_cycles=native * 400)
+                       max_cycles=native * 400, obs=obs)
     report = outcome.report
     result = ExperimentResult(
         benchmark=benchmark, agent=agent, variants=variants,
@@ -102,7 +109,8 @@ def run_one(benchmark: str, agent: str, variants: int,
         syscalls=(report.total_syscalls if report else 0),
         stall_cycles=sum(
             vm.total_stall_cycles for vm in outcome.vms))
-    _cell_cache[key] = result
+    if obs is None:
+        _cell_cache[key] = result
     return result
 
 

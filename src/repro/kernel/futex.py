@@ -19,10 +19,15 @@ class FutexTable:
 
     def __init__(self):
         self._waiters: dict[int, list[str]] = {}
+        #: Optional :class:`repro.obs.ObsHub`; when set, parking and
+        #: waking are reported as ``futex.*`` trace events.
+        self.obs = None
 
     def add_waiter(self, addr: int, thread_id: str) -> None:
         """Register ``thread_id`` as blocked on the futex word ``addr``."""
         self._waiters.setdefault(addr, []).append(thread_id)
+        if self.obs is not None:
+            self.obs.futex_park(thread_id, addr)
 
     def remove_waiter(self, addr: int, thread_id: str) -> None:
         """Remove a waiter (e.g. on timeout or variant shutdown)."""
@@ -43,6 +48,8 @@ class FutexTable:
             self._waiters[addr] = remaining
         else:
             del self._waiters[addr]
+        if self.obs is not None:
+            self.obs.futex_wake(addr, woken)
         return woken
 
     def waiters(self, addr: int) -> list[str]:

@@ -1,0 +1,245 @@
+"""``repro.obs`` — structured tracing, metrics, and divergence forensics.
+
+The simulator's hot paths carry *hook points*: one-line calls into an
+:class:`ObsHub` guarded by ``obs is not None``.  Without a hub attached
+(the default) every hook is a single attribute test and the run is
+observationally identical to the seed simulator; with a hub attached,
+each hook feeds
+
+* the **tracer** (:mod:`repro.obs.tracer`) — spans/instants keyed by
+  (variant, logical thread), exportable to Chrome ``trace_event`` JSON
+  for Perfetto or to JSONL;
+* the **metrics registry** (:mod:`repro.obs.metrics`) — counters,
+  gauges, and histograms with deterministic snapshots;
+* the **forensics rings** (:mod:`repro.obs.forensics`) — bounded
+  per-variant event tails captured into a divergence bundle when the
+  monitor kills the run.
+
+Wiring happens in :class:`repro.core.mvee.MVEE` (pass ``obs=ObsHub()``)
+and in the CLI (``--trace-out`` / ``--metrics``); hub methods never
+charge simulated cycles, so enabling observability does not perturb the
+simulated timeline — a property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+from repro.obs.forensics import (
+    DivergenceBundle,
+    bundle_to_chrome,
+    capture_bundle,
+    diff_tails,
+    summarize_bundle,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "ObsHub",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DivergenceBundle",
+    "capture_bundle",
+    "diff_tails",
+    "summarize_bundle",
+    "bundle_to_chrome",
+]
+
+
+def _variant_of(thread_global: str) -> int:
+    """Variant index from a global thread id (``"v0:main/1"`` -> 0)."""
+    try:
+        return int(thread_global[1:thread_global.index(":")])
+    except (ValueError, IndexError):  # pragma: no cover - defensive
+        return -1
+
+
+class ObsHub:
+    """One observability session: tracer + metrics + forensic state.
+
+    Every method here is a *hook target*: the simulator, monitor,
+    agents, and kernel call them from their hot paths when (and only
+    when) a hub is attached.  The hub translates each occurrence into
+    trace events and metric updates; it holds whatever cross-call state
+    that requires (e.g. rendezvous first-arrival timestamps) so the
+    instrumented components stay stateless about observability.
+    """
+
+    def __init__(self, trace: bool = True, ring_size: int | None = None):
+        from repro.obs.tracer import DEFAULT_RING_SIZE
+
+        self.tracer = (Tracer(ring_size=ring_size or DEFAULT_RING_SIZE)
+                       if trace else NULL_TRACER)
+        self.metrics = MetricsRegistry()
+        #: rendezvous key -> (first-arrival ts, arrival count).
+        self._rdv_first: dict = {}
+        self.divergence_report = None
+
+    def bind_clock(self, clock) -> None:
+        """Attach the machine's simulated clock (``lambda: machine.now``)."""
+        self.tracer.bind_clock(clock)
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self.tracer.now
+
+    # -- monitor hooks -------------------------------------------------------
+
+    def monitored_call(self, variant: int, thread: str, name: str,
+                       call_class: str, seq: int) -> None:
+        """First arrival of one variant's thread at a monitored call."""
+        self.metrics.counter("monitor.calls").inc()
+        self.metrics.counter(f"monitor.calls.class.{call_class}").inc()
+        self.metrics.counter(f"monitor.calls.name.{name}").inc()
+        self.tracer.instant(name, variant, thread, cat="call",
+                            args={"seq": seq, "class": call_class})
+
+    def rendezvous_arrive(self, rdv_key, variant: int,
+                          thread: str) -> None:
+        """A variant registered at a lockstep rendezvous."""
+        self.metrics.counter("monitor.rendezvous.arrivals").inc()
+        now = self.now
+        if rdv_key not in self._rdv_first:
+            self._rdv_first[rdv_key] = now
+        self.tracer.instant("rdv.arrive", variant, thread, cat="rdv",
+                            args={"seq": rdv_key[1]})
+
+    def rendezvous_complete(self, rdv_key, variant: int, thread: str,
+                            matched: bool) -> None:
+        """The last variant arrived; the rendezvous was compared."""
+        first = self._rdv_first.pop(rdv_key, self.now)
+        latency = self.now - first
+        self.metrics.counter("monitor.rendezvous.completed").inc()
+        self.metrics.histogram(
+            "monitor.rendezvous.latency_cycles").observe(latency)
+        self.tracer.complete("rdv.wait", variant, thread, ts=first,
+                             dur=latency, cat="rdv",
+                             args={"seq": rdv_key[1],
+                                   "matched": matched})
+        if not matched:
+            self.metrics.counter("monitor.rendezvous.mismatches").inc()
+
+    def clock_tick(self, variant: int, thread: str, time: int) -> None:
+        """The master stamped the §4.1 syscall-ordering clock."""
+        self.metrics.counter("monitor.order.ticks").inc()
+        self.tracer.instant("clock.tick", variant, thread, cat="clock",
+                            args={"time": time})
+
+    def clock_stall(self, variant: int, thread: str, wait_key) -> None:
+        """A §4.1 ordering-clock check parked the thread."""
+        kind = wait_key[0] if wait_key else "order"
+        self.metrics.counter("monitor.order.stalls").inc()
+        self.metrics.counter(f"monitor.order.stalls.{kind}").inc()
+        self.tracer.instant("clock.stall", variant, thread, cat="clock",
+                            args={"kind": kind})
+
+    def stream_publish(self, variant: int, thread: str,
+                       index: int) -> None:
+        """The master published a blocking-call stream result."""
+        self.metrics.counter("monitor.stream.published").inc()
+        self.tracer.instant("stream.publish", variant, thread,
+                            cat="stream", args={"index": index})
+
+    def stream_wait(self, variant: int, thread: str, index: int) -> None:
+        """A slave stalled waiting for a stream result."""
+        self.metrics.counter("monitor.stream.waits").inc()
+        self.tracer.instant("stream.wait", variant, thread,
+                            cat="stream", args={"index": index})
+
+    # -- machine hooks -------------------------------------------------------
+
+    def sched_grant(self, variant: int, thread: str) -> None:
+        """The scheduler granted a core to a thread."""
+        self.metrics.counter("sched.grants").inc()
+        self.tracer.instant("sched.grant", variant, thread, cat="sched")
+
+    def park(self, variant: int, thread_global: str, thread: str,
+             wait_key) -> None:
+        """A thread blocked on a wait key; opens a wait span."""
+        kind = wait_key[0] if wait_key else "?"
+        self.metrics.counter("machine.parks").inc()
+        self.metrics.counter(f"machine.parks.{kind}").inc()
+        self.tracer.begin_span(("park", thread_global),
+                               f"wait:{kind}", variant, thread,
+                               cat="wait")
+
+    def unpark(self, variant: int, thread_global: str,
+               thread: str) -> None:
+        """A parked thread became runnable; closes its wait span."""
+        dur = self.tracer.end_span(("park", thread_global))
+        self.metrics.histogram("machine.park_cycles").observe(dur)
+
+    def divergence(self, report) -> None:
+        """The monitor killed the run."""
+        self.divergence_report = report
+        kind = getattr(getattr(report, "kind", None), "value", "unknown")
+        self.metrics.counter("divergence.total").inc()
+        self.metrics.counter(f"divergence.kind.{kind}").inc()
+        self.tracer.instant("divergence", 0,
+                            getattr(report, "thread", ""),
+                            cat="divergence", args={"kind": kind})
+
+    # -- agent hooks ---------------------------------------------------------
+
+    def sync_record(self, variant: int, thread: str, buffer: str,
+                    occupancy: int) -> None:
+        """The master logged one sync op; samples buffer occupancy."""
+        self.metrics.counter("agent.recorded").inc()
+        gauge = self.metrics.gauge(f"agent.buffer.{buffer}.occupancy")
+        gauge.set(occupancy)
+        self.tracer.counter(f"buf:{buffer}", variant, occupancy,
+                            series="occupancy")
+
+    def sync_replay(self, variant: int, thread: str, buffer: str,
+                    occupancy: int) -> None:
+        """A slave consumed one sync-op record."""
+        self.metrics.counter("agent.replayed").inc()
+        self.tracer.counter(f"buf:{buffer}", variant, occupancy,
+                            series="occupancy")
+
+    def sync_stall(self, variant: int, thread: str, kind: str,
+                   buffer: str) -> None:
+        """A sync-op wrapper parked (log/order/backpressure wait)."""
+        self.metrics.counter("agent.stalls").inc()
+        self.metrics.counter(f"agent.stalls.{kind}").inc()
+        self.tracer.instant(f"sync.{kind}", variant, thread, cat="sync",
+                            args={"buffer": buffer})
+
+    def clock_lag(self, variant: int, thread: str, clock_id: int,
+                  lag: float) -> None:
+        """A WoC slave observed its local clock behind the recorded time."""
+        self.metrics.histogram("woc.clock_lag",
+                               bounds=(1, 2, 4, 8, 16, 32, 64, 128,
+                                       256)).observe(lag)
+        self.tracer.instant("clock.stall", variant, thread, cat="clock",
+                            args={"clock": clock_id, "lag": lag})
+
+    # -- kernel hooks --------------------------------------------------------
+
+    def futex_park(self, thread_global: str, addr: int) -> None:
+        """A thread queued on a futex word."""
+        variant = _variant_of(thread_global)
+        self.metrics.counter("futex.parks").inc()
+        self.tracer.instant("futex.park", variant,
+                            thread_global.partition(":")[2],
+                            cat="futex", args={"addr": addr})
+
+    def futex_wake(self, addr: int, woken: list) -> None:
+        """A futex wake released queued threads."""
+        self.metrics.counter("futex.wakes").inc()
+        self.metrics.counter("futex.woken").inc(len(woken))
+        for thread_global in woken:
+            self.tracer.instant("futex.wake", _variant_of(thread_global),
+                                thread_global.partition(":")[2],
+                                cat="futex", args={"addr": addr})

@@ -1,0 +1,236 @@
+"""Divergence forensics: post-mortem bundles for killed variant sets.
+
+When the monitor kills a run it produces a
+:class:`~repro.core.divergence.DivergenceReport` that names the thread
+and the call sequence number — but by then the interesting evidence (what
+each variant was doing in the cycles *leading up to* the kill) is gone
+unless someone kept it.  rr's whole debugging model is built on exactly
+this kind of trace-centric post-mortem; this module is the MVEE-shaped
+version of it.
+
+A :class:`DivergenceBundle` is a self-contained JSON document holding:
+
+* the divergence report (kind, thread, sequence number, per-variant
+  observations),
+* the last N trace events **per variant** (the tracer's bounded rings),
+* each variant's in-flight monitored-call state at kill time (which
+  thread was inside which call, at which sequence number),
+* a metrics snapshot and the run configuration (seed, agent, variants).
+
+:func:`diff_tails` then finds, per logical thread, the first monitored
+call where the variants' event tails disagree — for an injected
+divergence that index is exactly the injected call, which the test suite
+verifies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Bundle format version (bump on incompatible schema changes).
+BUNDLE_VERSION = 1
+
+
+@dataclass
+class DivergenceBundle:
+    """Self-contained post-mortem of one killed run."""
+
+    report: dict
+    #: variant -> list of event dicts (oldest first, bounded ring).
+    tails: dict[int, list[dict]] = field(default_factory=dict)
+    #: variant -> thread -> {"seq": int, "name": str} at kill time.
+    in_flight: dict[int, dict[str, dict]] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    version: int = BUNDLE_VERSION
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "report": self.report,
+            "tails": {str(v): tail for v, tail in
+                      sorted(self.tails.items())},
+            "in_flight": {str(v): state for v, state in
+                          sorted(self.in_flight.items())},
+            "metrics": self.metrics,
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "DivergenceBundle":
+        return cls(
+            version=data.get("version", BUNDLE_VERSION),
+            report=data.get("report", {}),
+            tails={int(v): tail for v, tail in
+                   data.get("tails", {}).items()},
+            in_flight={int(v): state for v, state in
+                       data.get("in_flight", {}).items()},
+            metrics=data.get("metrics", {}),
+            config=data.get("config", {}),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, sort_keys=True,
+                      indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "DivergenceBundle":
+        with open(path) as handle:
+            return cls.from_json_dict(json.load(handle))
+
+
+def _report_dict(report) -> dict:
+    """Serialize a DivergenceReport without importing repro.core."""
+    if report is None:
+        return {}
+    return {
+        "kind": report.kind.value,
+        "thread": report.thread,
+        "syscall_seq": report.syscall_seq,
+        "detail": report.detail,
+        "observations": {str(v): repr(obs) for v, obs in
+                         sorted(report.observations.items())},
+    }
+
+
+def capture_bundle(hub, report, monitor=None,
+                   config: dict | None = None) -> DivergenceBundle:
+    """Snapshot the hub's rings and the monitor's in-flight state.
+
+    ``monitor`` is duck-typed: any object with a ``_current`` mapping of
+    ``(variant, thread) -> info(seq, name)`` contributes in-flight call
+    state; monitors without one (the relaxed monitor) just yield empty
+    in-flight tables.
+    """
+    tails = {variant: [event.to_dict()
+                       for event in hub.tracer.tail(variant)]
+             for variant in hub.tracer.variants()}
+    in_flight: dict[int, dict[str, dict]] = {}
+    current = getattr(monitor, "_current", None)
+    if current:
+        for (variant, thread), info in sorted(current.items()):
+            in_flight.setdefault(variant, {})[thread] = {
+                "seq": info.seq, "name": info.name}
+    return DivergenceBundle(
+        report=_report_dict(report),
+        tails=tails,
+        in_flight=in_flight,
+        metrics=hub.metrics.snapshot(),
+        config=dict(config or {}),
+    )
+
+
+# -- tail diffing ------------------------------------------------------------
+
+def _call_sequences(tail: list[dict]) -> dict[str, list[dict]]:
+    """Per-thread ordered monitored-call events from one variant's tail."""
+    sequences: dict[str, list[dict]] = {}
+    for event in tail:
+        if event.get("cat") == "call":
+            sequences.setdefault(event["thread"], []).append(event)
+    return sequences
+
+
+def diff_tails(bundle: DivergenceBundle) -> dict[str, dict]:
+    """Find, per thread, the first monitored call where variants differ.
+
+    Compares the ``cat == "call"`` events (one per monitored call per
+    variant, aligned by the per-thread sequence number the monitor
+    assigns) across all variants in the bundle.  Returns a mapping::
+
+        thread -> {"seq": first differing sequence number,
+                   "calls": {variant: event-name-at-that-seq}}
+
+    Threads whose visible tails agree are omitted.  Because the rings
+    are bounded, alignment uses the recorded ``seq`` argument rather
+    than list position — a variant that ran further ahead does not shift
+    the comparison.
+    """
+    per_variant = {variant: _call_sequences(tail)
+                   for variant, tail in bundle.tails.items()}
+    threads = set()
+    for sequences in per_variant.values():
+        threads.update(sequences)
+    result: dict[str, dict] = {}
+    for thread in sorted(threads):
+        by_seq: dict[int, dict[int, str]] = {}
+        for variant, sequences in per_variant.items():
+            for event in sequences.get(thread, ()):
+                seq = (event.get("args") or {}).get("seq")
+                if seq is None:
+                    continue
+                by_seq.setdefault(seq, {})[variant] = event["name"]
+        for seq in sorted(by_seq):
+            calls = by_seq[seq]
+            if len(calls) > 1 and len(set(calls.values())) > 1:
+                result[thread] = {"seq": seq, "calls": calls}
+                break
+    return result
+
+
+def summarize_bundle(bundle: DivergenceBundle) -> str:
+    """Human-oriented rendering of a bundle (the ``repro obs`` CLI)."""
+    lines = ["divergence bundle"]
+    report = bundle.report
+    if report:
+        lines.append(f"  kind    : {report.get('kind')}")
+        lines.append(f"  thread  : {report.get('thread')}")
+        lines.append(f"  call #  : {report.get('syscall_seq')}")
+        if report.get("detail"):
+            lines.append(f"  detail  : {report['detail']}")
+        for variant, obs in sorted(report.get("observations",
+                                              {}).items()):
+            lines.append(f"  v{variant} saw : {obs}")
+    for variant in sorted(bundle.tails):
+        tail = bundle.tails[variant]
+        lines.append(f"  variant {variant}: {len(tail)} tail events")
+        for event in tail[-5:]:
+            stamp = f"@{event.get('ts', 0):.0f}"
+            lines.append(f"    {stamp:>12s} [{event.get('cat')}] "
+                         f"{event.get('thread')}: {event.get('name')}")
+    for variant, state in sorted(bundle.in_flight.items()):
+        for thread, info in sorted(state.items()):
+            lines.append(f"  in-flight v{variant} {thread}: "
+                         f"{info['name']} (call #{info['seq']})")
+    divergences = diff_tails(bundle)
+    if divergences:
+        for thread, info in sorted(divergences.items()):
+            calls = ", ".join(f"v{v}={name!r}" for v, name in
+                              sorted(info["calls"].items()))
+            lines.append(f"  first differing call: thread {thread} "
+                         f"call #{info['seq']} ({calls})")
+    else:
+        lines.append("  (no differing monitored calls inside the "
+                     "recorded tails)")
+    return "\n".join(lines)
+
+
+def bundle_to_chrome(bundle: DivergenceBundle) -> dict:
+    """Convert a bundle's event tails to Chrome ``trace_event`` JSON.
+
+    Lets Perfetto visualize the final moments of a killed run without
+    needing the full run trace.
+    """
+    from repro.obs.tracer import TraceEvent
+
+    events = []
+    for variant in sorted(bundle.tails):
+        for data in bundle.tails[variant]:
+            events.append(TraceEvent(
+                name=data.get("name", "?"), cat=data.get("cat", "obs"),
+                ph=data.get("ph", "i"), ts=data.get("ts", 0.0),
+                dur=data.get("dur", 0.0), variant=variant,
+                thread=data.get("thread", ""),
+                args=data.get("args")))
+    events.sort(key=lambda e: (e.ts, e.variant, e.thread))
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer()
+    for event in events:
+        tracer._record(event)
+    return tracer.to_chrome()

@@ -1,0 +1,160 @@
+"""Counters, gauges, and histograms for MVEE-internal telemetry.
+
+The registry aggregates what the tracer records as individual events:
+rendezvous latency, slave clock lag, sync-buffer high-water marks,
+divergence-kind counts, per-syscall-class monitor traffic.  Everything is
+plain Python with deterministic iteration order, so a snapshot of a
+seeded run is byte-identical across executions (the property the
+determinism tests pin down).
+
+Histograms use fixed bucket bounds declared at creation time — the
+observability layer obeys the same "no dynamic per-variable allocation"
+discipline (Section 3.3) the agents do: the set of metrics and bucket
+arrays is fixed up front; only the counts grow.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+
+#: Default bucket bounds (cycles) for latency/lag histograms: roughly
+#: log-spaced from "one cache miss" to "milliseconds of stall".
+DEFAULT_CYCLE_BUCKETS = (
+    100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0,
+    100_000.0, 300_000.0, 1_000_000.0, 10_000_000.0,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-written value, with a tracked maximum (high-water mark)."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self):
+        return {"value": self.value, "max": self.max}
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/max summary stats."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_CYCLE_BUCKETS):
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: counts[i] covers (bounds[i-1], bounds[i]]; the final slot is
+        #: the overflow bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {"count": self.count, "sum": self.total, "max": self.max,
+                "mean": self.mean,
+                "buckets": {("le_%g" % bound): self.counts[i]
+                            for i, bound in enumerate(self.bounds)},
+                "overflow": self.counts[-1]}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and stable snapshots."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds=DEFAULT_CYCLE_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- output -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All metric values, keyed by name, in sorted order."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering (byte-identical per seed)."""
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+    def write_json(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def render_text(self) -> str:
+        """Human-oriented flat listing (the CLI's ``--metrics`` output)."""
+        lines = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"{name} = {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{name} = {metric.value:g} "
+                             f"(max {metric.max:g})")
+            else:
+                lines.append(f"{name}: n={metric.count} "
+                             f"mean={metric.mean:.1f} max={metric.max:g}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,271 @@
+"""Structured event tracing for the MVEE simulator.
+
+The tracer records *what happened when* inside a run: monitor rendezvous,
+§4.1 ordering-clock stalls, sync-buffer occupancy, futex parking, and
+scheduler grants.  Events are keyed by ``(variant, logical thread)`` —
+the same identity scheme the monitor uses to pair equivalent threads —
+and carry the simulated-cycle timestamp of the machine clock, so a trace
+of an MVEE run is as deterministic as the run itself.
+
+Two sinks are supported:
+
+* **Chrome ``trace_event`` JSON** (:meth:`Tracer.write_chrome`): loadable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Each
+  variant becomes a process, each logical thread a named thread; wait
+  spans render as slices, buffer occupancy as counter tracks.
+* **Compact JSONL** (:meth:`Tracer.write_jsonl`): one event object per
+  line, for ad-hoc grepping and downstream tooling.
+
+Cost discipline: the tracer is *never* consulted by hot paths unless an
+:class:`~repro.obs.ObsHub` was explicitly attached to the run — hook
+sites guard on ``obs is not None`` — and :data:`NULL_TRACER` provides a
+no-op implementation for code that wants an unconditional tracer-shaped
+object.  Recording an event never touches the simulated clock, so an
+instrumented run spends the exact same number of simulated cycles as an
+uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.kernel.vtime import CYCLES_PER_SECOND
+
+#: Default length of the per-variant event tail kept for forensics.
+DEFAULT_RING_SIZE = 256
+
+#: Microseconds per simulated cycle (Chrome traces use microsecond ts).
+_US_PER_CYCLE = 1e6 / CYCLES_PER_SECOND
+
+
+@dataclass
+class TraceEvent:
+    """One traced occurrence inside a run.
+
+    ``ph`` follows the Chrome ``trace_event`` phase vocabulary we emit:
+    ``"i"`` (instant), ``"X"`` (complete span with ``dur``), and ``"C"``
+    (counter sample).
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "variant", "thread",
+                 "args")
+
+    name: str
+    cat: str
+    ph: str
+    ts: float          # simulated cycles
+    dur: float         # simulated cycles (spans only)
+    variant: int
+    thread: str
+    args: dict | None
+
+    def to_dict(self) -> dict:
+        """Compact JSON-friendly form (cycle timestamps preserved)."""
+        out = {"name": self.name, "cat": self.cat, "ph": self.ph,
+               "ts": self.ts, "variant": self.variant,
+               "thread": self.thread}
+        if self.ph == "X":
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def to_chrome(self, tid: int) -> dict:
+        """Chrome ``trace_event`` form (microsecond timestamps)."""
+        out = {"name": self.name, "cat": self.cat, "ph": self.ph,
+               "ts": self.ts * _US_PER_CYCLE, "pid": self.variant,
+               "tid": tid}
+        if self.ph == "X":
+            out["dur"] = self.dur * _US_PER_CYCLE
+        if self.ph == "i":
+            out["s"] = "t"  # instant scope: thread
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class Tracer:
+    """Accumulates :class:`TraceEvent` records for one run.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time in cycles (bound to ``Machine.now`` by the MVEE bootstrap);
+    until one is bound, events are stamped at cycle 0.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None, ring_size: int = DEFAULT_RING_SIZE):
+        self._clock = clock or (lambda: 0.0)
+        self.events: list[TraceEvent] = []
+        #: variant -> bounded tail of that variant's events (forensics).
+        self._rings: dict[int, deque] = {}
+        self._ring_size = ring_size
+        #: span key -> (start ts, name, cat, variant, thread, args)
+        self._open_spans: dict = {}
+
+    def bind_clock(self, clock) -> None:
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    # -- recording ---------------------------------------------------------
+
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+        ring = self._rings.get(event.variant)
+        if ring is None:
+            ring = self._rings[event.variant] = deque(
+                maxlen=self._ring_size)
+        ring.append(event)
+
+    def instant(self, name: str, variant: int, thread: str,
+                cat: str = "obs", args: dict | None = None) -> None:
+        """Record a point event at the current simulated time."""
+        self._record(TraceEvent(name=name, cat=cat, ph="i",
+                                ts=self._clock(), dur=0.0,
+                                variant=variant, thread=thread, args=args))
+
+    def counter(self, name: str, variant: int, value: float,
+                series: str = "value", cat: str = "buffer") -> None:
+        """Record a counter sample (occupancy tracks in Perfetto)."""
+        self._record(TraceEvent(name=name, cat=cat, ph="C",
+                                ts=self._clock(), dur=0.0,
+                                variant=variant, thread="",
+                                args={series: value}))
+
+    def complete(self, name: str, variant: int, thread: str,
+                 ts: float, dur: float, cat: str = "obs",
+                 args: dict | None = None) -> None:
+        """Record a finished span with explicit start and duration."""
+        self._record(TraceEvent(name=name, cat=cat, ph="X", ts=ts,
+                                dur=dur, variant=variant, thread=thread,
+                                args=args))
+
+    def begin_span(self, key, name: str, variant: int, thread: str,
+                   cat: str = "obs", args: dict | None = None) -> None:
+        """Open a span; :meth:`end_span` with the same key closes it."""
+        self._open_spans[key] = (self._clock(), name, cat, variant,
+                                 thread, args)
+
+    def end_span(self, key, extra_args: dict | None = None) -> float:
+        """Close the span opened under ``key``; returns its duration."""
+        opened = self._open_spans.pop(key, None)
+        if opened is None:
+            return 0.0
+        start, name, cat, variant, thread, args = opened
+        if extra_args:
+            args = {**(args or {}), **extra_args}
+        dur = self._clock() - start
+        self.complete(name, variant, thread, ts=start, dur=dur,
+                      cat=cat, args=args)
+        return dur
+
+    # -- forensics support --------------------------------------------------
+
+    def tail(self, variant: int) -> list[TraceEvent]:
+        """The last events recorded for ``variant`` (bounded ring)."""
+        return list(self._rings.get(variant, ()))
+
+    def variants(self) -> list[int]:
+        return sorted(self._rings)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """Build the Chrome ``trace_event`` JSON object.
+
+        Thread ids are assigned per variant in first-appearance order
+        (deterministic for a deterministic run) and labelled with
+        metadata events so Perfetto shows logical thread names.
+        """
+        trace_events: list[dict] = []
+        tids: dict[tuple[int, str], int] = {}
+        seen_pids: set[int] = set()
+        for event in self.events:
+            pid = event.variant
+            if pid not in seen_pids:
+                seen_pids.add(pid)
+                role = "master" if pid == 0 else f"slave {pid}"
+                trace_events.append({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": f"variant {pid} ({role})"}})
+            key = (pid, event.thread)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = len([k for k in tids if k[0] == pid])
+                if event.thread:
+                    trace_events.append({
+                        "name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": event.thread}})
+            trace_events.append(event.to_chrome(tid))
+        return {"traceEvents": trace_events, "displayTimeUnit": "ns",
+                "otherData": {"source": "repro.obs",
+                              "clock": "simulated cycles (1 cycle = 1 ns)"}}
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, sort_keys=True)
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True))
+                handle.write("\n")
+
+
+class NullTracer:
+    """A tracer that records nothing; every method is a no-op.
+
+    Installed where callers want an unconditional tracer-shaped object;
+    the hook points in the simulator skip even this by testing
+    ``obs is not None``.
+    """
+
+    enabled = False
+    events: tuple = ()
+
+    def bind_clock(self, clock) -> None:
+        pass
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def begin_span(self, *args, **kwargs) -> None:
+        pass
+
+    def end_span(self, *args, **kwargs) -> float:
+        return 0.0
+
+    def tail(self, variant: int) -> list:
+        return []
+
+    def variants(self) -> list:
+        return []
+
+    def to_chrome(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ns"}
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, sort_keys=True)
+
+    def write_jsonl(self, path) -> None:
+        open(path, "w").close()
+
+
+#: Shared no-op tracer instance.
+NULL_TRACER = NullTracer()

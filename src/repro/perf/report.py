@@ -34,11 +34,20 @@ class SlowdownReport:
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geometric mean (the conventional aggregate for slowdown ratios)."""
+    """Geometric mean (the conventional aggregate for slowdown ratios).
+
+    Raises :class:`ValueError` on non-positive inputs: a zero or negative
+    slowdown is always an upstream bug (a broken native baseline, an
+    uninitialized cycle count), and silently folding it into the product
+    would produce a bogus — possibly complex-valued — aggregate.
+    """
     if not values:
         return float("nan")
     product = 1.0
     for value in values:
+        if value <= 0:
+            raise ValueError(
+                f"geometric mean requires positive values; got {value!r}")
         product *= value
     return product ** (1.0 / len(values))
 

@@ -93,6 +93,9 @@ class Machine:
         self._fault: GuestFault | None = None
         #: Optional callable(vm, thread, label, payload) for Annotate events.
         self.trace_hook = None
+        #: Optional :class:`repro.obs.ObsHub`; hooks fire only when set,
+        #: so the disabled path costs one attribute test.
+        self.obs = None
         #: Application-level cache-line contention: every atomic access to
         #: a shared word pays coherence, in native runs and MVEE runs
         #: alike.  (Agent-added traffic is charged separately by the
@@ -168,6 +171,9 @@ class Machine:
         thread.park_key = None
         thread.ready_since = self.now
         self._ready.append(thread)
+        if self.obs is not None:
+            self.obs.unpark(thread.vm.index, thread.global_id,
+                            thread.logical_id)
 
     # -- main loop -------------------------------------------------------------------
 
@@ -261,6 +267,8 @@ class Machine:
                 continue
             thread.stats.queue_cycles += self.now - thread.ready_since
             thread.state = ThreadState.RUNNING
+            if self.obs is not None:
+                self.obs.sched_grant(thread.vm.index, thread.logical_id)
             thread.burst_cycles = 0.0
             thread.burst_quantum = (self.costs.preempt_quantum
                                     * self.policy.quantum_scale(self.rng))
@@ -284,6 +292,9 @@ class Machine:
         thread.park_time = self.now
         self._parked.setdefault(key, []).append(thread)
         self._release_core()
+        if self.obs is not None:
+            self.obs.park(thread.vm.index, thread.global_id,
+                          thread.logical_id, key)
 
     # -- stepping ----------------------------------------------------------------------------
 
@@ -649,6 +660,8 @@ class Machine:
     def _kill_all(self, report) -> None:
         """Divergence: terminate every variant (the MVEE's response)."""
         self._divergence = report
+        if self.obs is not None:
+            self.obs.divergence(report)
         for vm in self.vms:
             vm.killed = True
             for thread in vm.threads.values():

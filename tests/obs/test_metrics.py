@@ -1,0 +1,93 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.set(9.0)
+        gauge.set(2.0)
+        assert gauge.snapshot() == {"value": 2.0, "max": 9.0}
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        histogram.observe(5.0)     # first bucket
+        histogram.observe(50.0)    # second bucket
+        histogram.observe(500.0)   # overflow
+        snap = histogram.snapshot()
+        assert snap["buckets"] == {"le_10": 1, "le_100": 1}
+        assert snap["overflow"] == 1
+        assert snap["count"] == 3
+        assert snap["sum"] == 555.0
+        assert snap["max"] == 500.0
+        assert snap["mean"] == pytest.approx(185.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1 and "a" in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_and_json_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z.last").inc(2)
+            registry.gauge("a.first").set(1.5)
+            registry.histogram("m.mid").observe(250.0)
+            return registry
+
+        one, two = build(), build()
+        assert list(one.snapshot()) == ["a.first", "m.mid", "z.last"]
+        assert one.to_json() == two.to_json()
+        assert json.loads(one.to_json())["z.last"] == 2
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.json"
+        registry.write_json(path)
+        assert json.loads(path.read_text()) == {"c": 1}
+
+    def test_render_text(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(3)
+        registry.gauge("occupancy").set(7)
+        registry.histogram("lat").observe(1_500.0)
+        text = registry.render_text()
+        assert "calls = 3" in text
+        assert "occupancy = 7 (max 7)" in text
+        assert "lat: n=1 mean=1500.0" in text
+
+    def test_render_text_empty(self):
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"

@@ -108,6 +108,14 @@ class TestReports:
         assert math.isnan(arithmetic_mean([]))
         assert math.isnan(geometric_mean([]))
 
+    def test_geometric_mean_rejects_nonpositive(self):
+        """A zero or negative slowdown is always an upstream bug; the
+        aggregate must fail loudly instead of going complex-valued."""
+        with pytest.raises(ValueError, match="positive"):
+            geometric_mean([1.0, 0.0, 2.0])
+        with pytest.raises(ValueError, match="-3.0"):
+            geometric_mean([-3.0])
+
     def test_aggregate_groups_by_agent_and_variants(self):
         reports = [
             SlowdownReport("a", "woc", 2, 100, 110),

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -56,3 +58,54 @@ class TestCommands:
         assert code == 0
         assert "verdict: clean" in out
         assert "sync-op replay, v1" in out
+
+
+class TestObservabilityFlags:
+    def test_run_with_trace_out_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        code = main(["run", "fft", "--scale", "0.05",
+                     "--trace-out", str(trace), "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace     : wrote" in out
+        assert "-- metrics --" in out
+        assert "monitor.calls" in out
+        data = json.loads(trace.read_text())
+        assert data["traceEvents"]
+
+    def test_trace_command_with_obs_flags(self, capsys, tmp_path):
+        trace = tmp_path / "trace.trace.json"
+        code = main(["trace", "volrend", "--scale", "0.05",
+                     "--trace-out", str(trace), "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-- metrics --" in out
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_clean_run_writes_no_bundle(self, capsys, tmp_path):
+        bundle = tmp_path / "bundle.json"
+        code = main(["run", "fft", "--scale", "0.05",
+                     "--bundle-out", str(bundle)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "did not diverge" in out
+        assert not bundle.exists()
+
+    def test_divergent_run_bundle_lifecycle(self, capsys, tmp_path):
+        """--bundle-out writes a bundle; `obs` summarizes/converts it."""
+        bundle = tmp_path / "bundle.json"
+        code = main(["run", "radiosity", "--agent", "none",
+                     "--scale", "0.1", "--bundle-out", str(bundle)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "wrote forensics bundle" in out
+        assert bundle.exists()
+
+        assert main(["obs", "summarize", str(bundle)]) == 0
+        summary = capsys.readouterr().out
+        assert "divergence bundle" in summary
+
+        converted = tmp_path / "bundle.trace.json"
+        assert main(["obs", "convert", str(bundle),
+                     "-o", str(converted)]) == 0
+        assert json.loads(converted.read_text())["traceEvents"]
