@@ -16,6 +16,9 @@ Commands
 ``obs {summarize,convert} BUNDLE``
     Inspect a divergence forensics bundle (``summarize``) or convert its
     event tails to Chrome ``trace_event`` JSON for Perfetto (``convert``).
+``fault-matrix``
+    Survival table: inject each fault kind under each degradation policy
+    and report the verdicts (see ``docs/RESILIENCE.md``).
 
 The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
 Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
@@ -85,6 +88,7 @@ def _cmd_fig5(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.core.divergence import MonitorPolicy
     from repro.core.mvee import run_mvee
     from repro.diversity.spec import DiversitySpec
     from repro.experiments.runner import native_cycles
@@ -93,22 +97,44 @@ def _cmd_run(args) -> int:
     agent = None if args.agent == "none" else args.agent
     diversity = (DiversitySpec(aslr=True, dcl=True, seed=args.seed)
                  if args.diversity else None)
+    plan = None
+    if args.faults:
+        from repro.errors import ConfigError
+        from repro.faults import parse_fault_plan
+
+        try:
+            plan = parse_fault_plan(args.faults, seed=args.fault_seed,
+                                    n_variants=args.variants)
+        except ConfigError as exc:
+            print(f"repro run: {exc}", file=sys.stderr)
+            return 2
+    policy = MonitorPolicy(degradation=args.policy,
+                           watchdog_cycles=args.watchdog)
     hub = _make_hub(args)
     native = native_cycles(args.benchmark, scale=args.scale,
                            seed=args.seed)
     outcome = run_mvee(make_benchmark(args.benchmark, scale=args.scale),
                        variants=args.variants, agent=agent,
                        seed=args.seed, diversity=diversity,
-                       max_cycles=native * 400, obs=hub)
+                       policy=policy,
+                       max_cycles=native * 400, obs=hub, faults=plan)
     print(f"benchmark : {args.benchmark}")
     print(f"agent     : {args.agent}, variants: {args.variants}, "
           f"diversity: {'ASLR+DCL' if args.diversity else 'off'}")
+    if plan is not None:
+        print(f"faults    : planned {len(plan)}, "
+              f"injected {len(outcome.faults)} "
+              f"(policy: {args.policy}"
+              + (f", watchdog: {args.watchdog:.0f} cycles"
+                 if args.watchdog is not None else "") + ")")
     print(f"verdict   : {outcome.verdict}")
+    for event in outcome.quarantines:
+        print(f"quarantine: {event.summary()}")
     if outcome.divergence is not None:
         print(outcome.divergence.explain())
     print(f"slowdown  : {outcome.cycles / native:.2f}x vs native")
     _emit_obs(args, hub, outcome)
-    return 0 if outcome.verdict == "clean" else 1
+    return 0 if outcome.verdict in ("clean", "degraded") else 1
 
 
 def _cmd_trace(args) -> int:
@@ -162,6 +188,22 @@ def _cmd_obs(args) -> int:
     with open(out, "w") as handle:
         json.dump(bundle_to_chrome(bundle), handle, sort_keys=True)
     print(f"wrote Chrome trace to {out}")
+    return 0
+
+
+def _cmd_fault_matrix(args) -> int:
+    from repro.experiments.runner import (
+        fault_matrix_table,
+        run_fault_matrix,
+    )
+
+    kinds = args.kinds.split(",") if args.kinds else None
+    policies = args.policies.split(",") if args.policies else None
+    cells = run_fault_matrix(benchmark=args.benchmark, kinds=kinds,
+                             policies=policies, variants=args.variants,
+                             agent=args.agent, scale=args.scale,
+                             seed=args.seed)
+    print(fault_matrix_table(cells))
     return 0
 
 
@@ -229,6 +271,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--scale", type=float, default=0.25)
     p_run.add_argument("--diversity", action="store_true",
                        help="enable ASLR + DCL")
+    p_run.add_argument("--faults", default=None, metavar="PLAN",
+                       help="fault plan: 'random' (seeded by "
+                            "--fault-seed) or comma-separated "
+                            "KIND@vN:AT[:PARAM] specs; kinds: crash, "
+                            "stall, corrupt_sync, drop_wake, clock_skew")
+    p_run.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for '--faults random' (default 0)")
+    p_run.add_argument("--policy", default="kill-all",
+                       choices=("kill-all", "quarantine", "restart"),
+                       help="degradation policy when a variant is "
+                            "condemned (default: kill-all, the paper's "
+                            "behaviour)")
+    p_run.add_argument("--watchdog", type=float, default=None,
+                       metavar="CYCLES",
+                       help="lockstep rendezvous deadline in simulated "
+                            "cycles; a variant missing the deadline is "
+                            "diagnosed (WATCHDOG_TIMEOUT) instead of "
+                            "hanging the run (default: off)")
     _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -254,6 +314,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output path for convert "
                             "(default: BUNDLE.trace.json)")
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_fm = sub.add_parser(
+        "fault-matrix",
+        help="survival table: degradation policy x injected fault kind")
+    p_fm.add_argument("--benchmark", default="dedup")
+    p_fm.add_argument("--kinds", default=None,
+                      help="comma-separated fault kinds (default: all)")
+    p_fm.add_argument("--policies", default=None,
+                      help="comma-separated policies "
+                           "(default: kill-all,quarantine,restart)")
+    p_fm.add_argument("--variants", type=int, default=3)
+    p_fm.add_argument("--agent", default="wall_of_clocks")
+    p_fm.add_argument("--scale", type=float, default=0.1)
+    p_fm.add_argument("--seed", type=int, default=1)
+    p_fm.set_defaults(func=_cmd_fault_matrix)
 
     p_list = sub.add_parser("list", help="list benchmark twins")
     p_list.set_defaults(func=_cmd_list)

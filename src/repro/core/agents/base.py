@@ -62,10 +62,35 @@ class AgentSharedState:
         #: changes sync behaviour (Section 4.5.1 documents that such
         #: diversity is unsupported).
         self.check_sites = False
+        #: Optional :class:`repro.faults.FaultInjector`; subclasses
+        #: propagate it into their shared buffers so corrupt_sync faults
+        #: reach the records.
+        self.faults = None
+        #: Variants demoted by the monitor (quarantine): ring-buffer
+        #: backpressure must stop waiting for their consumption or the
+        #: master stalls forever behind a dead consumer.
+        self.retired: set[int] = set()
 
     def bind_machine(self, machine) -> None:
         """Install the simulator's wake callback (MVEE bootstrap)."""
         self.wake = machine.wake_key
+
+    def bind_faults(self, injector) -> None:
+        """Attach the fault injector to the shared sync structures."""
+        self.faults = injector
+
+    def retire_variant(self, variant: int) -> None:
+        """Stop backpressure from waiting on a quarantined slave.
+
+        Subclasses drop the variant's consumption cursor from their
+        slowest-consumer computation and wake a master parked on a full
+        ring, then call up."""
+        self.retired.add(variant)
+
+    def reset_variant(self, variant: int) -> None:
+        """Rewind one slave's replay cursors so a restarted variant
+        replays the retained sync history from the beginning."""
+        self.retired.discard(variant)
 
     def coherence_cost(self, line_key, thread_global_id: str) -> float:
         """Charge for touching a logically shared cache line.

@@ -43,6 +43,21 @@ class PartialOrderShared(AgentSharedState):
         #: entry that variant must consume on that address.
         self.addr_cursor: dict[tuple[int, int], int] = {}
 
+    def bind_faults(self, injector) -> None:
+        super().bind_faults(injector)
+        self.log.faults = injector
+
+    def retire_variant(self, variant: int) -> None:
+        super().retire_variant(variant)
+        self.windows.pop(variant, None)
+        self.wake(("po_full",))
+
+    def reset_variant(self, variant: int) -> None:
+        super().reset_variant(variant)
+        self.windows[variant] = ConsumptionWindow()
+        for key in [k for k in self.addr_cursor if k[0] == variant]:
+            del self.addr_cursor[key]
+
 
 class PartialOrderAgent(BaseAgent):
     """Replays only the per-variable (dependence) order."""

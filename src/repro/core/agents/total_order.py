@@ -25,6 +25,19 @@ class TotalOrderShared(AgentSharedState):
         self.log = MultiProducerLog()
         self.next_index = {v: 0 for v in range(1, n_variants)}
 
+    def bind_faults(self, injector) -> None:
+        super().bind_faults(injector)
+        self.log.faults = injector
+
+    def retire_variant(self, variant: int) -> None:
+        super().retire_variant(variant)
+        self.next_index.pop(variant, None)
+        self.wake(("to_full",))
+
+    def reset_variant(self, variant: int) -> None:
+        super().reset_variant(variant)
+        self.next_index[variant] = 0
+
 
 class TotalOrderAgent(BaseAgent):
     """Replays the global total order of sync ops."""

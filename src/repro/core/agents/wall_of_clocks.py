@@ -53,8 +53,25 @@ class WallOfClocksShared(AgentSharedState):
         buffer = self.buffers.get(thread_logical)
         if buffer is None:
             buffer = SPSCBuffer(producer=thread_logical)
+            buffer.faults = self.faults
             self.buffers[thread_logical] = buffer
         return buffer
+
+    def bind_faults(self, injector) -> None:
+        super().bind_faults(injector)
+        for buffer in self.buffers.values():
+            buffer.faults = injector
+
+    def retire_variant(self, variant: int) -> None:
+        super().retire_variant(variant)
+        for producer in self.buffers:
+            self.wake(("woc_full", producer))
+
+    def reset_variant(self, variant: int) -> None:
+        super().reset_variant(variant)
+        self.walls[variant] = ClockWall(self.n_clocks)
+        for buffer in self.buffers.values():
+            buffer.reset_consumer(variant)
 
 
 class WallOfClocksAgent(BaseAgent):
@@ -80,7 +97,8 @@ class WallOfClocksAgent(BaseAgent):
         buffer = shared.buffers.get(thread.logical_id)
         if buffer is not None:
             slowest = min((buffer.consumed(v)
-                           for v in self.slave_indices()),
+                           for v in self.slave_indices()
+                           if v not in shared.retired),
                           default=buffer.produced())
             if buffer.produced() - slowest >= shared.buffer_capacity:
                 shared.stats.producer_waits += 1

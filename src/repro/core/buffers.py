@@ -48,9 +48,14 @@ class MultiProducerLog:
         #: (the "n-th op of thread T" correspondence of Section 4.5.1).
         self._thread_positions: dict[str, list[int]] = {}
         self.high_water = 0
+        #: Optional fault injector; may corrupt a record before it is
+        #: indexed (a flipped word in the shared IPC segment).
+        self.faults = None
 
     def append(self, record: SyncRecord) -> int:
         """Log a record; returns its global position."""
+        if self.faults is not None:
+            self.faults.on_sync_produce(record)
         position = len(self._entries)
         self._entries.append(record)
         self._thread_positions.setdefault(record.thread, []).append(position)
@@ -124,8 +129,12 @@ class SPSCBuffer:
         #: consumer key (slave variant index) -> next index to consume.
         self._cursors: dict[int, int] = {}
         self.high_water = 0
+        #: Optional fault injector (see MultiProducerLog.faults).
+        self.faults = None
 
     def produce(self, record: SyncRecord) -> int:
+        if self.faults is not None:
+            self.faults.on_sync_produce(record)
         position = len(self._entries)
         self._entries.append(record)
         self.high_water = max(self.high_water,
@@ -148,6 +157,10 @@ class SPSCBuffer:
 
     def consumed(self, consumer: int) -> int:
         return self._cursors.get(consumer, 0)
+
+    def reset_consumer(self, consumer: int) -> None:
+        """Rewind one consumer to the start (variant-restart resync)."""
+        self._cursors[consumer] = 0
 
     def occupancy(self) -> int:
         """Entries the slowest consumer has not yet replayed."""

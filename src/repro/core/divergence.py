@@ -31,6 +31,13 @@ class DivergenceKind(enum.Enum):
     #: The relaxed (VARAN-style) monitor saw a follower deviate from the
     #: leader's recorded per-thread sequence.
     SEQUENCE_MISMATCH = "sequence_mismatch"
+    #: A variant failed to reach a lockstep rendezvous (or the master
+    #: failed to publish a blocking-call result) within the configured
+    #: watchdog deadline — a hang diagnosed instead of waited out.
+    WATCHDOG_TIMEOUT = "watchdog_timeout"
+    #: A variant was demoted under a graceful-degradation policy while
+    #: the remaining set continued (not a whole-run kill).
+    VARIANT_QUARANTINED = "variant_quarantined"
 
 
 @dataclass
@@ -74,8 +81,16 @@ class DivergenceReport:
             DivergenceKind.SEQUENCE_MISMATCH:
                 "A follower deviated from the leader's recorded "
                 "per-thread system-call sequence.",
+            DivergenceKind.WATCHDOG_TIMEOUT:
+                "A variant failed to reach the lockstep rendezvous "
+                "within the watchdog deadline — a stall diagnosed "
+                "instead of hanging the monitor forever.",
         }
-        lines = [headlines[self.kind],
+        # New kinds must never crash the CLI's error path: fall back to
+        # a generic headline instead of a KeyError lookup.
+        lines = [headlines.get(self.kind,
+                               f"Divergence of kind "
+                               f"'{self.kind.value}' detected."),
                  f"  logical thread : {self.thread}",
                  f"  call sequence #: {self.syscall_seq}"]
         if self.detail:
@@ -108,6 +123,23 @@ class MonitorPolicy:
       ``extra_sensitive`` are cross-checked even under the sensitive-only
       policy; names in ``never_lockstep`` are never rendezvous-compared
       (they are still replicated/ordered as their spec dictates).
+    ``degradation``:
+      what happens to a variant the monitor condemns:
+      * ``"kill"`` (alias ``"kill-all"``) — the paper's behaviour:
+        terminate every variant (the default).
+      * ``"quarantine"`` — demote only the condemned variant(s) and
+        continue the remaining set; with ≥3 variants a majority vote on
+        the rendezvous arguments picks the minority to demote.  Falls
+        back to kill when there is no quorum, when the master (variant
+        0, the one wired to real I/O) is condemned, or when fewer than
+        ``min_active`` variants would remain.
+      * ``"restart"`` — quarantine, then rebuild the variant with a
+        fresh diversified layout and resync it from the retained master
+        syscall history (at most ``max_restarts`` times per variant).
+    ``watchdog_cycles``:
+      lockstep rendezvous deadline in simulated cycles; ``None``
+      disables the watchdog (a stalled variant then parks the run until
+      the cycle budget trips).  See ``docs/RESILIENCE.md`` for tuning.
     """
 
     lockstep: str = "all"
@@ -115,6 +147,10 @@ class MonitorPolicy:
     order_syscalls: bool = True
     extra_sensitive: frozenset[str] = frozenset()
     never_lockstep: frozenset[str] = frozenset()
+    degradation: str = "kill"
+    watchdog_cycles: float | None = None
+    min_active: int = 2
+    max_restarts: int = 1
 
     def is_locksteped(self, spec: SyscallSpec) -> bool:
         if spec.name in self.never_lockstep:
@@ -124,6 +160,25 @@ class MonitorPolicy:
         if self.lockstep == "sensitive":
             return spec.sensitive or spec.name in self.extra_sensitive
         return spec.name in self.extra_sensitive
+
+
+@dataclass
+class QuarantineEvent:
+    """One graceful-degradation action taken by the monitor."""
+
+    variant: int
+    report: DivergenceReport
+    at_cycles: float
+    #: Set once the MVEE rebuilt and re-admitted the variant.
+    restarted: bool = False
+
+    def summary(self) -> str:
+        text = (f"variant {self.variant} quarantined at "
+                f"{self.at_cycles:.0f} cycles "
+                f"[{self.report.kind.value}]")
+        if self.restarted:
+            text += " and restarted"
+        return text
 
 
 #: Policies exercised in the correctness matrix (Section 5.1).

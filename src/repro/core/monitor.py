@@ -13,13 +13,20 @@ is keyed by *(logical thread, per-thread monitored-call sequence number)*
 — the simulation analogue of ReMon's one-monitor-thread-per-thread-set
 design: each key identifies one logical call across all variants.
 
-Divergence responses (all produce a :class:`DivergenceReport` and kill
-every variant):
+Divergence responses (each produces a :class:`DivergenceReport`):
 
 * argument/name mismatch at a lockstep rendezvous,
 * result mismatch on an execute-all call (e.g. FD numbers),
 * a thread exiting in one variant while its twin keeps calling,
-* a variant faulting (crash under attack, protection violation).
+* a variant faulting (crash under attack, protection violation),
+* a watchdog timeout (a variant that never reaches the rendezvous).
+
+What happens *next* is the :class:`~repro.core.divergence.MonitorPolicy`
+``degradation`` policy's decision: ``kill`` (the paper's behaviour —
+terminate every variant), ``quarantine`` (demote only the condemned
+variant(s) and keep the rest running, using a majority vote when ≥3
+variants disagree), or ``restart`` (quarantine, then resync a rebuilt
+variant from the retained master history).  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -31,12 +38,19 @@ from repro.core.divergence import (
     DivergenceKind,
     DivergenceReport,
     MonitorPolicy,
+    QuarantineEvent,
 )
 from repro.core.syscall_order import SyscallOrderer
 from repro.kernel.syscalls import MVEE_GET_ROLE, SyscallSpec, spec_for
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.sched.interceptor import Kill, Proceed, Result, Wait
 from repro.sched.interceptor import SyscallInterceptor
+
+#: How many times a watchdog deadline is extended for a variant that is
+#: still resyncing from history before it is condemned anyway.  Bounds
+#: the rearm loop so a restarted variant that itself deadlocks cannot
+#: postpone the verdict forever.
+_MAX_WATCHDOG_REARMS = 16
 
 
 @dataclass
@@ -98,11 +112,40 @@ class Monitor(SyscallInterceptor):
         self.divergence: DivergenceReport | None = None
         #: Optional :class:`repro.obs.ObsHub` (set by the MVEE bootstrap).
         self.obs = None
+        #: Variants still being cross-checked.  Quarantine removes a
+        #: variant; restart re-admits it.
+        self.active: set[int] = set(range(n_variants))
+        #: Every graceful-degradation action taken, in order.
+        self.quarantine_log: list[QuarantineEvent] = []
+        self._machine = None
+        #: Watchdog bookkeeping (only populated when the policy sets a
+        #: deadline): stream keys already guarded, and per-rendezvous
+        #: rearm counts for variants still resyncing.
+        self._stream_armed: set = set()
+        self._rearm_count: dict = {}
+        #: Stream indices declared spurious after a quarantine: the
+        #: perturbed slave schedule can block where the master never
+        #: publishes, so these waits are served as spurious wakeups.
+        self._stream_spurious: set = set()
+        #: Restart support: callback installed by the MVEE, restart
+        #: counts per variant, variants currently resyncing, and the
+        #: master call history they resync from (recorded only under the
+        #: restart policy).
+        self._restart_cb = None
+        self._restart_counts: dict[int, int] = {}
+        self._catchup: set[int] = set()
+        self._history: dict[tuple[str, int], dict] | None = (
+            {} if self.policy.degradation == "restart" else None)
 
     def bind_machine(self, machine) -> None:
         """Install the wake callback (MVEE bootstrap)."""
         self._wake = machine.wake_key
         self.orderer.bind_wake(machine.wake_key)
+        self._machine = machine
+
+    def set_restart_callback(self, callback) -> None:
+        """Install the MVEE's variant-rebuild hook (restart policy)."""
+        self._restart_cb = callback
 
     # -- helpers ----------------------------------------------------------
 
@@ -128,8 +171,198 @@ class Monitor(SyscallInterceptor):
         rdv = self._rendezvous.get(rdv_key)
         if rdv is not None:
             rdv.finished += 1
-            if rdv.finished >= self.n_variants:
+            if rdv.finished >= len(self.active):
                 del self._rendezvous[rdv_key]
+
+    # -- degradation ------------------------------------------------------
+
+    def _resolve(self, report: DivergenceReport, culprits,
+                 allow_restart: bool = True):
+        """Apply the degradation policy to a condemned variant set.
+
+        Returns a :class:`Kill` directive when the whole run must die
+        (the default policy, no quorum, master condemned, or too few
+        survivors), or ``None`` when every culprit was quarantined and
+        the remaining set continues.
+        """
+        mode = self.policy.degradation
+        if mode == "kill-all":
+            mode = "kill"
+        culprits = set(culprits or ())
+        survivors = self.active - culprits
+        if (mode not in ("quarantine", "restart")
+                or not culprits
+                or 0 in culprits
+                or len(survivors) < max(self.policy.min_active, 1)):
+            return self._kill(report)
+        for variant in sorted(culprits):
+            self._quarantine(variant, report,
+                             restart=(mode == "restart" and allow_restart))
+        return None
+
+    def _quarantine(self, variant: int, report: DivergenceReport,
+                    restart: bool = False) -> None:
+        """Demote one variant: kill its threads, keep the rest running."""
+        self.active.discard(variant)
+        self._catchup.discard(variant)
+        machine = self._machine
+        event = QuarantineEvent(
+            variant=variant, report=report,
+            at_cycles=machine.now if machine is not None else 0.0)
+        self.quarantine_log.append(event)
+        if machine is not None:
+            machine.terminate_variant(variant)
+        if self.obs is not None:
+            self.obs.variant_quarantined(variant, report.kind.value,
+                                         report.thread,
+                                         report.syscall_seq)
+        if (restart and self._restart_cb is not None
+                and machine is not None
+                and self._restart_counts.get(variant, 0)
+                < max(self.policy.max_restarts, 0)):
+            self._restart_counts[variant] = (
+                self._restart_counts.get(variant, 0) + 1)
+            event.restarted = True
+            machine.call_soon(
+                lambda m, v=variant: self._restart_cb(v))
+        # Rendezvous blocked on the demoted variant can now complete.
+        for rdv_key in list(self._rendezvous):
+            self._wake(("rdv", rdv_key))
+
+    def _vote(self, observations: dict[int, Any]):
+        """Majority vote over per-variant observations.
+
+        Returns the minority variant set to condemn, or ``None`` when no
+        strict majority exists (vote tie ⇒ no quorum ⇒ kill fallback).
+        """
+        groups: dict[Any, set[int]] = {}
+        for variant, observed in observations.items():
+            groups.setdefault(observed, set()).add(variant)
+        winners = max(groups.values(), key=len)
+        if 2 * len(winners) <= len(observations):
+            return None
+        return set(observations) - winners
+
+    def readmit(self, variant: int) -> None:
+        """Re-admit a rebuilt variant (restart): wipe its per-variant
+        state so it resyncs from the retained master history."""
+        self.active.add(variant)
+        self._catchup.add(variant)
+        for table in (self._seq, self._current, self._stream_count,
+                      self._exited):
+            for key in [k for k in table if k[0] == variant]:
+                del table[key]
+        # Align the replacement's blocking-call streams with the
+        # master's publish counters: history-covered blocking calls are
+        # served as spurious wakeups (see _before_stream), so once live
+        # the replacement must consume *new* publishes, not the
+        # master's already-drained backlog.
+        for (owner, thread_logical), count in list(
+                self._stream_count.items()):
+            if owner == 0:
+                self._stream_count[(variant, thread_logical)] = count
+        self.orderer.reset_variant(variant)
+
+    def _rdv_expected(self, rdv_key) -> set[int]:
+        """Which variants a rendezvous must wait for.
+
+        A restarted variant serves history-covered calls outside the
+        live rendezvous, so live completion must not wait for it there.
+        """
+        if not self._catchup or self._history is None:
+            return self.active
+        if rdv_key in self._history:
+            return {v for v in self.active if v not in self._catchup}
+        return self.active
+
+    # -- watchdog ---------------------------------------------------------
+
+    def _arm_watchdog(self, rdv_key, deadline: float) -> None:
+        self._machine.schedule_watchdog(
+            deadline,
+            lambda machine, time, key=rdv_key:
+                self._watchdog_fire(key, time))
+
+    def _watchdog_fire(self, rdv_key, time: float) -> None:
+        """Rendezvous deadline elapsed: diagnose who never arrived."""
+        if self.divergence is not None:
+            return
+        rdv = self._rendezvous.get(rdv_key)
+        if rdv is None or rdv.compared:
+            return
+        expected = self._rdv_expected(rdv_key)
+        missing = expected - set(rdv.arrivals)
+        if not missing:
+            return
+        if (missing <= self._catchup
+                and self._rearm_count.get(rdv_key, 0)
+                < _MAX_WATCHDOG_REARMS):
+            # Only resyncing variants are late: extend the deadline
+            # rather than re-condemning a variant we just restarted.
+            self._rearm_count[rdv_key] = (
+                self._rearm_count.get(rdv_key, 0) + 1)
+            self._arm_watchdog(rdv_key,
+                               time + self.policy.watchdog_cycles)
+            return
+        self._machine.commit_time(time)
+        thread_logical, seq = rdv_key
+        call_name = next((arrival[0]
+                          for arrival in rdv.arrivals.values()), "?")
+        observations = {v: rdv.arrivals.get(v, "<never arrived>")
+                        for v in sorted(self.active)}
+        report = DivergenceReport(
+            kind=DivergenceKind.WATCHDOG_TIMEOUT,
+            thread=thread_logical, syscall_seq=seq,
+            detail=(f"variant(s) {sorted(missing)} failed to reach "
+                    f"monitored call #{seq} ({call_name}) within the "
+                    f"{self.policy.watchdog_cycles:.0f}-cycle "
+                    "rendezvous deadline"),
+            observations=observations)
+        if self.obs is not None:
+            self.obs.watchdog_timeout(thread_logical, seq,
+                                      sorted(missing))
+        directive = self._resolve(report, culprits=missing)
+        if directive is not None:
+            self._machine.kill_all(report)
+
+    def _stream_watchdog_fire(self, stream_key, time: float) -> None:
+        """The master never published a blocking-call result in time.
+
+        The publisher is the master — the one variant wired to real I/O
+        — so there is nothing to quarantine: diagnose and kill.
+        """
+        if self.divergence is not None:
+            return
+        if stream_key in self._stream:
+            return
+        if not self._machine.has_waiters(("stream", stream_key)):
+            return
+        if self.quarantine_log:
+            # Degraded set: the quarantine perturbed the survivors'
+            # scheduling, so a slave may legitimately block where the
+            # master never publishes.  Blocking calls are spurious-wake
+            # safe, so recover the waiters instead of killing the run
+            # we just fought to keep alive.
+            self._machine.commit_time(time)
+            self._stream_spurious.add(stream_key)
+            self._stream_armed.discard(stream_key)
+            self._wake(("stream", stream_key))
+            return
+        self._machine.commit_time(time)
+        thread_logical, index = stream_key
+        report = DivergenceReport(
+            kind=DivergenceKind.WATCHDOG_TIMEOUT,
+            thread=thread_logical, syscall_seq=index,
+            detail=(f"master never published blocking-call result "
+                    f"#{index} for thread {thread_logical!r} within the "
+                    f"{self.policy.watchdog_cycles:.0f}-cycle deadline "
+                    "(master-side hang: lost wake or stalled blocking "
+                    "call)"),
+            observations={0: "<blocking call never returned>"})
+        if self.obs is not None:
+            self.obs.watchdog_timeout(thread_logical, index, [0])
+        self.divergence = report
+        self._machine.kill_all(report)
 
     # -- interceptor: before --------------------------------------------------
 
@@ -138,6 +371,8 @@ class Monitor(SyscallInterceptor):
             # A divergence was flagged asynchronously (thread-exit check);
             # any thread reaching the monitor now is killed.
             return Kill(report=self.divergence)
+        if vm.index not in self.active:  # pragma: no cover - defensive
+            return Proceed()
         spec = spec_for(name)
         if name == MVEE_GET_ROLE:
             # The self-awareness pseudo-syscall: answered by the monitor,
@@ -155,6 +390,11 @@ class Monitor(SyscallInterceptor):
         if not info.overhead_charged:
             base_cost += self.costs.monitor_syscall_overhead
             info.overhead_charged = True
+        if self._catchup and vm.index in self._catchup:
+            served = self._serve_from_history(vm, thread, name, args,
+                                              spec, info, base_cost)
+            if served is not None:
+                return served
         lockstep = self.policy.is_locksteped(spec)
         rdv_key = (thread.logical_id, info.seq)
         if lockstep:
@@ -162,6 +402,11 @@ class Monitor(SyscallInterceptor):
             if rdv is None:
                 rdv = _Rendezvous(expected=self.n_variants)
                 self._rendezvous[rdv_key] = rdv
+                if (self.policy.watchdog_cycles is not None
+                        and self._machine is not None):
+                    self._arm_watchdog(
+                        rdv_key,
+                        self._machine.now + self.policy.watchdog_cycles)
             if not info.registered:
                 rdv.arrivals[vm.index] = (name,
                                           normalize_args(spec, args))
@@ -169,27 +414,42 @@ class Monitor(SyscallInterceptor):
                 if obs is not None:
                     obs.rendezvous_arrive(rdv_key, vm.index,
                                           thread.logical_id)
-                mismatch = self._check_exited_twins(thread, info.seq)
+                mismatch = self._check_exited_twins(vm, thread, info.seq)
                 if mismatch is not None:
                     return mismatch
-            if len(rdv.arrivals) < self.n_variants:
+                if vm.index not in self.active:
+                    # The exit-mismatch vote condemned this caller.
+                    return Proceed()
+            if not (self._rdv_expected(rdv_key)
+                    <= rdv.arrivals.keys()):
                 return Wait(("rdv", rdv_key),
                             cost=base_cost + self.costs.rendezvous_recheck)
             if not rdv.compared:
-                observed = set(rdv.arrivals.values())
                 rdv.compared = True
                 self._wake(("rdv", rdv_key))
+                relevant = {v: arrival
+                            for v, arrival in rdv.arrivals.items()
+                            if v in self.active}
+                observed = set(relevant.values())
                 if obs is not None:
                     obs.rendezvous_complete(rdv_key, vm.index,
                                             thread.logical_id,
-                                            matched=len(observed) == 1)
+                                            matched=len(observed) <= 1)
                 if len(observed) > 1:
-                    return self._kill(DivergenceReport(
+                    culprits = self._vote(relevant)
+                    report = DivergenceReport(
                         kind=DivergenceKind.SYSCALL_MISMATCH,
                         thread=thread.logical_id,
                         syscall_seq=info.seq,
                         detail="lockstep argument comparison failed",
-                        observations=dict(rdv.arrivals)))
+                        observations=dict(rdv.arrivals))
+                    directive = self._resolve(report, culprits)
+                    if directive is not None:
+                        return directive
+                    if vm.index not in self.active:
+                        # This caller was the outvoted minority; its
+                        # threads are already terminated.
+                        return Proceed()
         if spec.ordered and self.policy.order_syscalls:
             outcome = self.orderer.check(vm.index, thread.logical_id,
                                          thread.global_id)
@@ -208,6 +468,12 @@ class Monitor(SyscallInterceptor):
             if not rdv.result_ready:
                 return Wait(("result", rdv_key),
                             cost=base_cost + self.costs.rendezvous_recheck)
+            if spec.ordered and self.policy.order_syscalls:
+                # The slave never executes locally, so after_syscall
+                # never runs for it: advance its Lamport clock here or
+                # every later ordered call of this variant stalls.
+                self.orderer.finish(vm.index, thread.logical_id,
+                                    thread.global_id)
             vm.kernel.apply_replicated(name, args, rdv.result)
             self._finish_call(vm, thread)
             return Result(rdv.result,
@@ -222,26 +488,132 @@ class Monitor(SyscallInterceptor):
         index = self._stream_count.get(key, 0)
         stream_key = (thread.logical_id, index)
         if stream_key not in self._stream:
+            if stream_key in self._stream_spurious:
+                # Declared unservable after a quarantine perturbed the
+                # schedule: serve a spurious wakeup (no consumption, so
+                # the counter stays aligned with the master's stream).
+                return Result(0, cost=self.costs.replication_copy)
+            if self._catchup and vm.index in self._catchup:
+                # Restart resync: the replacement's local blocking
+                # pattern need not match the master's historical one,
+                # so it may block where the master never published.
+                # Blocking calls are spurious-wake safe by contract
+                # (futex loops re-check their predicate, nanosleep may
+                # be cut short), so serve an immediate spurious wakeup
+                # instead of waiting on a result that may never come.
+                return Result(0, cost=self.costs.replication_copy)
             if self.obs is not None:
                 self.obs.stream_wait(vm.index, thread.logical_id, index)
+            if (self.policy.watchdog_cycles is not None
+                    and self._machine is not None
+                    and stream_key not in self._stream_armed):
+                self._stream_armed.add(stream_key)
+                self._machine.schedule_watchdog(
+                    self._machine.now + self.policy.watchdog_cycles,
+                    lambda machine, time, skey=stream_key:
+                        self._stream_watchdog_fire(skey, time))
             return Wait(("stream", stream_key))
         self._stream_count[key] = index + 1
         return Result(self._stream[stream_key],
                       cost=self.costs.replication_copy)
 
-    def _check_exited_twins(self, thread, seq: int):
+    def _check_exited_twins(self, vm, thread, seq: int):
         """Did this thread's twin already exit in another variant?"""
-        for variant in range(self.n_variants):
+        exited = set()
+        for variant in self.active:
+            if variant == vm.index:
+                continue
             final = self._exited.get((variant, thread.logical_id))
             if final is not None and final <= seq:
-                return self._kill(DivergenceReport(
-                    kind=DivergenceKind.THREAD_EXIT_MISMATCH,
-                    thread=thread.logical_id,
-                    syscall_seq=seq,
-                    detail=(f"thread exited in variant {variant} after "
-                            f"{final} monitored calls but its twin made "
-                            f"call #{seq}")))
-        return None
+                exited.add(variant)
+        if not exited:
+            return None
+        still_calling = self.active - exited
+        # Majority heuristic: condemn whichever side is the minority
+        # (ties and a condemned master fall back to kill in _resolve).
+        if len(exited) >= len(still_calling):
+            culprits = still_calling
+        else:
+            culprits = exited
+        report = DivergenceReport(
+            kind=DivergenceKind.THREAD_EXIT_MISMATCH,
+            thread=thread.logical_id,
+            syscall_seq=seq,
+            detail=(f"thread exited in variant(s) {sorted(exited)} but "
+                    f"its twin in {sorted(still_calling)} made call "
+                    f"#{seq}"))
+        return self._resolve(report, culprits)
+
+    # -- restart resync ---------------------------------------------------
+
+    def _serve_from_history(self, vm, thread, name, args, spec, info,
+                            base_cost: float):
+        """Resync a restarted variant from the retained master history.
+
+        Returns ``None`` when the call is not covered by history — the
+        variant has caught up and rejoins the live lockstep protocol.
+        """
+        key = (thread.logical_id, info.seq)
+        entry = self._history.get(key)
+        if entry is None:
+            return None
+        if (name, normalize_args(spec, args)) != entry["call"]:
+            report = DivergenceReport(
+                kind=DivergenceKind.SYSCALL_MISMATCH,
+                thread=thread.logical_id, syscall_seq=info.seq,
+                detail=(f"restarted variant {vm.index} diverged from "
+                        "the recorded master history while resyncing"),
+                observations={0: entry["call"],
+                              vm.index: (name,
+                                         normalize_args(spec, args))})
+            directive = self._resolve(report, culprits={vm.index},
+                                      allow_restart=False)
+            return directive if directive is not None else Proceed()
+        if spec.ordered and self.policy.order_syscalls:
+            outcome = self.orderer.check(vm.index, thread.logical_id,
+                                         thread.global_id)
+            if isinstance(outcome, Wait):
+                if self.obs is not None:
+                    self.obs.clock_stall(vm.index, thread.logical_id,
+                                         outcome.key)
+                outcome.cost += (base_cost
+                                 + self.costs.ordering_bookkeeping)
+                return outcome
+            base_cost += self.costs.ordering_bookkeeping
+        if entry["replicated"]:
+            if spec.ordered and self.policy.order_syscalls:
+                self.orderer.finish(vm.index, thread.logical_id,
+                                    thread.global_id)
+            vm.kernel.apply_replicated(name, args, entry["result"])
+            self._finish_call(vm, thread)
+            return Result(entry["result"],
+                          cost=base_cost + self.costs.replication_copy)
+        # Execute-all call: run it locally; _after_from_history compares.
+        return Proceed(cost=base_cost)
+
+    def _after_from_history(self, vm, thread, name, spec, info, entry,
+                            result):
+        """Completion of a history-served execute-all call."""
+        cost = 0.0
+        if spec.ordered and self.policy.order_syscalls:
+            self.orderer.finish(vm.index, thread.logical_id,
+                                thread.global_id)
+            cost += self.costs.ordering_bookkeeping
+        expected_repr = entry.get("result_repr")
+        if (self.policy.compare_results and expected_repr is not None
+                and repr(result) != expected_repr):
+            self._finish_call(vm, thread)
+            report = DivergenceReport(
+                kind=DivergenceKind.RESULT_MISMATCH,
+                thread=thread.logical_id, syscall_seq=info.seq,
+                detail=(f"restarted variant {vm.index}: {name} result "
+                        "diverged from the recorded master history"),
+                observations={0: expected_repr, vm.index: repr(result)})
+            directive = self._resolve(report, culprits={vm.index},
+                                      allow_restart=False)
+            return directive if directive is not None else Proceed()
+        self._finish_call(vm, thread)
+        return Proceed(cost=cost)
 
     # -- interceptor: after -------------------------------------------------------
 
@@ -264,6 +636,11 @@ class Monitor(SyscallInterceptor):
         info = self._current.get((vm.index, thread.logical_id))
         if info is None:  # pragma: no cover - defensive
             return Proceed()
+        if self._catchup and vm.index in self._catchup:
+            entry = self._history.get((thread.logical_id, info.seq))
+            if entry is not None:
+                return self._after_from_history(vm, thread, name, spec,
+                                                info, entry, result)
         rdv_key = (thread.logical_id, info.seq)
         cost = 0.0
         if spec.ordered and self.policy.order_syscalls:
@@ -288,46 +665,75 @@ class Monitor(SyscallInterceptor):
             rdv = self._rendezvous.get(rdv_key)
             if rdv is not None:
                 rdv.local_results[vm.index] = result
-                if (len(rdv.local_results) >= self.n_variants
-                        and len(set(map(repr,
-                                        rdv.local_results.values()))) > 1):
+                relevant = {v: r
+                            for v, r in rdv.local_results.items()
+                            if v in self.active}
+                if (len(relevant) >= len(self.active)
+                        and len(set(map(repr, relevant.values()))) > 1):
+                    culprits = self._vote(
+                        {v: repr(r) for v, r in relevant.items()})
                     self._finish_call(vm, thread)
-                    return self._kill(DivergenceReport(
+                    report = DivergenceReport(
                         kind=DivergenceKind.RESULT_MISMATCH,
                         thread=thread.logical_id,
                         syscall_seq=info.seq,
                         detail=f"{name} returned differing results",
-                        observations=dict(rdv.local_results)))
+                        observations=dict(rdv.local_results))
+                    directive = self._resolve(report, culprits)
+                    if directive is not None:
+                        return directive
+                    return Proceed(cost=cost)
+        if self._history is not None and vm.index == 0:
+            self._history[(thread.logical_id, info.seq)] = {
+                "call": (name, normalize_args(spec, args)),
+                "replicated": spec.replicated,
+                "result": result if spec.replicated else None,
+                "result_repr": (repr(result)
+                                if (not spec.replicated
+                                    and not spec.address_result)
+                                else None),
+            }
         self._finish_call(vm, thread)
         return Proceed(cost=cost)
 
     # -- interceptor: lifecycle ------------------------------------------------------
 
     def on_thread_exit(self, vm, thread) -> None:
+        if vm.index not in self.active:
+            return
         key = (vm.index, thread.logical_id)
         self._exited[key] = self._seq.get(key, 0)
+        final = self._exited[key]
         # If twins in other variants are parked at a rendezvous this thread
         # will never join, that is a divergence; find and flag it.
         for (logical, seq), rdv in list(self._rendezvous.items()):
-            if logical != thread.logical_id:
+            if logical != thread.logical_id or seq < final:
                 continue
-            if seq >= self._exited[key] and rdv.arrivals:
-                report = DivergenceReport(
-                    kind=DivergenceKind.THREAD_EXIT_MISMATCH,
-                    thread=logical,
-                    syscall_seq=seq,
-                    detail=(f"variant {vm.index} thread exited but twins "
-                            f"are waiting at monitored call #{seq}"),
-                    observations=dict(rdv.arrivals))
-                self.divergence = report
+            waiting = {v for v in rdv.arrivals
+                       if v in self.active and v != vm.index}
+            if not waiting:
+                continue
+            report = DivergenceReport(
+                kind=DivergenceKind.THREAD_EXIT_MISMATCH,
+                thread=logical,
+                syscall_seq=seq,
+                detail=(f"variant {vm.index} thread exited but twins "
+                        f"are waiting at monitored call #{seq}"),
+                observations=dict(rdv.arrivals))
+            directive = self._resolve(report, culprits={vm.index})
+            if directive is not None:
                 # Wake the waiters; their next before_syscall sees the
-                # divergence via _check_exited_twins and the kill flag.
+                # divergence and the kill flag.
                 self._wake(("rdv", (logical, seq)))
+            return
 
     def on_fault(self, vm, thread, exc):
-        return self._kill(DivergenceReport(
+        report = DivergenceReport(
             kind=DivergenceKind.VARIANT_FAULT,
             thread=thread.logical_id,
             syscall_seq=self._seq.get((vm.index, thread.logical_id), 0),
             detail=f"variant {vm.index} faulted: {exc}",
-            observations={vm.index: str(exc)}))
+            observations={vm.index: str(exc)})
+        if vm.index not in self.active:  # pragma: no cover - defensive
+            return None
+        return self._resolve(report, culprits={vm.index})

@@ -7,6 +7,9 @@ synchronization agents into each variant, hands control to the simulated
 machine, and turns whatever happens into a verdict:
 
 * ``"clean"`` — all variants ran to completion in lockstep;
+* ``"degraded"`` — the run completed, but only after the monitor
+  quarantined (and possibly restarted) at least one variant under a
+  graceful-degradation policy (see ``docs/RESILIENCE.md``);
 * ``"divergence"`` — the monitor killed the variants (report attached);
 * ``"deadlock"`` — replay wedged (typically missing instrumentation or a
   guest bug; real MVEEs eventually time out in this situation).
@@ -26,6 +29,7 @@ from repro.core.monitor import Monitor
 from repro.core.relaxed import RelaxedMonitor
 from repro.diversity.spec import DiversitySpec, apply_diversity, layouts_for
 from repro.errors import DeadlockError, DivergenceError
+from repro.faults import FaultInjector
 from repro.guest.program import GuestProgram, build_context
 from repro.kernel.fs import VirtualDisk
 from repro.kernel.kernel import VirtualKernel
@@ -40,7 +44,7 @@ from repro.sched.vm import VariantVM
 class MVEEOutcome:
     """Everything a test or bench needs from one MVEE run."""
 
-    verdict: str                      # "clean" | "divergence" | "deadlock"
+    verdict: str          # "clean" | "degraded" | "divergence" | "deadlock"
     report: MachineReport | None
     divergence: DivergenceReport | None
     disk: VirtualDisk
@@ -53,6 +57,10 @@ class MVEEOutcome:
     obs: object | None = None
     #: Forensics bundle captured when the run diverged under observation.
     obs_bundle: object | None = None
+    #: Graceful-degradation actions taken (QuarantineEvent list, in order).
+    quarantines: list = field(default_factory=list)
+    #: Faults actually injected (InjectedFault list, in injection order).
+    faults: list = field(default_factory=list)
 
     @property
     def cycles(self) -> float:
@@ -89,7 +97,8 @@ class MVEE:
                  traffic=None,
                  max_cycles: float | None = None,
                  agent_options: dict | None = None,
-                 obs=None):
+                 obs=None,
+                 faults=None):
         if variants < 2:
             raise ValueError("an MVEE needs at least two variants")
         self.program = program
@@ -112,6 +121,16 @@ class MVEE:
         self.agent_options = agent_options or {}
         #: Optional :class:`repro.obs.ObsHub` observing this run.
         self.obs = obs
+        #: Optional fault injection: a :class:`repro.faults.FaultPlan`
+        #: (or a pre-built injector) driving deterministic faults.
+        if faults is None:
+            self.fault_injector = None
+        elif isinstance(faults, FaultInjector):
+            self.fault_injector = faults
+        else:
+            self.fault_injector = FaultInjector(faults)
+        #: Variants replaced by the restart policy (kept for forensics).
+        self.retired_vms: list[VariantVM] = []
         self._build()
 
     # -- bootstrap --------------------------------------------------------
@@ -131,6 +150,7 @@ class MVEE:
         if self.max_cycles is not None:
             self.machine.max_cycles = self.max_cycles
         layouts = layouts_for(self.diversity, self.variants)
+        self._layouts = layouts
         self.vms: list[VariantVM] = []
         for index in range(self.variants):
             role = "master" if index == 0 else "slave"
@@ -150,8 +170,13 @@ class MVEE:
         if self.agent_shared is not None:
             self.agent_shared.bind_machine(self.machine)
         self.monitor.bind_machine(self.machine)
+        if (self.monitor_kind == "strict"
+                and self.policy.degradation == "restart"):
+            self.monitor.set_restart_callback(self._restart_variant)
         if self.obs is not None:
             self._attach_obs(self.obs)
+        if self.fault_injector is not None:
+            self._attach_faults()
         if self.network is not None:
             self.machine.attach_network(self.network)
         for vm in self.vms:
@@ -170,6 +195,67 @@ class MVEE:
         for vm in self.vms:
             vm.kernel.futexes.obs = hub
 
+    def _attach_faults(self) -> None:
+        """Point every fault-capable hook at the injector.
+
+        Mirrors ``_attach_obs``: components test one attribute; a run
+        without a plan never pays more than that test.
+        """
+        injector = self.fault_injector
+        injector.bind_clock(lambda: self.machine.now)
+        if self.obs is not None:
+            injector.bind_obs(self.obs)
+        self.machine.faults = injector
+        orderer = getattr(self.monitor, "orderer", None)
+        if orderer is not None:
+            orderer.faults = injector
+        if self.agent_shared is not None:
+            self.agent_shared.bind_faults(injector)
+        for vm in self.vms:
+            vm.kernel.futexes.faults = injector
+            vm.kernel.futexes.variant = vm.index
+
+    # -- restart ------------------------------------------------------------
+
+    def _restart_variant(self, index: int) -> None:
+        """Rebuild a quarantined slave and resync it from master history.
+
+        The replacement gets a fresh kernel and the *same* deterministic
+        diversity transforms (layout, noise factors) its predecessor had,
+        a fresh agent attached to the retained shared sync state, and a
+        fresh ``main`` thread.  The monitor re-admits it in catch-up
+        mode: recorded calls are served from history, then it rejoins the
+        live lockstep.
+        """
+        old = next(vm for vm in self.vms if vm.index == index)
+        self.retired_vms.append(old)
+        kernel = VirtualKernel(self.disk, network=None,
+                               bases=self._layouts[index], role="slave",
+                               variant_index=index)
+        vm = VariantVM(index=index, kernel=kernel,
+                       record_trace=self.record_trace,
+                       record_sync_trace=self.record_sync_trace)
+        vm.instrument = self.instrument
+        apply_diversity(self.diversity, [vm])
+        if self.agent_shared is not None and old.agent is not None:
+            self.agent_shared.reset_variant(index)
+            vm.agent = type(old.agent)(self.agent_shared, index)
+        for position, existing in enumerate(self.vms):
+            if existing.index == index:
+                self.vms[position] = vm
+                break
+        self.machine.replace_vm(vm)
+        if self.obs is not None:
+            vm.kernel.futexes.obs = self.obs
+        if self.fault_injector is not None:
+            vm.kernel.futexes.faults = self.fault_injector
+            vm.kernel.futexes.variant = vm.index
+        self.monitor.readmit(index)
+        ctx = build_context(vm, self.program)
+        self.machine.add_thread(vm, "main", self.program.main(ctx))
+        if self.obs is not None:
+            self.obs.variant_restarted(index)
+
     # -- run ----------------------------------------------------------------
 
     def run(self) -> MVEEOutcome:
@@ -183,16 +269,26 @@ class MVEE:
         audit = self.monitor.finalize()
         if audit is not None:
             return self._outcome("divergence", report, audit)
+        if getattr(self.monitor, "quarantine_log", None):
+            return self._outcome("degraded", report, None)
         return self._outcome("clean", report, None)
 
     def _outcome(self, verdict, report, divergence,
                  deadlock=None) -> MVEEOutcome:
+        quarantines = list(getattr(self.monitor, "quarantine_log", ()) or ())
+        faults = (list(self.fault_injector.injected)
+                  if self.fault_injector is not None else [])
         bundle = None
-        if self.obs is not None and divergence is not None:
+        # Forensics focus: the fatal divergence, or — for a degraded run
+        # — the report behind the last quarantine.
+        focus = divergence
+        if focus is None and quarantines:
+            focus = quarantines[-1].report
+        if self.obs is not None and focus is not None:
             from repro.obs.forensics import capture_bundle
 
             bundle = capture_bundle(
-                self.obs, divergence, monitor=self.monitor,
+                self.obs, focus, monitor=self.monitor,
                 config={"seed": self.seed, "agent": self.agent_name,
                         "variants": self.variants,
                         "monitor": self.monitor_kind,
@@ -201,7 +297,8 @@ class MVEE:
             verdict=verdict, report=report, divergence=divergence,
             disk=self.disk, vms=self.vms, monitor=self.monitor,
             agent_shared=self.agent_shared, machine=self.machine,
-            deadlock=deadlock, obs=self.obs, obs_bundle=bundle)
+            deadlock=deadlock, obs=self.obs, obs_bundle=bundle,
+            quarantines=quarantines, faults=faults)
 
 
 def run_mvee(program: GuestProgram, **kwargs) -> MVEEOutcome:

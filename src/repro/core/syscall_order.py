@@ -51,6 +51,9 @@ class SyscallOrderer:
         self._wake = wake
         self._state = _OrderState(
             slave_clock={v: 0 for v in range(1, n_variants)})
+        #: Optional fault injector; a ``clock_skew`` fault silently
+        #: advances one slave's replay clock (see repro.faults).
+        self.faults = None
 
     def bind_wake(self, wake) -> None:
         self._wake = wake
@@ -96,12 +99,27 @@ class SyscallOrderer:
             for slave in range(1, self.n_variants):
                 self._wake(("order_log", slave))
         else:
+            if self.faults is not None:
+                state.slave_clock[variant] += (
+                    self.faults.check_clock_skew(variant))
             timestamp = state.slave_clock[variant]
             state.slave_clock[variant] += 1
             self._wake(("order_clock", variant))
         key = (variant, thread_logical)
         state.ordered_count[key] = state.ordered_count.get(key, 0) + 1
         return timestamp
+
+    # -- restart support -----------------------------------------------------------
+
+    def reset_variant(self, variant: int) -> None:
+        """Rewind one slave's replay state so a restarted variant
+        re-sequences the master's retained log from the beginning."""
+        state = self._state
+        if variant == 0:  # pragma: no cover - master is never restarted
+            return
+        state.slave_clock[variant] = 0
+        for key in [k for k in state.ordered_count if k[0] == variant]:
+            del state.ordered_count[key]
 
     # -- introspection -------------------------------------------------------------
 

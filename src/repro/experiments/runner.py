@@ -9,10 +9,12 @@ benches can share one sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.core.divergence import MonitorPolicy
 from repro.core.mvee import run_mvee
 from repro.errors import DeadlockError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.perf.report import SlowdownReport
 from repro.run import run_native
@@ -112,6 +114,118 @@ def run_one(benchmark: str, agent: str, variants: int,
     if obs is None:
         _cell_cache[key] = result
     return result
+
+
+#: Degradation policies compared by the fault matrix.
+FAULT_POLICIES = ("kill-all", "quarantine", "restart")
+
+
+@dataclass
+class FaultMatrixCell:
+    """One (policy, fault kind) cell of the survival matrix."""
+
+    benchmark: str
+    policy: str
+    kind: str
+    verdict: str
+    injected: int
+    quarantined: list[int] = field(default_factory=list)
+    restarted: list[int] = field(default_factory=list)
+    cycles: float = 0.0
+
+    @property
+    def survived(self) -> bool:
+        """Did the variant set complete the workload despite the fault?"""
+        return self.verdict in ("clean", "degraded")
+
+
+def _fault_spec_for(kind: str) -> FaultSpec:
+    """A canonical single-fault plan per kind, tuned so every kind fires
+    within the small benchmark slices the matrix runs.
+
+    Slave-side faults target variant 1; ``corrupt_sync`` and
+    ``drop_wake`` are master-side by construction (only the master
+    produces sync records and executes futex wakes for real).
+    """
+    if kind == "drop_wake":
+        return FaultSpec(kind=kind, variant=0, at=2)
+    if kind == "corrupt_sync":
+        return FaultSpec(kind=kind, variant=0, at=20, param=1 << 20)
+    if kind == "clock_skew":
+        return FaultSpec(kind=kind, variant=1, at=2, param=1 << 20)
+    return FaultSpec(kind=kind, variant=1, at=3)
+
+
+def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
+                     variants: int = 3, agent: str = "wall_of_clocks",
+                     scale: float = 0.1, seed: int = 1,
+                     cores: int = PAPER_CORES,
+                     costs: CostModel | None = None,
+                     watchdog_factor: float = 8.0
+                     ) -> list[FaultMatrixCell]:
+    """Inject each fault kind under each degradation policy.
+
+    Every run gets a watchdog of ``watchdog_factor`` × the native
+    runtime, so stall-type faults are diagnosed (``WATCHDOG_TIMEOUT``)
+    rather than burning the whole cycle budget.
+    """
+    kinds = tuple(kinds) if kinds else FAULT_KINDS
+    policies = tuple(policies) if policies else FAULT_POLICIES
+    native = native_cycles(benchmark, scale, seed, cores,
+                           costs if costs is not DEFAULT_COSTS else None)
+    cells = []
+    for policy_name in policies:
+        for kind in kinds:
+            plan = FaultPlan((_fault_spec_for(kind),))
+            policy = MonitorPolicy(
+                degradation=policy_name,
+                watchdog_cycles=native * watchdog_factor)
+            program = SyntheticWorkload(spec_by_name(benchmark),
+                                        scale=scale)
+            outcome = run_mvee(program, variants=variants, agent=agent,
+                               seed=seed, cores=cores, costs=costs,
+                               policy=policy, faults=plan,
+                               max_cycles=native * 400)
+            cells.append(FaultMatrixCell(
+                benchmark=benchmark, policy=policy_name, kind=kind,
+                verdict=outcome.verdict,
+                injected=len(outcome.faults),
+                quarantined=[e.variant for e in outcome.quarantines],
+                restarted=[e.variant for e in outcome.quarantines
+                           if e.restarted],
+                cycles=outcome.cycles))
+    return cells
+
+
+def fault_matrix_table(cells) -> str:
+    """Render the survival matrix (policy rows × fault-kind columns)."""
+    kinds = list(dict.fromkeys(cell.kind for cell in cells))
+    policies = list(dict.fromkeys(cell.policy for cell in cells))
+    by_key = {(cell.policy, cell.kind): cell for cell in cells}
+
+    def mark_of(cell) -> str:
+        mark = cell.verdict
+        if cell.restarted:
+            mark += "+restart"
+        return mark
+
+    width = max(12, *(len(kind) + 2 for kind in kinds),
+                *(len(mark_of(cell)) + 2 for cell in cells))
+    lines = ["survival matrix: degradation policy x injected fault",
+             " " * 12 + "".join(f"{kind:>{width}s}" for kind in kinds)]
+    for policy in policies:
+        row = [f"{policy:12s}"]
+        for kind in kinds:
+            cell = by_key.get((policy, kind))
+            if cell is None:
+                row.append(f"{'-':>{width}s}")
+                continue
+            row.append(f"{mark_of(cell):>{width}s}")
+        lines.append("".join(row))
+    survived = sum(1 for cell in cells if cell.survived)
+    lines.append(f"{survived}/{len(cells)} cells completed the workload "
+                 "(clean or degraded)")
+    return "\n".join(lines)
 
 
 def run_benchmark_grid(benchmarks=None, agents=AGENTS,

@@ -1,0 +1,154 @@
+"""Fault plans: what to break, where, and when — deterministically.
+
+A fault is pinned to a *logical* trigger point, never to wall-clock or
+simulated time directly, so a plan composes with the seeded scheduler:
+the same ``(plan, machine seed)`` pair reproduces the same fault at the
+same simulated cycle on every run.
+
+Fault kinds and their trigger semantics:
+
+``crash``
+    The target variant takes an unrecoverable guest fault (a SIGSEGV
+    analogue) when it is about to issue a monitored syscall and has
+    already completed ``at`` monitored calls.
+``stall``
+    Same trigger point, but the call never returns: the thread parks on
+    a key nothing ever wakes — the in-syscall hang that motivates the
+    lockstep watchdog.
+``corrupt_sync``
+    The ``at``-th record produced into the shared sync buffers is
+    mutated before any slave can consume it (a flipped word in the
+    System V IPC segment).  ``param`` scales the mutation.
+``drop_wake``
+    The ``at``-th futex wake *with waiters* executed by the target
+    variant loses ``param`` wakeups: the woken threads stay queued, the
+    caller sees fewer threads released (a lost-wakeup kernel bug).
+``clock_skew``
+    The target (slave) variant's §4.1 Lamport replay clock silently
+    jumps ahead by ``param`` at its ``at``-th ordered-syscall
+    completion, so every later ordered call waits for a timestamp that
+    already passed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = ("crash", "stall", "corrupt_sync", "drop_wake", "clock_skew")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    ``at`` is the kind-specific logical trigger index (see module
+    docstring); ``thread`` optionally restricts crash/stall to one
+    logical thread; ``param`` is the kind-specific magnitude.
+    """
+
+    kind: str
+    variant: int
+    at: int
+    thread: str | None = None
+    param: int = 1
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}")
+        if self.variant < 0:
+            raise ConfigError("fault variant must be >= 0")
+        if self.at < 0:
+            raise ConfigError("fault trigger index must be >= 0")
+
+    def describe(self) -> str:
+        text = f"{self.kind}@v{self.variant}:{self.at}"
+        if self.param != 1:
+            text += f":{self.param}"
+        if self.thread is not None:
+            text += f"[{self.thread}]"
+        return text
+
+
+class FaultPlan:
+    """An immutable schedule of :class:`FaultSpec` entries."""
+
+    def __init__(self, specs=()):
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError(
+                    f"FaultPlan entries must be FaultSpec, got {spec!r}")
+
+    @classmethod
+    def random(cls, seed: int, n_variants: int, max_faults: int = 3,
+               horizon: int = 30, kinds=FAULT_KINDS) -> "FaultPlan":
+        """Draw a plan from a seeded RNG (the stress-test entry point).
+
+        ``horizon`` bounds the trigger indices so the faults land inside
+        short workloads; kinds that only make sense for a specific
+        variant (corruption happens at the master's producer side, skew
+        on a slave's replay clock) are pinned there.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(rng.randint(1, max(max_faults, 1))):
+            kind = rng.choice(list(kinds))
+            if kind == "corrupt_sync":
+                variant = 0
+            elif kind == "clock_skew":
+                variant = rng.randrange(1, n_variants) if n_variants > 1 else 0
+            else:
+                variant = rng.randrange(n_variants)
+            specs.append(FaultSpec(
+                kind=kind, variant=variant,
+                at=rng.randrange(max(horizon, 1)),
+                param=rng.randint(1, 4)))
+        return cls(specs)
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self.specs) or "<empty>"
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one ``kind@vN:AT[:PARAM]`` spec (the CLI grammar)."""
+    head, sep, tail = text.strip().partition("@")
+    if not sep or not head or not tail:
+        raise ConfigError(
+            f"bad fault spec {text!r}; expected kind@vN:AT[:PARAM]")
+    parts = tail.split(":")
+    if len(parts) not in (2, 3) or not parts[0].startswith("v"):
+        raise ConfigError(
+            f"bad fault spec {text!r}; expected kind@vN:AT[:PARAM]")
+    try:
+        variant = int(parts[0][1:])
+        at = int(parts[1])
+        param = int(parts[2]) if len(parts) == 3 else 1
+    except ValueError as exc:
+        raise ConfigError(f"bad fault spec {text!r}: {exc}") from None
+    return FaultSpec(kind=head, variant=variant, at=at, param=param)
+
+
+def parse_fault_plan(text: str, seed: int = 0,
+                     n_variants: int = 2) -> FaultPlan:
+    """Parse a ``--faults`` argument.
+
+    ``"random"`` draws a seeded plan; anything else is a comma-separated
+    list of ``kind@vN:AT[:PARAM]`` specs.
+    """
+    text = text.strip()
+    if text == "random":
+        return FaultPlan.random(seed, n_variants)
+    return FaultPlan(parse_fault_spec(part)
+                     for part in text.split(",") if part.strip())

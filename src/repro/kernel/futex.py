@@ -22,6 +22,11 @@ class FutexTable:
         #: Optional :class:`repro.obs.ObsHub`; when set, parking and
         #: waking are reported as ``futex.*`` trace events.
         self.obs = None
+        #: Optional :class:`repro.faults.FaultInjector` plus the owning
+        #: variant's index; when set, a planned ``drop_wake`` fault can
+        #: suppress wakeups (the waiters stay queued — a lost wake).
+        self.faults = None
+        self.variant = 0
 
     def add_waiter(self, addr: int, thread_id: str) -> None:
         """Register ``thread_id`` as blocked on the futex word ``addr``."""
@@ -42,6 +47,9 @@ class FutexTable:
         queue = self._waiters.get(addr)
         if not queue:
             return []
+        if self.faults is not None:
+            count = max(count - self.faults.check_drop_wake(self.variant,
+                                                            addr), 0)
         woken = queue[:count]
         remaining = queue[count:]
         if remaining:

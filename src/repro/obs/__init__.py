@@ -84,6 +84,10 @@ class ObsHub:
         #: rendezvous key -> (first-arrival ts, arrival count).
         self._rdv_first: dict = {}
         self.divergence_report = None
+        #: Injected-fault records (dicts), in injection order.
+        self.fault_log: list[dict] = []
+        #: Recovery actions (watchdog fires, quarantines, restarts).
+        self.recovery_log: list[dict] = []
 
     def bind_clock(self, clock) -> None:
         """Attach the machine's simulated clock (``lambda: machine.now``)."""
@@ -189,6 +193,54 @@ class ObsHub:
         self.tracer.instant("divergence", 0,
                             getattr(report, "thread", ""),
                             cat="divergence", args={"kind": kind})
+
+    # -- fault / resilience hooks --------------------------------------------
+
+    def fault_injected(self, kind: str, variant: int, thread: str,
+                       site: str, detail: str) -> None:
+        """The fault injector fired one planned fault."""
+        self.fault_log.append({"kind": kind, "variant": variant,
+                               "thread": thread, "site": site,
+                               "detail": detail, "at_cycles": self.now})
+        self.metrics.counter("faults.injected").inc()
+        self.metrics.counter(f"faults.injected.{kind}").inc()
+        self.tracer.instant(f"fault.{kind}", variant, thread,
+                            cat="fault", args={"site": site,
+                                               "detail": detail})
+
+    def watchdog_timeout(self, thread: str, seq: int,
+                         missing: list) -> None:
+        """The lockstep watchdog condemned variants that never arrived."""
+        self.recovery_log.append({"action": "watchdog_timeout",
+                                  "thread": thread, "seq": seq,
+                                  "variants": list(missing),
+                                  "at_cycles": self.now})
+        self.metrics.counter("resilience.watchdog_timeouts").inc()
+        self.tracer.instant("watchdog.timeout", 0, thread,
+                            cat="resilience",
+                            args={"seq": seq, "missing": list(missing)})
+
+    def variant_quarantined(self, variant: int, kind: str, thread: str,
+                            seq: int) -> None:
+        """The monitor demoted one variant and kept the rest running."""
+        self.recovery_log.append({"action": "quarantine",
+                                  "variant": variant, "kind": kind,
+                                  "thread": thread, "seq": seq,
+                                  "at_cycles": self.now})
+        self.metrics.counter("resilience.quarantines").inc()
+        self.metrics.counter(f"resilience.quarantines.{kind}").inc()
+        self.tracer.instant("quarantine", variant, thread,
+                            cat="resilience",
+                            args={"kind": kind, "seq": seq})
+
+    def variant_restarted(self, variant: int) -> None:
+        """A quarantined variant was rebuilt and re-admitted."""
+        self.recovery_log.append({"action": "restart",
+                                  "variant": variant,
+                                  "at_cycles": self.now})
+        self.metrics.counter("resilience.restarts").inc()
+        self.tracer.instant("restart", variant, "main",
+                            cat="resilience", args={})
 
     # -- agent hooks ---------------------------------------------------------
 

@@ -44,6 +44,10 @@ class DivergenceBundle:
     metrics: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
     version: int = BUNDLE_VERSION
+    #: Injected-fault records (from the hub's fault log), oldest first.
+    faults: list[dict] = field(default_factory=list)
+    #: Recovery actions (watchdog fires, quarantines, restarts).
+    recovery: list[dict] = field(default_factory=list)
 
     # -- (de)serialization --------------------------------------------------
 
@@ -57,6 +61,8 @@ class DivergenceBundle:
                           sorted(self.in_flight.items())},
             "metrics": self.metrics,
             "config": self.config,
+            "faults": self.faults,
+            "recovery": self.recovery,
         }
 
     @classmethod
@@ -70,6 +76,8 @@ class DivergenceBundle:
                        data.get("in_flight", {}).items()},
             metrics=data.get("metrics", {}),
             config=data.get("config", {}),
+            faults=data.get("faults", []),
+            recovery=data.get("recovery", []),
         )
 
     def save(self, path) -> None:
@@ -122,6 +130,10 @@ def capture_bundle(hub, report, monitor=None,
         in_flight=in_flight,
         metrics=hub.metrics.snapshot(),
         config=dict(config or {}),
+        faults=[dict(event) for event in
+                getattr(hub, "fault_log", ())],
+        recovery=[dict(event) for event in
+                  getattr(hub, "recovery_log", ())],
     )
 
 
@@ -197,6 +209,35 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
         for thread, info in sorted(state.items()):
             lines.append(f"  in-flight v{variant} {thread}: "
                          f"{info['name']} (call #{info['seq']})")
+    if bundle.faults:
+        per_kind: dict[str, int] = {}
+        for event in bundle.faults:
+            kind = event.get("kind", "?")
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+        counts = ", ".join(f"{kind}={count}" for kind, count in
+                           sorted(per_kind.items()))
+        lines.append(f"  faults injected: {len(bundle.faults)} "
+                     f"({counts})")
+        first = bundle.faults[0]
+        lines.append(f"  first fault : {first.get('kind')} in "
+                     f"v{first.get('variant')} at "
+                     f"{first.get('at_cycles', 0):.0f} cycles "
+                     f"({first.get('site')})")
+    for event in bundle.recovery:
+        action = event.get("action", "?")
+        if action == "quarantine":
+            lines.append(f"  recovery: quarantined v{event.get('variant')}"
+                         f" [{event.get('kind')}] at "
+                         f"{event.get('at_cycles', 0):.0f} cycles")
+        elif action == "restart":
+            lines.append(f"  recovery: restarted v{event.get('variant')}"
+                         f" at {event.get('at_cycles', 0):.0f} cycles")
+        elif action == "watchdog_timeout":
+            variants = ",".join(f"v{v}" for v in
+                                event.get("variants", ()))
+            lines.append(f"  recovery: watchdog timeout on {variants} "
+                         f"(call #{event.get('seq')}) at "
+                         f"{event.get('at_cycles', 0):.0f} cycles")
     divergences = diff_tails(bundle)
     if divergences:
         for thread, info in sorted(divergences.items()):

@@ -96,6 +96,10 @@ class Machine:
         #: Optional :class:`repro.obs.ObsHub`; hooks fire only when set,
         #: so the disabled path costs one attribute test.
         self.obs = None
+        #: Optional :class:`repro.faults.FaultInjector`; same zero-cost
+        #: contract as ``obs`` — disabled ⇒ one attribute test, and the
+        #: simulated timeline is byte-identical to the seed simulator.
+        self.faults = None
         #: Application-level cache-line contention: every atomic access to
         #: a shared word pays coherence, in native runs and MVEE runs
         #: alike.  (Agent-added traffic is charged separately by the
@@ -136,6 +140,23 @@ class Machine:
         """Run ``fn(machine)`` the next time ``key`` is woken."""
         self._external_waiters.setdefault(key, []).append(fn)
 
+    def schedule_watchdog(self, time_cycles: float, fn) -> None:
+        """Schedule a watchdog probe ``fn(machine, time)``.
+
+        Unlike :meth:`call_at`, a probe does *not* advance the simulated
+        clock and is exempt from the cycle budget: a probe that finds
+        nothing wrong leaves the timeline byte-identical to a run
+        without watchdogs.  A probe that fires must call
+        :meth:`commit_time` itself to account for the waited-out
+        deadline.
+        """
+        self._push(max(time_cycles, self.now), "watchdog", fn)
+
+    def commit_time(self, time_cycles: float) -> None:
+        """Advance the clock to a watchdog deadline that really elapsed."""
+        if time_cycles > self.now:
+            self.now = time_cycles
+
     # -- wakes ---------------------------------------------------------------------
 
     def wake_key(self, key: tuple) -> None:
@@ -148,6 +169,10 @@ class Machine:
         if externals:
             for fn in externals:
                 self._push(self.now, "external", fn)
+
+    def has_waiters(self, key: tuple) -> bool:
+        """Whether any thread is currently parked on ``key``."""
+        return bool(self._parked.get(key))
 
     def wake_thread(self, global_id: str) -> None:
         """Wake one specific parked thread (futex wake path)."""
@@ -188,6 +213,14 @@ class Machine:
         self._raise_if_flagged()
         while self._heap:
             time, _, kind, payload = heapq.heappop(self._heap)
+            if kind == "watchdog":
+                # Probes neither advance the clock nor count against the
+                # budget; a firing probe commits its own time.
+                payload(self, time)
+                self._raise_if_flagged()
+                self._dispatch()
+                self._raise_if_flagged()
+                continue
             if time > self.max_cycles:
                 raise DeadlockError(
                     f"simulation budget exceeded at {time:.0f} cycles "
@@ -469,9 +502,30 @@ class Machine:
     def _commit_syscall(self, thread: GuestThread, event: Syscall) -> None:
         vm = thread.vm
         spec = spec_for(event.name)
+        if self.faults is not None and not spec.unmonitored:
+            spec_hit = self.faults.check_syscall(
+                vm.index, thread.logical_id, event.name, vm.total_syscalls)
+            if spec_hit is not None:
+                if spec_hit.kind == "crash":
+                    self._handle_fault(thread, GuestFault(
+                        f"injected crash entering {event.name!r}",
+                        variant=vm.index, thread=thread.logical_id))
+                    return
+                # "stall": the call never returns — park on a key that
+                # nothing ever wakes (the watchdog's raison d'être).
+                self._park(thread, ("fault_stall", thread.global_id),
+                           ("reask_syscall", event))
+                return
         if self.interceptor is not None and not spec.unmonitored:
             directive = self.interceptor.before_syscall(
                 vm, thread, event.name, event.args)
+            if isinstance(directive, Kill):
+                self._kill_all(directive.report)
+                return
+            if not thread.alive:
+                # The monitor quarantined this thread's own variant
+                # while handling the call; the event dies with it.
+                return
             if isinstance(directive, Wait):
                 thread.carry_cost(directive.cost)
                 self._park(thread, directive.key, ("reask_syscall", event))
@@ -481,9 +535,6 @@ class Machine:
                 self._record_syscall(vm, thread, event, directive.value)
                 thread.inbox = directive.value
                 self._after_step(thread)
-                return
-            if isinstance(directive, Kill):
-                self._kill_all(directive.report)
                 return
             thread.carry_cost(directive.cost)
         self._execute_kernel(thread, event)
@@ -522,6 +573,8 @@ class Machine:
                 vm, thread, event.name, event.args, outcome)
             if isinstance(after, Kill):
                 self._kill_all(after.report)
+                return
+            if not thread.alive:
                 return
             thread.carry_cost(after.cost)
         thread.inbox = outcome
@@ -564,13 +617,15 @@ class Machine:
         if self.interceptor is not None:
             directive = self.interceptor.before_syscall(
                 vm, thread, "clone", (child_id,))
+            if isinstance(directive, Kill):
+                self._kill_all(directive.report)
+                return
+            if not thread.alive:
+                return
             if isinstance(directive, Wait):
                 thread.carry_cost(directive.cost)
                 self._park(thread, directive.key,
                            ("respawn", event, child_id))
-                return
-            if isinstance(directive, Kill):
-                self._kill_all(directive.report)
                 return
             thread.carry_cost(getattr(directive, "cost", 0.0))
         gen = event.fn(*event.args)
@@ -582,6 +637,8 @@ class Machine:
                 vm, thread, "clone", (child_id,), child_id)
             if isinstance(after, Kill):
                 self._kill_all(after.report)
+                return
+            if not thread.alive:
                 return
             thread.carry_cost(after.cost)
         thread.inbox = child_id
@@ -656,6 +713,43 @@ class Machine:
             self.wake_key(("join", thread.vm.index, thread.logical_id))
             return
         self._fault = fault
+
+    def terminate_variant(self, variant_index: int) -> None:
+        """Quarantine support: kill every thread of one variant without
+        exit callbacks (the variant is demoted, not exiting cleanly)."""
+        vm = next((v for v in self.vms if v.index == variant_index), None)
+        if vm is None:  # pragma: no cover - defensive
+            return
+        vm.killed = True
+        vm.quarantined = True
+        for thread in vm.threads.values():
+            if not thread.alive:
+                continue
+            if thread.state is ThreadState.RUNNING:
+                self._release_core()
+            elif thread.state is ThreadState.BLOCKED:
+                self._remove_parked(thread)
+            elif thread.state is ThreadState.READY:
+                if thread in self._ready:
+                    self._ready.remove(thread)
+            thread.state = ThreadState.KILLED
+        agent_shared = getattr(vm.agent, "shared", None)
+        if agent_shared is not None:
+            # A demoted slave stops consuming the sync logs; ring-buffer
+            # backpressure must not wait on it.
+            agent_shared.retire_variant(vm.index)
+
+    def replace_vm(self, vm: VariantVM) -> None:
+        """Restart support: swap a rebuilt variant in at its old index."""
+        for position, old in enumerate(self.vms):
+            if old.index == vm.index:
+                self.vms[position] = vm
+                break
+        vm.kernel.clock.bind(lambda: self.now)
+
+    def kill_all(self, report) -> None:
+        """Externally triggered kill (e.g. a watchdog timeout verdict)."""
+        self._kill_all(report)
 
     def _kill_all(self, report) -> None:
         """Divergence: terminate every variant (the MVEE's response)."""

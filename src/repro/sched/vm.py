@@ -54,6 +54,9 @@ class VariantVM:
         self.threads: dict[str, object] = {}
         #: Set when the monitor killed this variant (divergence).
         self.killed = False
+        #: Set when the monitor demoted this variant under a graceful
+        #: degradation policy (the rest of the set kept running).
+        self.quarantined = False
         #: Diversity knobs: compute_scale models NOP-insertion slowing the
         #: variant down; instruction_factor perturbs the *logical
         #: instruction count* diversified code executes for the same work

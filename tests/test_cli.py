@@ -91,6 +91,63 @@ class TestObservabilityFlags:
         assert "did not diverge" in out
         assert not bundle.exists()
 
+class TestFaultFlags:
+    def test_run_parser_fault_defaults(self):
+        args = build_parser().parse_args(["run", "fft"])
+        assert args.faults is None
+        assert args.policy == "kill-all"
+        assert args.watchdog is None
+
+    def test_injected_crash_kill_all_exits_nonzero(self, capsys):
+        code = main(["run", "dedup", "--scale", "0.1", "--variants", "3",
+                     "--faults", "crash@v1:3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verdict   : divergence" in out
+        assert "planned 1, injected 1" in out
+
+    def test_injected_crash_quarantine_exits_zero(self, capsys):
+        code = main(["run", "dedup", "--scale", "0.1", "--variants", "3",
+                     "--faults", "crash@v1:3",
+                     "--policy", "quarantine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict   : degraded" in out
+        assert "quarantine: variant 1 quarantined" in out
+
+    def test_bad_fault_spec_is_a_usage_error(self, capsys):
+        code = main(["run", "dedup", "--faults", "nonsense"])
+        assert code == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_fault_bundle_summarize_surfaces_faults(self, capsys,
+                                                    tmp_path):
+        bundle = tmp_path / "bundle.json"
+        code = main(["run", "dedup", "--scale", "0.1", "--variants", "3",
+                     "--faults", "crash@v1:3",
+                     "--policy", "quarantine",
+                     "--bundle-out", str(bundle)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert bundle.exists()
+
+        assert main(["obs", "summarize", str(bundle)]) == 0
+        summary = capsys.readouterr().out
+        assert "faults injected: 1 (crash=1)" in summary
+        assert "first fault : crash in v1" in summary
+        assert "recovery: quarantined v1" in summary
+
+    def test_fault_matrix_command(self, capsys):
+        code = main(["fault-matrix", "--benchmark", "fft",
+                     "--scale", "0.05", "--kinds", "crash",
+                     "--policies", "kill-all,quarantine"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "survival matrix" in out
+        assert "quarantine" in out
+
+
+class TestBundleLifecycle:
     def test_divergent_run_bundle_lifecycle(self, capsys, tmp_path):
         """--bundle-out writes a bundle; `obs` summarizes/converts it."""
         bundle = tmp_path / "bundle.json"

@@ -8,11 +8,18 @@ meaningful, and what a debugging session on an MVEE trace depends on.
 
 import pytest
 
+from repro.core.divergence import MonitorPolicy
 from repro.core.mvee import run_mvee
 from repro.diversity.spec import DiversitySpec
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import ObsHub
 from repro.run import run_native
 from repro.workloads.synthetic import make_benchmark
-from tests.guestlib import CounterProgram, ProducerConsumerProgram
+from tests.guestlib import (
+    CounterProgram,
+    MutexCounterProgram,
+    ProducerConsumerProgram,
+)
 
 
 class TestNativeDeterminism:
@@ -61,3 +68,81 @@ class TestMVEEDeterminism:
                            seed=seed, costs=fast_costs).cycles
                   for seed in range(4)}
         assert len(cycles) > 1
+
+
+class TestFaultDeterminism:
+    """Fault injection composes with seeded scheduling: the same
+    ``(plan, seed)`` pair reproduces the same faults at the same cycles,
+    and a disabled injector leaves the timeline byte-identical."""
+
+    def _run(self, faults=None, policy=None, obs=None, costs=None):
+        return run_mvee(MutexCounterProgram(workers=3, iters=25),
+                        variants=3, seed=7, costs=costs,
+                        faults=faults, policy=policy, obs=obs)
+
+    def test_same_fault_plan_reproduces_run_exactly(self, fast_costs):
+        plan = FaultPlan((FaultSpec(kind="crash", variant=1, at=4),))
+
+        def once():
+            hub = ObsHub()
+            outcome = self._run(
+                faults=plan,
+                policy=MonitorPolicy(degradation="quarantine"),
+                obs=hub, costs=fast_costs)
+            return outcome, hub
+
+        (first, first_hub), (second, second_hub) = once(), once()
+        assert first.verdict == second.verdict == "degraded"
+        assert first.cycles == second.cycles
+        assert first.stdout == second.stdout
+        assert ([f.to_dict() for f in first.faults]
+                == [f.to_dict() for f in second.faults])
+        first_trace = [e.to_dict() for v in first_hub.tracer.variants()
+                       for e in first_hub.tracer.tail(v)]
+        second_trace = [e.to_dict() for v in second_hub.tracer.variants()
+                        for e in second_hub.tracer.tail(v)]
+        assert first_trace == second_trace
+
+    def test_random_plan_reproducible_by_seed(self, fast_costs):
+        def once():
+            return self._run(
+                faults=FaultPlan.random(5, n_variants=3),
+                policy=MonitorPolicy(degradation="quarantine",
+                                     watchdog_cycles=400_000.0),
+                costs=fast_costs)
+
+        first, second = once(), once()
+        assert first.verdict == second.verdict
+        assert first.cycles == second.cycles
+        assert ([f.to_dict() for f in first.faults]
+                == [f.to_dict() for f in second.faults])
+
+    def test_fault_machinery_disabled_is_zero_cost(self, fast_costs):
+        """No plan, an empty plan, an armed watchdog that never fires,
+        and a degradation policy that never triggers must all produce the
+        exact cycle count of the plain run."""
+        baseline = self._run(costs=fast_costs)
+        assert baseline.verdict == "clean"
+        variants = [
+            self._run(faults=FaultPlan(), costs=fast_costs),
+            self._run(policy=MonitorPolicy(
+                watchdog_cycles=1e9), costs=fast_costs),
+            self._run(policy=MonitorPolicy(degradation="quarantine"),
+                      costs=fast_costs),
+            self._run(policy=MonitorPolicy(degradation="restart"),
+                      costs=fast_costs),
+        ]
+        for outcome in variants:
+            assert outcome.verdict == "clean"
+            assert outcome.cycles == baseline.cycles
+            assert outcome.stdout == baseline.stdout
+
+    def test_disabled_faults_leave_obs_trace_identical(self, fast_costs):
+        def trace_of(**kwargs):
+            hub = ObsHub()
+            outcome = self._run(obs=hub, costs=fast_costs, **kwargs)
+            assert outcome.verdict == "clean"
+            return [e.to_dict() for v in hub.tracer.variants()
+                    for e in hub.tracer.tail(v)]
+
+        assert trace_of() == trace_of(faults=FaultPlan())
