@@ -20,7 +20,6 @@ from repro.experiments.runner import native_cycles
 from repro.kernel.fs import VirtualDisk
 from repro.perf.costs import CostModel
 from repro.perf.report import format_table
-from repro.workloads.synthetic import make_benchmark
 from tests.guestlib import FDRaceProgram
 
 

@@ -18,7 +18,6 @@ from repro.core.mvee import run_mvee
 from repro.diversity.spec import DiversitySpec
 from repro.perf.costs import CostModel
 from repro.perf.report import format_table
-from repro.workloads.synthetic import make_benchmark
 from tests.guestlib import (
     CounterProgram,
     LooselyCoupledProgram,

@@ -9,7 +9,7 @@ wins at every variant count, and overheads grow with the variant count.
 from __future__ import annotations
 
 from repro.experiments.runner import AGENTS, run_benchmark_grid
-from repro.experiments.tables import TABLE1_PAPER, table1
+from repro.experiments.tables import table1
 from repro.perf.report import aggregate_slowdowns
 
 

@@ -11,7 +11,7 @@ Run:  python examples/benchmark_sweep.py [scale]
 import sys
 
 from repro.experiments.runner import run_benchmark_grid
-from repro.experiments.tables import figure5_series, table1
+from repro.experiments.tables import figure5_series
 from repro.perf.report import aggregate_slowdowns
 
 SUBSET = ["blackscholes", "bodytrack", "dedup", "swaptions",

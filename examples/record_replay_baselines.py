@@ -27,7 +27,6 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 from repro.baselines.recplay import record_execution, replay_execution
 from repro.core.mvee import run_mvee
 from repro.diversity.spec import DiversitySpec
-from repro.run import run_native
 from tests.guestlib import ScheduleWitnessProgram
 
 

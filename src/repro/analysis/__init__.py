@@ -33,7 +33,11 @@ from repro.analysis.ir import (
 from repro.analysis.scanner import ScanReport, scan_module
 from repro.analysis.pointsto import AndersenAnalysis, SteensgaardAnalysis
 from repro.analysis.identify import IdentificationReport, identify_sync_ops
-from repro.analysis.instrument import instrumented_sites, instrument_module
+from repro.analysis.instrument import (
+    InstrumentationMismatchError,
+    instrument_module,
+    instrumented_sites,
+)
 from repro.analysis.qualify import (
     AtomicQualifierChecker,
     refactor_to_fixpoint,
@@ -54,6 +58,7 @@ __all__ = [
     "identify_sync_ops",
     "instrumented_sites",
     "instrument_module",
+    "InstrumentationMismatchError",
     "AtomicQualifierChecker",
     "refactor_to_fixpoint",
 ]

@@ -32,8 +32,6 @@ from repro.analysis.ir import (
     GlobalVar,
     HeapAlloc,
     Instruction,
-    LoadPtr,
-    Mem,
     Module,
     Reg,
     imm,
@@ -281,6 +279,75 @@ def volatile_flag_module() -> Module:
             site="listing2.wait.load", source=("listing2.c", 8))],
         pointer_facts=[AddrOf("ptr_wait", "flag")]))
     module.globals.append(GlobalVar("flag", volatile=True))
+    return module
+
+
+def guarded_counter_module() -> Module:
+    """A shared counter correctly guarded by a spinlock — the lockset
+    lint's clean baseline.
+
+    Both accessor functions follow acquire (LOCK CMPXCHG on the lock) →
+    plain access to the counter → release (plain store to the lock), so
+    the counter's lockset intersection is ``{lock}`` and no candidate is
+    reported, even though two functions write the same global.
+    """
+    module = Module(name="guarded_counter")
+    for index, name in enumerate(("bump_counter", "read_counter")):
+        lock_ptr = f"g_lock_{index}"
+        counter_ptr = f"g_counter_{index}"
+        access = (Instruction("mov", (mem(counter_ptr), imm(1)),
+                              site=f"guarded.{name}.store",
+                              source=("guarded.c", 10 + index))
+                  if name == "bump_counter" else
+                  Instruction("mov", (Reg("eax"), mem(counter_ptr)),
+                              site=f"guarded.{name}.load",
+                              source=("guarded.c", 10 + index)))
+        module.functions.append(Function(
+            name=name,
+            instructions=[
+                Instruction("cmpxchg", (mem(lock_ptr), Reg("eax")),
+                            lock_prefix=True,
+                            source=("guarded.c", 8 + index)),
+                access,
+                Instruction("mov", (mem(lock_ptr), imm(0)),
+                            source=("guarded.c", 12 + index)),
+            ],
+            pointer_facts=[AddrOf(lock_ptr, "lock"),
+                           AddrOf(counter_ptr, "counter")]))
+    module.globals.append(GlobalVar("counter"))
+    module.globals.append(GlobalVar("lock"))
+    return module
+
+
+def racy_counter_module() -> Module:
+    """The same counter with the locking forgotten in one accessor.
+
+    ``bump_counter`` takes the lock; ``peek_counter`` reads the counter
+    bare.  The locksets are ``{lock}`` and ``{}``, the intersection is
+    empty, and the counter is written — a textbook Eraser candidate.
+    """
+    module = Module(name="racy_counter")
+    module.functions.append(Function(
+        name="bump_counter",
+        instructions=[
+            Instruction("cmpxchg", (mem("r_lock"), Reg("eax")),
+                        lock_prefix=True, source=("racy.c", 8)),
+            Instruction("mov", (mem("r_counter"), imm(1)),
+                        site="racy.bump_counter.store",
+                        source=("racy.c", 9)),
+            Instruction("mov", (mem("r_lock"), imm(0)),
+                        source=("racy.c", 10)),
+        ],
+        pointer_facts=[AddrOf("r_lock", "lock"),
+                       AddrOf("r_counter", "counter")]))
+    module.functions.append(Function(
+        name="peek_counter",
+        instructions=[Instruction(
+            "mov", (Reg("eax"), mem("r_peek")),
+            site="racy.peek_counter.load", source=("racy.c", 15))],
+        pointer_facts=[AddrOf("r_peek", "counter")]))
+    module.globals.append(GlobalVar("counter"))
+    module.globals.append(GlobalVar("lock"))
     return module
 
 

@@ -95,13 +95,16 @@ def identify_sync_ops(module: Module, analysis: str = "andersen",
     return report
 
 
-def table3_rows(modules: list[Module], analysis: str = "andersen"
+def table3_rows(modules: list[Module], analysis: str = "andersen",
+                treat_volatile_as_sync: bool = False
                 ) -> list[tuple[str, int, int, int]]:
     """Produce (module, i, ii, iii) rows — the shape of the paper's
     Table 3."""
     rows = []
     for module in modules:
-        report = identify_sync_ops(module, analysis=analysis)
+        report = identify_sync_ops(
+            module, analysis=analysis,
+            treat_volatile_as_sync=treat_volatile_as_sync)
         type1, type2, type3 = report.counts
         rows.append((module.name, type1, type2, type3))
     return rows

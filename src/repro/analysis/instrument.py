@@ -11,13 +11,23 @@ mechanism behind the un-instrumented-nginx divergence demo.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.identify import IdentificationReport
 from repro.analysis.ir import Function, Instruction, Module
 
 BEFORE_CALL = "call before_sync_op"
 AFTER_CALL = "call after_sync_op"
+
+
+class InstrumentationMismatchError(ValueError):
+    """The report does not describe this module object.
+
+    ``instrument_module`` matches report instructions by identity, so a
+    report built from a *different copy* of the module (a re-parse, a
+    deep copy) matches nothing and used to silently wrap zero sites —
+    producing an "instrumented" module that leaves every sync op bare.
+    """
 
 
 @dataclass
@@ -43,11 +53,19 @@ def instrumented_sites(*reports: IdentificationReport) -> frozenset[str]:
 
 
 def instrument_module(module: Module,
-                      report: IdentificationReport) -> InstrumentedModule:
+                      report: IdentificationReport,
+                      strict: bool = True) -> InstrumentedModule:
     """Produce an instrumented copy of ``module``.
 
     Wrapper calls are inserted as pseudo-instructions around each
     identified sync op, mirroring Listing 3's source-level rewrite.
+
+    Identified instructions are matched by object identity, so the
+    report must have been produced from this very ``module`` object.
+    When fewer sites get wrapped than the report identified — the
+    report came from a different module copy — ``strict=True`` (the
+    default) raises :class:`InstrumentationMismatchError` instead of
+    returning a silently un-instrumented module.
     """
     targets = set(id(i) for i in report.all_sync_instructions())
     wrapped = 0
@@ -69,6 +87,13 @@ def instrument_module(module: Module,
         new_functions.append(Function(
             name=function.name, instructions=new_instructions,
             pointer_facts=list(function.pointer_facts)))
+    if strict and wrapped < len(targets):
+        raise InstrumentationMismatchError(
+            f"report identifies {len(targets)} sync instruction(s) but "
+            f"only {wrapped} matched module {module.name!r} — the report "
+            f"was built from a different module copy; re-run "
+            f"identify_sync_ops on this module (or pass strict=False to "
+            f"accept partial instrumentation)")
     instrumented = Module(name=f"{module.name}+agent",
                           functions=new_functions,
                           globals=list(module.globals))

@@ -21,7 +21,6 @@ from repro.analysis.ir import (
     LOCKABLE_OPCODES,
     XCHG_OPCODE,
     Instruction,
-    Mem,
     Module,
 )
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.agents.base import AgentSharedState
 from repro.guest.program import GuestProgram, build_context
 from repro.kernel.fs import VirtualDisk
 from repro.kernel.kernel import VirtualKernel

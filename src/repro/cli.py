@@ -19,6 +19,12 @@ Commands
 ``fault-matrix``
     Survival table: inject each fault kind under each degradation policy
     and report the verdicts (see ``docs/RESILIENCE.md``).
+``races {lint,check,bench}``
+    Two-sided race detection (see ``docs/RACES.md``): ``lint`` runs the
+    Eraser-style lockset lint over the demo modules (optionally the full
+    corpus), ``check`` runs the §5.5 coverage cross-check (dynamic races
+    vs statically identified sites), ``bench`` prints the races +
+    detector-overhead experiment table.
 
 The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
 Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
@@ -71,7 +77,9 @@ def _cmd_table(args) -> int:
     elif args.number == 2:
         print(tables.table2(scale=args.scale))
     else:
-        print(tables.table3())
+        print(tables.table3(
+            analysis=args.analysis,
+            treat_volatile_as_sync=args.treat_volatile_as_sync))
     return 0
 
 
@@ -117,7 +125,8 @@ def _cmd_run(args) -> int:
                        variants=args.variants, agent=agent,
                        seed=args.seed, diversity=diversity,
                        policy=policy,
-                       max_cycles=native * 400, obs=hub, faults=plan)
+                       max_cycles=native * 400, obs=hub, faults=plan,
+                       races=args.race_detect)
     print(f"benchmark : {args.benchmark}")
     print(f"agent     : {args.agent}, variants: {args.variants}, "
           f"diversity: {'ASLR+DCL' if args.diversity else 'off'}")
@@ -128,6 +137,10 @@ def _cmd_run(args) -> int:
               + (f", watchdog: {args.watchdog:.0f} cycles"
                  if args.watchdog is not None else "") + ")")
     print(f"verdict   : {outcome.verdict}")
+    if outcome.races is not None:
+        print(f"races     : {outcome.races.summary()}")
+        for race in outcome.races.races:
+            print(f"            {race}")
     for event in outcome.quarantines:
         print(f"quarantine: {event.summary()}")
     if outcome.divergence is not None:
@@ -207,6 +220,112 @@ def _cmd_fault_matrix(args) -> int:
     return 0
 
 
+def _races_lint(args) -> int:
+    from repro.analysis.corpus import (
+        guarded_counter_module,
+        nginx_module,
+        paper_corpus,
+        racy_counter_module,
+        spinlock_module,
+        volatile_flag_module,
+    )
+    from repro.races import lint_module
+
+    modules = [spinlock_module(), volatile_flag_module(),
+               racy_counter_module(), guarded_counter_module(),
+               nginx_module()]
+    if args.corpus:
+        modules.extend(paper_corpus())
+    flagged = 0
+    for module in modules:
+        lint = lint_module(
+            module, analysis=args.analysis,
+            treat_volatile_as_sync=args.treat_volatile_as_sync)
+        print(lint.summary())
+        for candidate in lint.candidates:
+            print(f"  {candidate}")
+            flagged += 1
+    print(f"-- {flagged} candidate(s) across {len(modules)} module(s) "
+          f"({args.analysis}, treat_volatile_as_sync="
+          f"{'on' if args.treat_volatile_as_sync else 'off'})")
+    return 1 if flagged else 0
+
+
+def _races_check(args) -> int:
+    from repro.analysis.corpus import nginx_module
+    from repro.experiments.runner import (
+        nginx_identified_sites,
+        run_nginx_condition,
+    )
+    from repro.races import (
+        RaceDetector,
+        corroborate,
+        cross_check,
+        lint_module,
+    )
+
+    print("condition 1: nginx with corpus-only identification "
+          "(custom primitives un-instrumented)")
+    detector = RaceDetector()
+    outcome = run_nginx_condition(False, seed=args.seed,
+                                  detector=detector)
+    coverage = cross_check(detector.report,
+                           nginx_identified_sites(after_refactor=False),
+                           workload="nginx/bare")
+    lint = lint_module(
+        nginx_module(), analysis=args.analysis,
+        treat_volatile_as_sync=args.treat_volatile_as_sync)
+    coverage = corroborate(coverage, lint)
+    print(f"  verdict : {outcome.verdict}")
+    print(f"  dynamic : {detector.report.summary()}")
+    print(f"  static  : {lint.summary()}")
+    print(f"  {coverage.summary()}")
+    for gap in coverage.gaps:
+        print(f"  {gap}")
+
+    print("condition 2: nginx after the §5.5 refactor "
+          "(every site identified)")
+    detector_full = RaceDetector()
+    outcome_full = run_nginx_condition(True, seed=args.seed,
+                                       detector=detector_full)
+    coverage_full = cross_check(
+        detector_full.report,
+        nginx_identified_sites(after_refactor=True),
+        workload="nginx/full")
+    print(f"  verdict : {outcome_full.verdict}")
+    print(f"  dynamic : {detector_full.report.summary()}")
+    print(f"  {coverage_full.summary()}")
+
+    closed = (not coverage.clean and coverage_full.clean
+              and not detector_full.report.races)
+    print("cross-check: " +
+          ("gap detected before the refactor, closed after — "
+           "the Listing-2 blind spot is visible and fixable"
+           if closed else
+           "UNEXPECTED — see the conditions above"))
+    return 0 if closed else 1
+
+
+def _races_bench(args) -> int:
+    from repro.experiments.runner import race_sweep_table, run_race_sweep
+
+    benchmarks = (tuple(args.benchmarks.split(","))
+                  if args.benchmarks else ("dedup", "vips"))
+    rows = run_race_sweep(benchmarks=benchmarks, scale=args.scale,
+                          seed=args.seed,
+                          include_nginx=not args.no_nginx)
+    print(race_sweep_table(rows))
+    return 0
+
+
+def _cmd_races(args) -> int:
+    if args.action == "lint":
+        return _races_lint(args)
+    if args.action == "check":
+        return _races_check(args)
+    return _races_bench(args)
+
+
 def _cmd_list(args) -> int:
     from repro.workloads.spec import ALL_SPECS
 
@@ -253,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=(1, 2, 3))
     p_table.add_argument("--scale", type=float, default=0.25)
+    p_table.add_argument("--analysis", default="andersen",
+                         choices=("andersen", "steensgaard"),
+                         help="table 3: points-to analysis for stage 2 "
+                              "(default: andersen)")
+    p_table.add_argument("--treat-volatile-as-sync", action="store_true",
+                         help="table 3: treat volatile globals as sync "
+                              "primitives (closes the Listing-2 gap; "
+                              "see docs/RACES.md)")
     p_table.set_defaults(func=_cmd_table)
 
     p_fig = sub.add_parser("fig5", help="regenerate Figure 5")
@@ -283,6 +410,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="degradation policy when a variant is "
                             "condemned (default: kill-all, the paper's "
                             "behaviour)")
+    p_run.add_argument("--race-detect", action="store_true",
+                       help="attach the happens-before race detector "
+                            "(see docs/RACES.md); zero simulated-cycle "
+                            "cost, reports races after the run")
     p_run.add_argument("--watchdog", type=float, default=None,
                        metavar="CYCLES",
                        help="lockstep rendezvous deadline in simulated "
@@ -329,6 +460,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_fm.add_argument("--scale", type=float, default=0.1)
     p_fm.add_argument("--seed", type=int, default=1)
     p_fm.set_defaults(func=_cmd_fault_matrix)
+
+    p_races = sub.add_parser(
+        "races",
+        help="two-sided race detection: lockset lint, §5.5 coverage "
+             "cross-check, detector-overhead sweep")
+    p_races.add_argument("action", choices=("lint", "check", "bench"))
+    p_races.add_argument("--analysis", default="andersen",
+                         choices=("andersen", "steensgaard"),
+                         help="points-to analysis for the lockset lint "
+                              "(default: andersen)")
+    p_races.add_argument("--treat-volatile-as-sync", action="store_true",
+                         help="treat volatile globals as sync primitives "
+                              "in the static analysis (the Listing-2 "
+                              "remediation)")
+    p_races.add_argument("--corpus", action="store_true",
+                         help="lint: also lint the full paper corpus")
+    p_races.add_argument("--benchmarks", default=None,
+                         help="bench: comma-separated lockstep "
+                              "benchmarks (default: dedup,vips)")
+    p_races.add_argument("--no-nginx", action="store_true",
+                         help="bench: skip the nginx conditions")
+    p_races.add_argument("--scale", type=float, default=0.1)
+    p_races.add_argument("--seed", type=int, default=1)
+    p_races.set_defaults(func=_cmd_races)
 
     p_list = sub.add_parser("list", help="list benchmark twins")
     p_list.set_defaults(func=_cmd_list)

@@ -15,7 +15,7 @@ metadata.  The WoC agent's fixed clock wall is the visible consequence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.perf.contention import ContentionTracker
 from repro.perf.costs import CostModel, DEFAULT_COSTS

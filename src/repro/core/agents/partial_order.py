@@ -22,7 +22,6 @@ performs (``po_scan_per_entry`` × window span).
 
 from __future__ import annotations
 
-from collections import deque
 
 from repro.core.agents.base import AgentSharedState, BaseAgent
 from repro.core.buffers import ConsumptionWindow, MultiProducerLog, SyncRecord

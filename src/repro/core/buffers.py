@@ -20,7 +20,7 @@ Two flavours exist, mirroring the paper's designs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 

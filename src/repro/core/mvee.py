@@ -61,6 +61,8 @@ class MVEEOutcome:
     quarantines: list = field(default_factory=list)
     #: Faults actually injected (InjectedFault list, in injection order).
     faults: list = field(default_factory=list)
+    #: Race report from an attached detector (None when disabled).
+    races: object | None = None
 
     @property
     def cycles(self) -> float:
@@ -98,7 +100,8 @@ class MVEE:
                  max_cycles: float | None = None,
                  agent_options: dict | None = None,
                  obs=None,
-                 faults=None):
+                 faults=None,
+                 races=None):
         if variants < 2:
             raise ValueError("an MVEE needs at least two variants")
         self.program = program
@@ -129,6 +132,16 @@ class MVEE:
             self.fault_injector = faults
         else:
             self.fault_injector = FaultInjector(faults)
+        #: Optional race detection: ``True`` attaches a default
+        #: :class:`repro.races.RaceDetector`, or pass a configured one.
+        if races is None or races is False:
+            self.races = None
+        elif races is True:
+            from repro.races import RaceDetector
+
+            self.races = RaceDetector()
+        else:
+            self.races = races
         #: Variants replaced by the restart policy (kept for forensics).
         self.retired_vms: list[VariantVM] = []
         self._build()
@@ -177,6 +190,8 @@ class MVEE:
             self._attach_obs(self.obs)
         if self.fault_injector is not None:
             self._attach_faults()
+        if self.races is not None:
+            self._attach_races()
         if self.network is not None:
             self.machine.attach_network(self.network)
         for vm in self.vms:
@@ -215,6 +230,20 @@ class MVEE:
             vm.kernel.futexes.faults = injector
             vm.kernel.futexes.variant = vm.index
 
+    def _attach_races(self) -> None:
+        """Point the machine and every futex table at the detector.
+
+        Same shape as ``_attach_obs``/``_attach_faults``: one attribute
+        per hook site, zero cost when absent.
+        """
+        detector = self.races
+        detector.bind_clock(lambda: self.machine.now)
+        if self.obs is not None:
+            detector.bind_obs(self.obs)
+        self.machine.races = detector
+        for vm in self.vms:
+            vm.kernel.futexes.races = detector
+
     # -- restart ------------------------------------------------------------
 
     def _restart_variant(self, index: int) -> None:
@@ -250,6 +279,11 @@ class MVEE:
         if self.fault_injector is not None:
             vm.kernel.futexes.faults = self.fault_injector
             vm.kernel.futexes.variant = vm.index
+        if self.races is not None:
+            # The replacement starts from fresh memory: drop the old
+            # incarnation's clocks so they can't fabricate races.
+            self.races.reset_variant(index)
+            vm.kernel.futexes.races = self.races
         self.monitor.readmit(index)
         ctx = build_context(vm, self.program)
         self.machine.add_thread(vm, "main", self.program.main(ctx))
@@ -298,7 +332,9 @@ class MVEE:
             disk=self.disk, vms=self.vms, monitor=self.monitor,
             agent_shared=self.agent_shared, machine=self.machine,
             deadlock=deadlock, obs=self.obs, obs_bundle=bundle,
-            quarantines=quarantines, faults=faults)
+            quarantines=quarantines, faults=faults,
+            races=(self.races.report if self.races is not None
+                   else None))
 
 
 def run_mvee(program: GuestProgram, **kwargs) -> MVEEOutcome:

@@ -21,7 +21,7 @@ against the leader's per-thread log) and reports it, so tests can show:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.divergence import DivergenceKind, DivergenceReport

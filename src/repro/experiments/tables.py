@@ -15,13 +15,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     run_benchmark_grid,
 )
-from repro.perf.report import (
-    aggregate_slowdowns,
-    arithmetic_mean,
-    format_table,
-    geometric_mean,
-    render_bars,
-)
+from repro.perf.report import aggregate_slowdowns, format_table, render_bars
 from repro.run import run_native
 from repro.workloads.spec import ALL_SPECS
 from repro.workloads.synthetic import SyntheticWorkload
@@ -91,14 +85,16 @@ def table2(scale: float = 1.0, seed: int = 1) -> str:
               "(measured (paper))")
 
 
-def table3(analysis: str = "andersen") -> str:
+def table3(analysis: str = "andersen",
+           treat_volatile_as_sync: bool = False) -> str:
     """Regenerate Table 3: sync ops identified per module and class."""
     from repro.analysis.corpus import TABLE3_PAPER, paper_corpus
     from repro.analysis.identify import table3_rows
 
     rows = []
-    for name, type1, type2, type3 in table3_rows(paper_corpus(),
-                                                 analysis=analysis):
+    for name, type1, type2, type3 in table3_rows(
+            paper_corpus(), analysis=analysis,
+            treat_volatile_as_sync=treat_volatile_as_sync):
         paper1, paper2, paper3 = TABLE3_PAPER[name]
         rows.append([name,
                      f"{type1} ({paper1})",

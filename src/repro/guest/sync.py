@@ -282,6 +282,51 @@ class RWLock:
                                  site=self.SITE_WRITERS)
 
 
+class VolatileFlag:
+    """Listing 2 at run time: a ``volatile int`` used as a one-shot
+    signal, touched only by plain aligned load/store — no LOCK-prefixed
+    or XCHG instruction ever targets the flag, so the static pipeline
+    has no stage-1 root and never identifies these sites.  That makes
+    this the reference workload for the race detector's coverage
+    cross-check: every access shows up as an un-identified plain access,
+    and the signal/wait pair races by construction.
+
+    ``raise_flag``/``is_raised`` mirror Listing 2's ``signal_thread``/
+    ``wait_until_signaled`` halves; ``spin_until_raised`` is the
+    busy-wait loop (with a ``sched_yield`` so the simulation's
+    scheduler can make progress).
+    """
+
+    SITE_RAISE = "volatile.flag.raise.store"
+    SITE_POLL = "volatile.flag.poll.load"
+
+    def __init__(self, addr: int):
+        self.addr = addr
+
+    def raise_flag(self, ctx: GuestContext):
+        yield from ctx.atomic_store(self.addr, 1, site=self.SITE_RAISE)
+
+    def is_raised(self, ctx: GuestContext):
+        value = yield from ctx.atomic_load(self.addr,
+                                           site=self.SITE_POLL)
+        return value != 0
+
+    def spin_until_raised(self, ctx: GuestContext):
+        while True:
+            raised = yield from self.is_raised(ctx)
+            if raised:
+                return
+            yield from ctx.sched_yield()
+
+
+#: The volatile-only sites — deliberately NOT in LIBPTHREAD_SITES: the
+#: analysis cannot find them (the Listing-2 false negative), and the
+#: cross-checker proves it.
+VOLATILE_FLAG_SITES = frozenset({
+    VolatileFlag.SITE_RAISE, VolatileFlag.SITE_POLL,
+})
+
+
 #: Every site label defined by this library — the ground truth the static
 #: analysis is expected to recover (used in tests and Table 3).
 LIBPTHREAD_SITES = frozenset({

@@ -27,6 +27,9 @@ class FutexTable:
         #: suppress wakeups (the waiters stay queued — a lost wake).
         self.faults = None
         self.variant = 0
+        #: Optional :class:`repro.races.RaceDetector`; a wake with a
+        #: known waker is a happens-before edge (waker → each wakee).
+        self.races = None
 
     def add_waiter(self, addr: int, thread_id: str) -> None:
         """Register ``thread_id`` as blocked on the futex word ``addr``."""
@@ -42,7 +45,8 @@ class FutexTable:
             if not queue:
                 del self._waiters[addr]
 
-    def wake(self, addr: int, count: int) -> list[str]:
+    def wake(self, addr: int, count: int,
+             waker: str | None = None) -> list[str]:
         """Dequeue up to ``count`` waiters in FIFO order and return them."""
         queue = self._waiters.get(addr)
         if not queue:
@@ -58,6 +62,8 @@ class FutexTable:
             del self._waiters[addr]
         if self.obs is not None:
             self.obs.futex_wake(addr, woken)
+        if self.races is not None and waker is not None and woken:
+            self.races.on_futex_wake(waker, woken)
         return woken
 
     def waiters(self, addr: int) -> list[str]:

@@ -24,7 +24,7 @@ retries the call when woken (``retry=True``) or delivers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SyscallError
@@ -40,7 +40,6 @@ from repro.kernel.net import (
     recv_wait_key,
 )
 from repro.kernel.signals import SignalState
-from repro.kernel.syscalls import MVEE_GET_ROLE, spec_for
 from repro.kernel.vmem import AddressSpace, LayoutBases, Protection
 from repro.kernel.vtime import VirtualClock, seconds_to_cycles
 
@@ -280,7 +279,7 @@ class VirtualKernel:
                        wake_result=0)
 
     def _sys_futex_wake(self, thread_id: str, addr: int, count: int = 1):
-        woken = self.futexes.wake(addr, count)
+        woken = self.futexes.wake(addr, count, waker=thread_id)
         for waiter in woken:
             self.pending_wakeups.append(("thread", waiter))
         return len(woken)

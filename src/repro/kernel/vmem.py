@@ -24,7 +24,7 @@ for the data-race-free programs the paper targets.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import MemoryFault, SyscallError
 

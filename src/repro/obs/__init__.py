@@ -88,6 +88,8 @@ class ObsHub:
         self.fault_log: list[dict] = []
         #: Recovery actions (watchdog fires, quarantines, restarts).
         self.recovery_log: list[dict] = []
+        #: Races reported by an attached detector (dicts, in order).
+        self.race_log: list[dict] = []
 
     def bind_clock(self, clock) -> None:
         """Attach the machine's simulated clock (``lambda: machine.now``)."""
@@ -241,6 +243,21 @@ class ObsHub:
         self.metrics.counter("resilience.restarts").inc()
         self.tracer.instant("restart", variant, "main",
                             cat="resilience", args={})
+
+    # -- race detector hooks -------------------------------------------------
+
+    def race_detected(self, race) -> None:
+        """The happens-before detector recorded a new distinct race."""
+        record = race.to_dict()
+        record["at_cycles"] = self.now
+        self.race_log.append(record)
+        self.metrics.counter("races.detected").inc()
+        self.metrics.counter(f"races.kind.{race.kind}").inc()
+        self.tracer.instant("race", race.current.variant,
+                            race.current.thread, cat="race",
+                            args={"kind": race.kind,
+                                  "site": race.current.site,
+                                  "prior_site": race.prior.site})
 
     # -- agent hooks ---------------------------------------------------------
 

@@ -48,6 +48,8 @@ class DivergenceBundle:
     faults: list[dict] = field(default_factory=list)
     #: Recovery actions (watchdog fires, quarantines, restarts).
     recovery: list[dict] = field(default_factory=list)
+    #: Races an attached detector reported before the kill.
+    races: list[dict] = field(default_factory=list)
 
     # -- (de)serialization --------------------------------------------------
 
@@ -63,6 +65,7 @@ class DivergenceBundle:
             "config": self.config,
             "faults": self.faults,
             "recovery": self.recovery,
+            "races": self.races,
         }
 
     @classmethod
@@ -78,6 +81,7 @@ class DivergenceBundle:
             config=data.get("config", {}),
             faults=data.get("faults", []),
             recovery=data.get("recovery", []),
+            races=data.get("races", []),
         )
 
     def save(self, path) -> None:
@@ -134,6 +138,8 @@ def capture_bundle(hub, report, monitor=None,
                 getattr(hub, "fault_log", ())],
         recovery=[dict(event) for event in
                   getattr(hub, "recovery_log", ())],
+        races=[dict(event) for event in
+               getattr(hub, "race_log", ())],
     )
 
 
@@ -223,6 +229,11 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
                      f"v{first.get('variant')} at "
                      f"{first.get('at_cycles', 0):.0f} cycles "
                      f"({first.get('site')})")
+    if bundle.races:
+        sites = sorted({race.get("current", {}).get("site", "?")
+                        for race in bundle.races})
+        lines.append(f"  races detected: {len(bundle.races)} at "
+                     f"{', '.join(sites)}")
     for event in bundle.recovery:
         action = event.get("action", "?")
         if action == "quarantine":

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.kernel.vtime import CYCLES_PER_SECOND
 

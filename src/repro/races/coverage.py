@@ -1,0 +1,189 @@
+"""The cross-checker: dynamic races × static identification = coverage gaps.
+
+This is the headline question the subsystem answers.  The static
+pipeline (§4.3–4.4) hands the MVEE a set of identified sync-op sites;
+the dynamic detector, run with that same set as its happens-before
+vocabulary, reports races at the sites the set does *not* cover.  Each
+such race is not merely a bug report — it is direct evidence that a
+synchronization primitive escaped identification, i.e. the Listing-2
+false negative made observable:
+
+* the races involve only plain loads/stores → a volatile-flag style
+  primitive with no LOCK/XCHG root; remediation:
+  ``treat_volatile_as_sync`` (re-run identification with the paper's
+  over-approximating extension);
+* the races involve RMWs (cas/xchg/fetch_add) at un-identified sites →
+  the primitive has lock-free roots the scan never saw (intrinsics the
+  build lowered differently, hand-written asm); remediation:
+  ``refactor_to_fixpoint`` (the paper's §5.5 workflow: refactor the
+  primitive until re-running the analysis reaches a fixpoint covering
+  every site).
+
+The nginx workload is the acceptance test: un-instrumented custom
+primitives must yield gaps naming ``nginx.spinlock``/``nginx.queue``;
+with the full site set instrumented the report must be empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.races.detector import RaceRecord, RaceReport
+
+#: Remediation tags (the two knobs the analysis pipeline offers).
+TREAT_VOLATILE = "treat_volatile_as_sync"
+REFACTOR = "refactor_to_fixpoint"
+
+#: Ops that write without a read-modify-write root.
+_PLAIN_OPS = frozenset({"load", "store"})
+
+
+def primitive_of(site: str) -> str:
+    """The primitive a site label belongs to.
+
+    Site labels follow ``library.primitive.operation.insn`` (e.g.
+    ``nginx.spinlock.lock.cmpxchg``); the primitive is everything up to
+    the last two components.  Short labels degrade gracefully.
+    """
+    parts = site.split(".")
+    if len(parts) <= 2:
+        return parts[0]
+    return ".".join(parts[:-2])
+
+
+@dataclass(frozen=True)
+class CoverageGap:
+    """One primitive the static pipeline missed, proven racy at runtime."""
+
+    primitive: str
+    sites: frozenset[str]
+    ops: frozenset[str]
+    races: tuple[RaceRecord, ...]
+    remediation: str
+    #: Whether the static lockset lint independently flagged any of
+    #: these sites (set by :func:`corroborate`; None = not checked).
+    lint_agrees: bool | None = None
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.races)
+
+    def to_dict(self) -> dict:
+        return {"primitive": self.primitive,
+                "sites": sorted(self.sites),
+                "ops": sorted(self.ops),
+                "races": len(self.races),
+                "remediation": self.remediation,
+                "lint_agrees": self.lint_agrees}
+
+    def __str__(self) -> str:
+        sites = ", ".join(sorted(self.sites))
+        return (f"{self.primitive}: {len(self.races)} race(s) at "
+                f"un-identified site(s) [{sites}] — suggest "
+                f"{self.remediation}")
+
+
+@dataclass
+class CoverageReport:
+    """Result of one cross-check run."""
+
+    workload: str
+    identified_sites: frozenset[str]
+    gaps: list[CoverageGap] = field(default_factory=list)
+    #: Dynamic races at *identified* sites — should be empty (an
+    #: identified site produces HB edges, not plain accesses); non-empty
+    #: means the sync-site predicate and the detector disagree.
+    covered_races: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.gaps
+
+    def gap_for(self, primitive: str) -> CoverageGap | None:
+        for gap in self.gaps:
+            if gap.primitive == primitive:
+                return gap
+        return None
+
+    def missed_sites(self) -> frozenset[str]:
+        sites: set[str] = set()
+        for gap in self.gaps:
+            sites |= gap.sites
+        return frozenset(sites)
+
+    def to_dict(self) -> dict:
+        return {"workload": self.workload,
+                "identified_sites": len(self.identified_sites),
+                "gaps": [gap.to_dict() for gap in self.gaps],
+                "covered_races": self.covered_races}
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"{self.workload}: no coverage gaps "
+                    f"({len(self.identified_sites)} identified sites "
+                    f"confirmed sufficient)")
+        return (f"{self.workload}: {len(self.gaps)} coverage gap(s) — "
+                f"{len(self.missed_sites())} site(s) escaped "
+                f"identification")
+
+
+def _suggest(ops: frozenset[str]) -> str:
+    """Pick the remediation from the shape of the racing accesses."""
+    if ops <= _PLAIN_OPS:
+        return TREAT_VOLATILE
+    return REFACTOR
+
+
+def cross_check(report: RaceReport, identified_sites: Iterable[str],
+                workload: str = "unknown") -> CoverageReport:
+    """Diff a dynamic race report against the identified site set."""
+    identified = frozenset(identified_sites)
+    result = CoverageReport(workload=workload,
+                            identified_sites=identified)
+    by_primitive: dict[str, list[RaceRecord]] = {}
+    for race in report.races:
+        missed = race.sites() - identified
+        if not missed:
+            result.covered_races += 1
+            continue
+        # Attribute the race to every missed primitive it touches
+        # (cross-primitive races name both).
+        for primitive in sorted({primitive_of(s) for s in missed}):
+            by_primitive.setdefault(primitive, []).append(race)
+    for primitive in sorted(by_primitive):
+        races = tuple(by_primitive[primitive])
+        sites: set[str] = set()
+        ops: set[str] = set()
+        for race in races:
+            sites |= {s for s in race.sites()
+                      if s not in identified
+                      and primitive_of(s) == primitive}
+            ops |= {race.prior.op, race.current.op}
+        result.gaps.append(CoverageGap(
+            primitive=primitive, sites=frozenset(sites),
+            ops=frozenset(ops), races=races,
+            remediation=_suggest(frozenset(ops))))
+    return result
+
+
+def corroborate(coverage: CoverageReport, lint) -> CoverageReport:
+    """Annotate each gap with whether the lockset lint agrees.
+
+    ``lint`` is a :class:`repro.races.lockset.RaceLint` (or a list of
+    them) from the *same* code base; a gap whose sites intersect the
+    lint's candidate sites is independently confirmed by static
+    analysis — double evidence that the primitive must be fed back into
+    identification.
+    """
+    lints = lint if isinstance(lint, (list, tuple)) else [lint]
+    flagged: set[str] = set()
+    for item in lints:
+        flagged |= item.candidate_sites()
+    coverage.gaps = [
+        CoverageGap(primitive=gap.primitive, sites=gap.sites,
+                    ops=gap.ops, races=gap.races,
+                    remediation=gap.remediation,
+                    lint_agrees=bool(gap.sites & flagged))
+        for gap in coverage.gaps]
+    return coverage

@@ -1,0 +1,206 @@
+"""The static side: an Eraser-style lockset lint over the analysis IR.
+
+The §4.3 identification pipeline asks "which instructions *are*
+synchronization?".  This lint asks the complementary question: "which
+plain accesses are *unprotected* shared-data accesses?" — Eraser's
+lockset discipline, computed over the same mini-IR and reusing the same
+Steensgaard/Andersen points-to results:
+
+1. The stage-1 scan's sync-pointer roots, closed under points-to, are
+   the *lock objects* (the same set stage 2 uses to classify type-iii
+   instructions).
+2. Each function is walked in instruction order, tracking the set of
+   lock objects currently held: a type (i)/(ii) RMW on a lock object
+   acquires it; a plain store to a held lock object releases it (the
+   Listing-1 unlock idiom); a plain load of one is a spin poll.
+3. Every plain access to a *non*-lock object is recorded together with
+   the lockset in force.
+4. A global accessed from at least two functions, written at least once,
+   whose locksets share no common lock is a :class:`RaceCandidate`.
+
+Listing 2 is the motivating case: the volatile flag has no LOCK/XCHG
+root, so it is not a lock object, both its accesses carry empty
+locksets from different functions, and one is a write — a candidate.
+Enabling ``treat_volatile_as_sync`` promotes volatile globals into the
+lock-object set (the paper's proposed over-approximation), which both
+*identifies* the accesses downstream and silences the lint — the
+remediation loop the cross-checker drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.identify import ANALYSES
+from repro.analysis.ir import Function, Module
+from repro.analysis.scanner import scan_module
+
+
+@dataclass(frozen=True)
+class LintAccess:
+    """One plain access to a shared object, with its lockset."""
+
+    function: str
+    obj: str
+    site: str | None
+    source: tuple[str, int] | None
+    is_write: bool
+    lockset: frozenset[str]
+
+    def __str__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        where = self.site or (f"{self.source[0]}:{self.source[1]}"
+                              if self.source else self.function)
+        held = ",".join(sorted(self.lockset)) or "∅"
+        return f"{kind} {self.obj} @ {where} holding {{{held}}}"
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """A shared object with no consistently-held lock."""
+
+    obj: str
+    accesses: tuple[LintAccess, ...]
+
+    def sites(self) -> frozenset[str]:
+        return frozenset(a.site for a in self.accesses
+                         if a.site is not None)
+
+    def source_lines(self) -> frozenset[tuple[str, int]]:
+        return frozenset(a.source for a in self.accesses
+                         if a.source is not None)
+
+    def functions(self) -> frozenset[str]:
+        return frozenset(a.function for a in self.accesses)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for a in self.accesses if a.is_write)
+
+    def __str__(self) -> str:
+        return (f"{self.obj}: {len(self.accesses)} access(es) from "
+                f"{len(self.functions())} function(s), "
+                f"{self.writes} write(s), no common lock")
+
+
+@dataclass
+class RaceLint:
+    """Lockset-lint result for one module."""
+
+    module: str
+    analysis: str
+    candidates: list[RaceCandidate] = field(default_factory=list)
+    #: Objects examined (plain-accessed, non-lock).
+    objects_seen: int = 0
+    #: Plain accesses recorded with a lockset.
+    accesses_recorded: int = 0
+    #: Lock objects derived from the stage-1 roots (+ volatile globals
+    #: when ``treat_volatile_as_sync``).
+    lock_objects: frozenset[str] = frozenset()
+
+    @property
+    def clean(self) -> bool:
+        return not self.candidates
+
+    def candidate_sites(self) -> frozenset[str]:
+        sites: set[str] = set()
+        for candidate in self.candidates:
+            sites |= candidate.sites()
+        return frozenset(sites)
+
+    def candidate_for(self, obj: str) -> RaceCandidate | None:
+        for candidate in self.candidates:
+            if candidate.obj == obj:
+                return candidate
+        return None
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"{self.module}: clean ({self.objects_seen} shared "
+                    f"object(s), {self.accesses_recorded} access(es), "
+                    f"{len(self.lock_objects)} lock(s))")
+        return (f"{self.module}: {len(self.candidates)} candidate-racy "
+                f"object(s) across "
+                f"{len(self.candidate_sites())} labelled site(s)")
+
+
+def _walk_function(function: Function, pointsto, lock_objects: set,
+                   report: RaceLint,
+                   accesses: dict[str, list[LintAccess]]) -> None:
+    """Track the lockset through one function, recording data accesses."""
+    held: set[str] = set()
+    for instruction in function.instructions:
+        operands = instruction.memory_operands()
+        if not operands:
+            continue
+        targets: set[str] = set()
+        for operand in operands:
+            targets |= pointsto.points_to(operand.ptr)
+        locks = targets & lock_objects
+        is_rmw = (instruction.lock_prefix
+                  or instruction.opcode == "xchg")
+        if locks and is_rmw:
+            held |= locks                      # acquire
+            continue
+        if locks:
+            if instruction.is_store:
+                held -= locks                  # Listing-1 unlock store
+            continue                           # plain poll of a lock
+        if is_rmw:
+            # An un-rooted RMW still syncs whatever it touches; treat
+            # its targets as self-protecting, not as data.
+            continue
+        if not (instruction.is_load or instruction.is_store):
+            continue
+        for obj in sorted(targets):
+            access = LintAccess(
+                function=function.name, obj=obj,
+                site=instruction.site, source=instruction.source,
+                is_write=instruction.is_store,
+                lockset=frozenset(held))
+            accesses.setdefault(obj, []).append(access)
+            report.accesses_recorded += 1
+
+
+def lint_module(module: Module, analysis: str = "andersen",
+                treat_volatile_as_sync: bool = False) -> RaceLint:
+    """Run the lockset lint over one module."""
+    if analysis not in ANALYSES:
+        raise ValueError(f"unknown points-to analysis {analysis!r}; "
+                         f"choose from {sorted(ANALYSES)}")
+    scan = scan_module(module)
+    pointsto = ANALYSES[analysis](module)
+    lock_objects: set[str] = set()
+    for pointer in scan.sync_pointers:
+        lock_objects |= pointsto.points_to(pointer)
+    if treat_volatile_as_sync:
+        for gvar in module.globals:
+            if gvar.volatile:
+                lock_objects.add(gvar.name)
+    report = RaceLint(module=module.name, analysis=analysis,
+                      lock_objects=frozenset(lock_objects))
+    accesses: dict[str, list[LintAccess]] = {}
+    for function in module.functions:
+        _walk_function(function, pointsto, lock_objects, report,
+                       accesses)
+    report.objects_seen = len(accesses)
+    for obj in sorted(accesses):
+        records = accesses[obj]
+        if len({a.function for a in records}) < 2:
+            continue                           # single-threaded object
+        if not any(a.is_write for a in records):
+            continue                           # read-shared is benign
+        common = frozenset.intersection(*(a.lockset for a in records))
+        if common:
+            continue                           # consistently guarded
+        report.candidates.append(
+            RaceCandidate(obj=obj, accesses=tuple(records)))
+    return report
+
+
+def lint_corpus(modules, analysis: str = "andersen",
+                treat_volatile_as_sync: bool = False) -> list[RaceLint]:
+    """Lint every module of a corpus (the whole Table-3 set)."""
+    return [lint_module(module, analysis=analysis,
+                        treat_volatile_as_sync=treat_volatile_as_sync)
+            for module in modules]

@@ -1,0 +1,94 @@
+"""Vector clocks and epochs — the FastTrack detector's arithmetic.
+
+A :class:`VectorClock` maps thread identifiers to logical clock values;
+absent entries are zero.  An :class:`Epoch` is FastTrack's ``c@t`` pair:
+the clock value one specific thread had when it performed an access.
+Most accesses are totally ordered by *some* synchronization, so a single
+epoch — O(1) to compare against a vector clock — replaces the full
+per-variable vector almost everywhere; the detector only inflates a
+read epoch to a read *map* when it actually observes concurrent reads
+(FastTrack's adaptive representation).
+
+Everything here is pure data manipulation: no simulator state, no
+randomness, no wall-clock reads — which is what lets the property tests
+pin the algebraic laws (join commutativity, monotonicity, epoch
+ordering) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Epoch:
+    """``c@t``: thread ``tid`` at clock value ``clock``."""
+
+    clock: int
+    tid: str
+
+    def happens_before(self, vc: "VectorClock") -> bool:
+        """``c@t <= V`` iff ``c <= V[t]`` (FastTrack's O(1) check)."""
+        return self.clock <= vc.get(self.tid)
+
+    def __str__(self) -> str:
+        return f"{self.clock}@{self.tid}"
+
+
+class VectorClock:
+    """A mutable vector clock with value semantics for comparisons."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: dict[str, int] | None = None):
+        self._clocks: dict[str, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: str) -> int:
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid: str) -> None:
+        """Increment ``tid``'s own component (a release step)."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """In-place component-wise maximum (the acquire step)."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def epoch(self, tid: str) -> Epoch:
+        """This clock's view of ``tid`` as an epoch."""
+        return Epoch(self.get(tid), tid)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """``other <= self`` component-wise."""
+        return all(clock <= self._clocks.get(tid, 0)
+                   for tid, clock in other._clocks.items())
+
+    def items(self):
+        return self._clocks.items()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine = {t: c for t, c in self._clocks.items() if c}
+        theirs = {t: c for t, c in other._clocks.items() if c}
+        return mine == theirs
+
+    def __hash__(self):  # pragma: no cover - mutable; not hashable
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{tid}:{clock}" for tid, clock in
+                          sorted(self._clocks.items()) if clock)
+        return f"VC({inner})"
+
+
+def join(left: VectorClock, right: VectorClock) -> VectorClock:
+    """Pure (copying) join, for tests and symmetry arguments."""
+    result = left.copy()
+    result.join(right)
+    return result

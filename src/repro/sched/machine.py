@@ -43,7 +43,7 @@ from repro.sched.events import (
     SyncOp,
     Syscall,
 )
-from repro.sched.interceptor import Kill, Proceed, Result, Wait
+from repro.sched.interceptor import Kill, Result, Wait
 from repro.sched.scheduler import RandomPolicy, SchedulingPolicy
 from repro.sched.thread import GuestThread, ThreadState
 from repro.sched.vm import TraceEntry, VariantVM
@@ -100,6 +100,10 @@ class Machine:
         #: contract as ``obs`` — disabled ⇒ one attribute test, and the
         #: simulated timeline is byte-identical to the seed simulator.
         self.faults = None
+        #: Optional :class:`repro.races.RaceDetector`; same zero-cost
+        #: contract again.  The detector only observes committed events —
+        #: it never charges cycles or consumes randomness.
+        self.races = None
         #: Application-level cache-line contention: every atomic access to
         #: a shared word pays coherence, in native runs and MVEE runs
         #: alike.  (Agent-added traffic is charged separately by the
@@ -455,6 +459,8 @@ class Machine:
                 return
             thread.carry_cost(outcome.cost)
         value = self._apply_syncop(vm, event)
+        if self.races is not None:
+            self.races.on_sync_op(vm, thread, event, value)
         thread.stats.sync_ops += 1
         vm.total_sync_ops += 1
         if vm.record_sync_trace:
@@ -629,7 +635,9 @@ class Machine:
                 return
             thread.carry_cost(getattr(directive, "cost", 0.0))
         gen = event.fn(*event.args)
-        self.add_thread(vm, child_id, gen)
+        child = self.add_thread(vm, child_id, gen)
+        if self.races is not None:
+            self.races.on_spawn(thread, child)
         self._record_syscall(vm, thread, Syscall("clone", (child_id,)),
                              child_id)
         if self.interceptor is not None:
@@ -654,6 +662,8 @@ class Machine:
                                    thread=thread.logical_id))
             return
         if target.state is ThreadState.DONE:
+            if self.races is not None:
+                self.races.on_join(thread, target)
             thread.inbox = target.result
             self._after_step(thread)
             return

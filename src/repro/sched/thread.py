@@ -13,7 +13,7 @@ sync buffers are matched to slave threads (Section 4.5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 

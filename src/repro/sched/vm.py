@@ -10,7 +10,7 @@ The same class serves native runs (``index=0``, no agent, no interceptor).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.kernel.kernel import VirtualKernel

@@ -27,8 +27,7 @@ MVEE run cleanly even under ASLR + DCL.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.guest.program import GuestContext, GuestProgram
 from repro.kernel.net import client_wait_key

@@ -170,6 +170,23 @@ class TestInstrumentation:
         assert "libc.malloc.lock.cmpxchg" in sites
         assert "libpthread.mutex.lock.cmpxchg" in sites
 
+    def test_mismatched_module_copy_raises(self):
+        """A report built from a *different copy* of the module matches
+        nothing by identity; that used to silently wrap zero sites."""
+        from repro.analysis.instrument import InstrumentationMismatchError
+
+        report = identify_sync_ops(spinlock_module())
+        fresh_copy = spinlock_module()
+        with pytest.raises(InstrumentationMismatchError) as exc:
+            instrument_module(fresh_copy, report)
+        assert "different module copy" in str(exc.value)
+
+    def test_mismatch_tolerated_when_not_strict(self):
+        report = identify_sync_ops(spinlock_module())
+        result = instrument_module(spinlock_module(), report,
+                                   strict=False)
+        assert result.wrapped == 0  # the silent legacy behaviour, opt-in
+
 
 class TestEndToEndBridge:
     """Static pipeline output drives the MVEE — the full §4 workflow."""

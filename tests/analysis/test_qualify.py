@@ -1,6 +1,5 @@
 """Tests for the _Atomic qualifier checker and Figure 3 fixpoint loop."""
 
-import pytest
 
 from repro.analysis.qualify import (
     AtomicQualifierChecker,

@@ -1,6 +1,5 @@
 """Unit tests for sync buffers and the wall-of-clocks primitives."""
 
-import pytest
 
 from repro.core.agents.clocks import ClockWall, clock_for_address
 from repro.core.buffers import (

@@ -10,7 +10,7 @@ from repro.core.divergence import (
 from repro.core.mvee import MVEE, run_mvee
 from repro.guest.program import GuestProgram
 from repro.kernel.fs import VirtualDisk
-from tests.guestlib import CounterProgram, LooselyCoupledProgram
+from tests.guestlib import CounterProgram
 
 AGENTS = ["total_order", "partial_order", "wall_of_clocks"]
 

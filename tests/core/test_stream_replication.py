@@ -6,11 +6,9 @@ without ever sleeping in a slave-local futex (whose FIFO wake order could
 rouse a thread out of replay order and wedge the variant).
 """
 
-import pytest
 
 from repro.core.mvee import MVEE, run_mvee
 from repro.guest.program import GuestProgram
-from repro.guest.sync import Mutex
 from tests.guestlib import MutexCounterProgram, ProducerConsumerProgram
 
 

@@ -8,10 +8,7 @@ None`` the wrappers never run and the program behaves (and costs)
 exactly like the bare binary.
 """
 
-import pytest
 
-from repro.core.divergence import DivergenceReport
-from repro.run import run_native
 from tests.guestlib import CounterProgram
 
 

@@ -1,6 +1,5 @@
 """Tests for the diversity transforms (ASLR, DCL, noise, allocator)."""
 
-import pytest
 
 from repro.diversity.aslr import aslr_layout
 from repro.diversity.dcl import code_regions_disjoint, dcl_layouts

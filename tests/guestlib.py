@@ -15,7 +15,7 @@ from repro.guest.sync import (
     Mutex,
     Semaphore,
     SpinLock,
-    TicketLock,
+    VolatileFlag,
 )
 
 
@@ -313,6 +313,38 @@ class LooselyCoupledProgram(GuestProgram):
             yield from ctx.compute(800 + index * 37)
             yield from ctx.printf(f"w{index} step {step}\n")
         return index
+
+
+class VolatileFlagProgram(GuestProgram):
+    """Listing 2 at run time: one thread publishes a payload and raises
+    a volatile flag; another spins on the flag and reads the payload.
+    No LOCK-prefixed instruction ever touches the flag, so the static
+    pipeline misses both sites and the flag accesses race by
+    construction — the reference workload for the detector's coverage
+    cross-check (docs/RACES.md)."""
+
+    name = "volatile_flag"
+    static_vars = ("flag", "payload")
+
+    def __init__(self, compute: float = 2000.0):
+        self.compute = compute
+
+    def main(self, ctx):
+        flag = VolatileFlag(ctx.static_addr("flag"))
+        signaler = yield from ctx.spawn(self.signaler, flag)
+        waiter = yield from ctx.spawn(self.waiter, flag)
+        yield from ctx.join_all([signaler, waiter])
+        return ctx.mem_load(ctx.static_addr("payload"))
+
+    def signaler(self, ctx, flag):
+        yield from ctx.compute(self.compute)
+        ctx.mem_store(ctx.static_addr("payload"), 42)
+        yield from flag.raise_flag(ctx)
+        return 0
+
+    def waiter(self, ctx, flag):
+        yield from flag.spin_until_raised(ctx)
+        return ctx.mem_load(ctx.static_addr("payload"))
 
 
 class ScheduleWitnessProgram(GuestProgram):

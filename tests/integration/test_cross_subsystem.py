@@ -1,6 +1,5 @@
 """Integration tests spanning several subsystems at once."""
 
-import pytest
 
 from repro.core.mvee import MVEE, run_mvee
 from repro.perf.costs import CostModel

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SyscallError
-from repro.kernel.fs import Pipe, VirtualDisk, VirtualFile
+from repro.kernel.fs import Pipe, VirtualFile
 
 
 class TestVirtualFile:

@@ -1,6 +1,6 @@
 """Property-based tests over the core data structures."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.agents.clocks import ClockWall, clock_for_address

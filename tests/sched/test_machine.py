@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import DeadlockError, GuestFault
 from repro.guest.program import GuestProgram
-from repro.guest.sync import Mutex, SpinLock
+from repro.guest.sync import Mutex
 from repro.run import run_native
 from repro.sched.scheduler import RoundRobinPolicy
 from tests.guestlib import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import DeadlockError
 from repro.guest.program import GuestProgram
-from repro.perf.costs import CostModel
 from repro.run import run_native
 from repro.sched.machine import Machine
 from repro.sched.thread import ThreadState

@@ -166,3 +166,55 @@ class TestBundleLifecycle:
         assert main(["obs", "convert", str(bundle),
                      "-o", str(converted)]) == 0
         assert json.loads(converted.read_text())["traceEvents"]
+
+
+class TestRacesCommand:
+    def test_races_defaults(self):
+        args = build_parser().parse_args(["races", "lint"])
+        assert args.analysis == "andersen"
+        assert not args.treat_volatile_as_sync
+
+    def test_lint_flags_demo_modules(self, capsys):
+        assert main(["races", "lint"]) == 1  # linter-style exit
+        out = capsys.readouterr().out
+        assert "listing2" in out
+        assert "candidate" in out
+
+    def test_lint_volatile_as_sync_clears_listing2(self, capsys):
+        main(["races", "lint", "--treat-volatile-as-sync"])
+        out = capsys.readouterr().out
+        assert "listing2: clean" in out
+        # the genuinely racy module stays flagged
+        assert "racy_counter: 1 candidate" in out
+
+    def test_lint_steensgaard_accepted(self, capsys):
+        main(["races", "lint", "--analysis", "steensgaard"])
+        assert "candidate" in capsys.readouterr().out
+
+    def test_check_closes_the_gap(self, capsys):
+        assert main(["races", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage gap" in out
+        assert "nginx.spinlock" in out
+        assert "closed after" in out
+
+    def test_bench_renders_table(self, capsys):
+        assert main(["races", "bench", "--benchmarks", "fft",
+                     "--scale", "0.05", "--no-nginx"]) == 0
+        out = capsys.readouterr().out
+        assert "detector overhead" in out
+        assert "fft" in out
+
+    def test_run_race_detect_prints_summary(self, capsys):
+        code = main(["run", "fft", "--scale", "0.1", "--race-detect"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "races     : no races" in out
+
+    def test_run_without_flag_no_race_line(self, capsys):
+        main(["run", "fft", "--scale", "0.1"])
+        assert "races     :" not in capsys.readouterr().out
+
+    def test_table3_volatile_flag_accepted(self, capsys):
+        assert main(["table", "3", "--treat-volatile-as-sync"]) == 0
+        assert "libc-2.19.so" in capsys.readouterr().out

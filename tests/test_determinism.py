@@ -146,3 +146,62 @@ class TestFaultDeterminism:
                     for e in hub.tracer.tail(v)]
 
         assert trace_of() == trace_of(faults=FaultPlan())
+
+
+class TestRaceDetectorDeterminism:
+    """The race detector is an observer: attaching it must not move a
+    single simulated cycle, and detaching it must cost nothing."""
+
+    def _run(self, races=None, obs=None, costs=None):
+        return run_mvee(MutexCounterProgram(workers=3, iters=25),
+                        variants=3, seed=7, costs=costs, races=races,
+                        obs=obs)
+
+    def test_detector_attached_is_zero_cost(self, fast_costs):
+        from repro.races import RaceDetector
+
+        baseline = self._run(costs=fast_costs)
+        assert baseline.verdict == "clean"
+        detected = self._run(races=RaceDetector(), costs=fast_costs)
+        assert detected.verdict == "clean"
+        assert detected.cycles == baseline.cycles
+        assert detected.stdout == baseline.stdout
+
+    def test_detector_leaves_obs_trace_identical(self, fast_costs):
+        from repro.races import RaceDetector
+
+        def trace_of(**kwargs):
+            hub = ObsHub()
+            outcome = self._run(obs=hub, costs=fast_costs, **kwargs)
+            assert outcome.verdict == "clean"
+            return [e.to_dict() for v in hub.tracer.variants()
+                    for e in hub.tracer.tail(v)]
+
+        assert trace_of() == trace_of(races=RaceDetector())
+
+    def test_race_report_reproducible(self, fast_costs):
+        from repro.races import RaceDetector
+
+        def report_of():
+            detector = RaceDetector(sync_sites=lambda site: False)
+            outcome = self._run(races=detector, costs=fast_costs)
+            return outcome, detector.report
+
+        (first, first_report), (second, second_report) = \
+            report_of(), report_of()
+        assert first.cycles == second.cycles
+        assert ([r.to_dict() for r in first_report.races]
+                == [r.to_dict() for r in second_report.races])
+        assert first_report.occurrences == second_report.occurrences
+
+    def test_racy_classification_still_zero_cost(self, fast_costs):
+        """Even when every op is race-checked (the expensive path), the
+        simulated timeline must not move."""
+        from repro.races import RaceDetector
+
+        baseline = self._run(costs=fast_costs)
+        detected = self._run(
+            races=RaceDetector(sync_sites=lambda site: False),
+            costs=fast_costs)
+        assert detected.cycles == baseline.cycles
+        assert detected.stdout == baseline.stdout

@@ -8,7 +8,6 @@ captured.
 import pathlib
 import runpy
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

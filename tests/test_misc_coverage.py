@@ -9,7 +9,6 @@ from repro.errors import (
     GuestFault,
     SyscallError,
 )
-from repro.kernel.fs import VirtualDisk
 from repro.kernel.net import Network
 from repro.sched.vm import TraceEntry
 

@@ -11,11 +11,7 @@ import pytest
 
 from repro.core.mvee import run_mvee
 from repro.diversity.spec import DiversitySpec
-from repro.workloads.attacks import (
-    TimingCovertChannel,
-    TrylockCovertChannel,
-    _aslr_secret,
-)
+from repro.workloads.attacks import TimingCovertChannel, TrylockCovertChannel
 
 ASLR = DiversitySpec(aslr=True, seed=23)
 

@@ -1,9 +1,8 @@
 """The nginx use case (Section 5.5): divergence without instrumentation,
 clean runs with it, attack detection, throughput."""
 
-import pytest
 
-from repro.core.mvee import MVEE, run_mvee
+from repro.core.mvee import MVEE
 from repro.diversity.spec import DiversitySpec
 from repro.run import run_native
 from repro.workloads.attacks import exploit_payload

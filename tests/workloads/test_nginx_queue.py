@@ -1,6 +1,5 @@
 """Unit tests for nginx's custom connection queue and spinlock."""
 
-import pytest
 
 from repro.guest.program import GuestProgram
 from repro.run import run_native

@@ -10,7 +10,7 @@ from repro.workloads.spec import (
     plan_slice,
     spec_by_name,
 )
-from repro.workloads.synthetic import SyntheticWorkload, make_benchmark
+from repro.workloads.synthetic import make_benchmark
 
 
 class TestSpecs:
