@@ -19,9 +19,10 @@ from repro.experiments.runner import run_benchmark_grid
 from repro.experiments.tables import figure5_series
 
 
-def test_fig5_per_benchmark(benchmark, record_output, bench_scale):
+def test_fig5_per_benchmark(benchmark, record_output, bench_scale,
+                            bench_jobs):
     def sweep():
-        return run_benchmark_grid(scale=bench_scale)
+        return run_benchmark_grid(scale=bench_scale, jobs=bench_jobs)
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record_output("fig5_per_benchmark",

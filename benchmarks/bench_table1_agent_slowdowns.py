@@ -13,9 +13,10 @@ from repro.experiments.tables import table1
 from repro.perf.report import aggregate_slowdowns
 
 
-def test_table1_agent_slowdowns(benchmark, record_output, bench_scale):
+def test_table1_agent_slowdowns(benchmark, record_output, bench_scale,
+                                bench_jobs):
     def sweep():
-        return run_benchmark_grid(scale=bench_scale)
+        return run_benchmark_grid(scale=bench_scale, jobs=bench_jobs)
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     record_output("table1_agent_slowdowns",

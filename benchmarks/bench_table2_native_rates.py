@@ -25,10 +25,12 @@ def _measure(scale):
     return rates
 
 
-def test_table2_native_rates(benchmark, record_output, bench_scale):
+def test_table2_native_rates(benchmark, record_output, bench_scale,
+                             bench_jobs):
     rates = benchmark.pedantic(_measure, args=(bench_scale,),
                                rounds=1, iterations=1)
-    record_output("table2_native_rates", table2(scale=bench_scale))
+    record_output("table2_native_rates",
+                  table2(scale=bench_scale, jobs=bench_jobs))
 
     sync = {name: rate[1] for name, rate in rates.items()}
     syscalls = {name: rate[0] for name, rate in rates.items()}

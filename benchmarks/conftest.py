@@ -6,6 +6,10 @@ pytest with ``-s`` to see it live), and appends it to
 
 ``REPRO_BENCH_SCALE`` (default 0.25) scales the per-benchmark event
 budgets: raise it toward 1.0 for higher-fidelity (slower) sweeps.
+``REPRO_BENCH_JOBS`` (default 1) shards each sweep's cells across that
+many worker processes via :mod:`repro.par` — results are identical to
+serial (the differential suite under ``tests/par/`` pins this), only
+the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -17,6 +21,9 @@ import pytest
 
 #: Event-budget scale for the performance sweeps.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Worker processes per sweep (1 = historical serial collection).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -37,3 +44,8 @@ def record_output():
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    return JOBS

@@ -25,12 +25,17 @@ Commands
     corpus), ``check`` runs the §5.5 coverage cross-check (dynamic races
     vs statically identified sites), ``bench`` prints the races +
     detector-overhead experiment table.
+``bench``
+    Performance harness: run the benchmark matrix serially and through
+    the parallel engine, measure the speedup, and write
+    ``BENCH_par.json`` (see ``docs/PERFORMANCE.md``).
 
 The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
 Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
 metrics snapshot), and ``--bundle-out PATH`` (write a forensics bundle
 if the run diverges).  All sweeps accept ``--scale`` (event-budget
-multiplier, default 0.25).
+multiplier, default 0.25) and ``--jobs N`` (shard sweep cells across N
+worker processes via :mod:`repro.par`; output is identical to serial).
 """
 
 from __future__ import annotations
@@ -73,9 +78,9 @@ def _cmd_table(args) -> int:
     from repro.experiments import tables
 
     if args.number == 1:
-        print(tables.table1(scale=args.scale))
+        print(tables.table1(scale=args.scale, jobs=args.jobs))
     elif args.number == 2:
-        print(tables.table2(scale=args.scale))
+        print(tables.table2(scale=args.scale, jobs=args.jobs))
     else:
         print(tables.table3(
             analysis=args.analysis,
@@ -90,7 +95,7 @@ def _cmd_fig5(args) -> int:
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else None)
     results = run_benchmark_grid(benchmarks=benchmarks,
-                                 scale=args.scale)
+                                 scale=args.scale, jobs=args.jobs)
     print(figure5_series(results, scale=args.scale))
     return 0
 
@@ -215,7 +220,7 @@ def _cmd_fault_matrix(args) -> int:
     cells = run_fault_matrix(benchmark=args.benchmark, kinds=kinds,
                              policies=policies, variants=args.variants,
                              agent=args.agent, scale=args.scale,
-                             seed=args.seed)
+                             seed=args.seed, jobs=args.jobs)
     print(fault_matrix_table(cells))
     return 0
 
@@ -313,9 +318,27 @@ def _races_bench(args) -> int:
                   if args.benchmarks else ("dedup", "vips"))
     rows = run_race_sweep(benchmarks=benchmarks, scale=args.scale,
                           seed=args.seed,
-                          include_nginx=not args.no_nginx)
+                          include_nginx=not args.no_nginx,
+                          jobs=args.jobs)
     print(race_sweep_table(rows))
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.par.bench import render_bench, run_bench
+
+    report = run_bench(jobs=args.jobs, quick=args.quick,
+                       scale=args.scale, seed=args.seed,
+                       out_path=args.out, trace_dir=args.trace_dir)
+    print(render_bench(report))
+    if args.out:
+        print(f"wrote    : {args.out}")
+    if report.get("identical") is False:
+        return 1
+    failed = report["serial"]["failed"]
+    if report["parallel"] is not None:
+        failed += report["parallel"]["failed"]
+    return 1 if failed else 0
 
 
 def _cmd_races(args) -> int:
@@ -351,6 +374,14 @@ def _cmd_nginx(args) -> int:
     return 1
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard sweep cells across N worker "
+                             "processes (default 1 = serial; output is "
+                             "identical either way — see "
+                             "docs/PERFORMANCE.md)")
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a Chrome trace_event JSON of the run "
@@ -380,13 +411,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="table 3: treat volatile globals as sync "
                               "primitives (closes the Listing-2 gap; "
                               "see docs/RACES.md)")
+    _add_jobs_flag(p_table)
     p_table.set_defaults(func=_cmd_table)
 
     p_fig = sub.add_parser("fig5", help="regenerate Figure 5")
     p_fig.add_argument("--benchmarks", default=None,
                        help="comma-separated subset")
     p_fig.add_argument("--scale", type=float, default=0.25)
+    _add_jobs_flag(p_fig)
     p_fig.set_defaults(func=_cmd_fig5)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark matrix serially and sharded, measure "
+             "the speedup, and write BENCH_par.json")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small matrix (2 cells) for smoke runs")
+    p_bench.add_argument("--scale", type=float, default=None,
+                         help="event-budget multiplier (default 0.1, "
+                              "or 0.05 with --quick)")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("-o", "--out", default="BENCH_par.json",
+                         metavar="PATH",
+                         help="report path (default: BENCH_par.json; "
+                              "empty string to skip writing)")
+    p_bench.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="collect per-worker obs traces here and "
+                              "merge them into DIR/merged.jsonl")
+    _add_jobs_flag(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_run = sub.add_parser("run", help="run one benchmark under the MVEE")
     p_run.add_argument("benchmark")
@@ -459,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fm.add_argument("--agent", default="wall_of_clocks")
     p_fm.add_argument("--scale", type=float, default=0.1)
     p_fm.add_argument("--seed", type=int, default=1)
+    _add_jobs_flag(p_fm)
     p_fm.set_defaults(func=_cmd_fault_matrix)
 
     p_races = sub.add_parser(
@@ -483,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bench: skip the nginx conditions")
     p_races.add_argument("--scale", type=float, default=0.1)
     p_races.add_argument("--seed", type=int, default=1)
+    _add_jobs_flag(p_races)
     p_races.set_defaults(func=_cmd_races)
 
     p_list = sub.add_parser("list", help="list benchmark twins")

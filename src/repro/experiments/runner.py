@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.divergence import MonitorPolicy
 from repro.core.mvee import run_mvee
 from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.par.engine import CellTask, raise_failures, run_cells
 from repro.perf.costs import CostModel, DEFAULT_COSTS
 from repro.perf.report import SlowdownReport
 from repro.run import run_native
@@ -57,6 +58,16 @@ class ExperimentResult:
 
 _native_cache: dict[tuple, float] = {}
 _cell_cache: dict[tuple, ExperimentResult] = {}
+
+
+def reset_caches() -> None:
+    """Drop the per-process memo caches (native runtimes, grid cells).
+
+    The ``repro bench`` harness calls this between its timed phases so
+    neither phase rides the other's warm cache; tests use it to force
+    re-simulation."""
+    _native_cache.clear()
+    _cell_cache.clear()
 
 
 def native_cycles(benchmark: str, scale: float = 1.0, seed: int = 1,
@@ -155,45 +166,68 @@ def _fault_spec_for(kind: str) -> FaultSpec:
     return FaultSpec(kind=kind, variant=1, at=3)
 
 
+def _fault_matrix_cell(benchmark: str, policy_name: str, kind: str,
+                       variants: int, agent: str, scale: float,
+                       seed: int, cores: int, costs,
+                       watchdog_factor: float,
+                       native: float) -> FaultMatrixCell:
+    """One (policy, fault kind) cell; module-level so the parallel
+    engine can pickle it by reference into worker processes."""
+    plan = FaultPlan((_fault_spec_for(kind),))
+    policy = MonitorPolicy(
+        degradation=policy_name,
+        watchdog_cycles=native * watchdog_factor)
+    program = SyntheticWorkload(spec_by_name(benchmark), scale=scale)
+    outcome = run_mvee(program, variants=variants, agent=agent,
+                       seed=seed, cores=cores, costs=costs,
+                       policy=policy, faults=plan,
+                       max_cycles=native * 400)
+    return FaultMatrixCell(
+        benchmark=benchmark, policy=policy_name, kind=kind,
+        verdict=outcome.verdict,
+        injected=len(outcome.faults),
+        quarantined=[e.variant for e in outcome.quarantines],
+        restarted=[e.variant for e in outcome.quarantines
+                   if e.restarted],
+        cycles=outcome.cycles)
+
+
 def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
                      variants: int = 3, agent: str = "wall_of_clocks",
                      scale: float = 0.1, seed: int = 1,
                      cores: int = PAPER_CORES,
                      costs: CostModel | None = None,
-                     watchdog_factor: float = 8.0
-                     ) -> list[FaultMatrixCell]:
+                     watchdog_factor: float = 8.0,
+                     jobs: int = 1) -> list[FaultMatrixCell]:
     """Inject each fault kind under each degradation policy.
 
     Every run gets a watchdog of ``watchdog_factor`` × the native
     runtime, so stall-type faults are diagnosed (``WATCHDOG_TIMEOUT``)
     rather than burning the whole cycle budget.
+
+    ``jobs`` shards the (policy x kind) cells across worker processes
+    via :mod:`repro.par`; results are aggregated in matrix order, so
+    ``jobs=N`` output is structurally identical to ``jobs=1``.
     """
     kinds = tuple(kinds) if kinds else FAULT_KINDS
     policies = tuple(policies) if policies else FAULT_POLICIES
     native = native_cycles(benchmark, scale, seed, cores,
                            costs if costs is not DEFAULT_COSTS else None)
-    cells = []
+    tasks = []
     for policy_name in policies:
         for kind in kinds:
-            plan = FaultPlan((_fault_spec_for(kind),))
-            policy = MonitorPolicy(
-                degradation=policy_name,
-                watchdog_cycles=native * watchdog_factor)
-            program = SyntheticWorkload(spec_by_name(benchmark),
-                                        scale=scale)
-            outcome = run_mvee(program, variants=variants, agent=agent,
-                               seed=seed, cores=cores, costs=costs,
-                               policy=policy, faults=plan,
-                               max_cycles=native * 400)
-            cells.append(FaultMatrixCell(
-                benchmark=benchmark, policy=policy_name, kind=kind,
-                verdict=outcome.verdict,
-                injected=len(outcome.faults),
-                quarantined=[e.variant for e in outcome.quarantines],
-                restarted=[e.variant for e in outcome.quarantines
-                           if e.restarted],
-                cycles=outcome.cycles))
-    return cells
+            tasks.append(CellTask(
+                sweep_id="fault-matrix", index=len(tasks),
+                fn=_fault_matrix_cell,
+                kwargs=dict(benchmark=benchmark,
+                            policy_name=policy_name, kind=kind,
+                            variants=variants, agent=agent,
+                            scale=scale, seed=seed, cores=cores,
+                            costs=costs,
+                            watchdog_factor=watchdog_factor,
+                            native=native)))
+    results = raise_failures(run_cells(tasks, jobs=jobs))
+    return [result.value for result in results]
 
 
 def fault_matrix_table(cells) -> str:
@@ -302,9 +336,70 @@ def run_nginx_condition(instrumented: bool, seed: int = 1,
     return mvee.run()
 
 
+def _race_row_for(workload: str, run, identified) -> RaceSweepRow:
+    """Run one race-sweep workload twice (bare, detector-attached) and
+    fold both into a row."""
+    import time
+
+    from repro.races import RaceDetector, cross_check
+
+    def timed(fn):
+        start = time.perf_counter()
+        outcome = fn()
+        return outcome, time.perf_counter() - start
+
+    baseline, base_elapsed = timed(lambda: run(None))
+    detector = RaceDetector()
+    detected, det_elapsed = timed(lambda: run(detector))
+    report = detector.report
+    coverage = cross_check(report, identified, workload=workload)
+    overhead = ((det_elapsed - base_elapsed) / base_elapsed * 100.0
+                if base_elapsed > 0 else 0.0)
+    return RaceSweepRow(
+        workload=workload, verdict=detected.verdict,
+        sync_ops=report.sync_ops_seen,
+        plain_accesses=report.plain_accesses_checked,
+        races=len(report.races),
+        occurrences=report.total_occurrences,
+        gaps=len(coverage.gaps),
+        overhead_pct=overhead,
+        cycles_identical=(detected.cycles == baseline.cycles))
+
+
+def _race_sweep_cell(workload: str, scale: float, seed: int,
+                     costs) -> RaceSweepRow:
+    """One race-sweep row; module-level for the parallel engine.
+
+    ``workload`` is either a lockstep benchmark name or one of the two
+    §5.5 nginx conditions (``"nginx/bare"``, ``"nginx/full"``).  Every
+    field of the returned row except ``overhead_pct`` (host wall-clock)
+    is a deterministic function of the arguments.
+    """
+    costs = costs or RACE_SWEEP_COSTS
+    if workload in ("nginx/bare", "nginx/full"):
+        instrumented = workload == "nginx/full"
+        identified = nginx_identified_sites(after_refactor=instrumented)
+        return _race_row_for(
+            workload,
+            lambda detector: run_nginx_condition(instrumented, seed=seed,
+                                                 costs=costs,
+                                                 detector=detector),
+            identified)
+
+    def run_bench(detector):
+        program = SyntheticWorkload(spec_by_name(workload), scale=scale)
+        native = native_cycles(workload, scale, seed, PAPER_CORES, costs)
+        return run_mvee(program, variants=2, agent="wall_of_clocks",
+                        seed=seed, cores=PAPER_CORES, costs=costs,
+                        max_cycles=native * 400, races=detector)
+
+    return _race_row_for(workload, run_bench, frozenset())
+
+
 def run_race_sweep(benchmarks=("dedup", "vips"), scale: float = 0.1,
                    seed: int = 1, costs: CostModel | None = None,
-                   include_nginx: bool = True) -> list[RaceSweepRow]:
+                   include_nginx: bool = True,
+                   jobs: int = 1) -> list[RaceSweepRow]:
     """Race-detection experiment: races found + detector overhead.
 
     Each workload runs twice — with and without the detector — so the
@@ -312,64 +407,20 @@ def run_race_sweep(benchmarks=("dedup", "vips"), scale: float = 0.1,
     the simulated timelines stayed identical (the zero-cost contract).
     The lockstep benchmarks run fully instrumented and must report zero
     races; the nginx conditions exercise the coverage cross-check.
+
+    ``jobs`` shards workloads across worker processes; row order is
+    always benchmarks-then-nginx regardless of completion order.
     """
-    import time
-
-    from repro.races import RaceDetector, cross_check
-
-    costs = costs or RACE_SWEEP_COSTS
-    rows: list[RaceSweepRow] = []
-
-    def timed(fn):
-        start = time.perf_counter()
-        outcome = fn()
-        return outcome, time.perf_counter() - start
-
-    def row_for(workload, run, identified) -> RaceSweepRow:
-        baseline, base_elapsed = timed(lambda: run(None))
-        detector = RaceDetector()
-        detected, det_elapsed = timed(lambda: run(detector))
-        report = detector.report
-        coverage = cross_check(report, identified, workload=workload)
-        overhead = ((det_elapsed - base_elapsed) / base_elapsed * 100.0
-                    if base_elapsed > 0 else 0.0)
-        return RaceSweepRow(
-            workload=workload, verdict=detected.verdict,
-            sync_ops=report.sync_ops_seen,
-            plain_accesses=report.plain_accesses_checked,
-            races=len(report.races),
-            occurrences=report.total_occurrences,
-            gaps=len(coverage.gaps),
-            overhead_pct=overhead,
-            cycles_identical=(detected.cycles == baseline.cycles))
-
-    for benchmark in benchmarks:
-        def run_bench(detector, benchmark=benchmark):
-            program = SyntheticWorkload(spec_by_name(benchmark),
-                                        scale=scale)
-            native = native_cycles(benchmark, scale, seed,
-                                   PAPER_CORES, costs)
-            return run_mvee(program, variants=2, agent="wall_of_clocks",
-                            seed=seed, cores=PAPER_CORES, costs=costs,
-                            max_cycles=native * 400, races=detector)
-
-        rows.append(row_for(benchmark, run_bench, frozenset()))
+    workloads = list(benchmarks)
     if include_nginx:
-        before = nginx_identified_sites(after_refactor=False)
-        after = nginx_identified_sites(after_refactor=True)
-        rows.append(row_for(
-            "nginx/bare",
-            lambda detector: run_nginx_condition(False, seed=seed,
-                                                 costs=costs,
-                                                 detector=detector),
-            before))
-        rows.append(row_for(
-            "nginx/full",
-            lambda detector: run_nginx_condition(True, seed=seed,
-                                                 costs=costs,
-                                                 detector=detector),
-            after))
-    return rows
+        workloads += ["nginx/bare", "nginx/full"]
+    tasks = [CellTask(sweep_id="race-sweep", index=index,
+                      fn=_race_sweep_cell,
+                      kwargs=dict(workload=workload, scale=scale,
+                                  seed=seed, costs=costs))
+             for index, workload in enumerate(workloads)]
+    results = raise_failures(run_cells(tasks, jobs=jobs))
+    return [result.value for result in results]
 
 
 def race_sweep_table(rows) -> str:
@@ -393,19 +444,45 @@ def race_sweep_table(rows) -> str:
     return "\n".join(lines)
 
 
+def _grid_cell(benchmark: str, agent: str, variants: int, scale: float,
+               seed: int, costs) -> ExperimentResult:
+    """One Figure 5 grid cell; module-level for the parallel engine."""
+    return run_one(benchmark, agent, variants, scale=scale, seed=seed,
+                   costs=costs)
+
+
 def run_benchmark_grid(benchmarks=None, agents=AGENTS,
                        variant_counts=VARIANT_COUNTS,
                        scale: float = 1.0, seed: int = 1,
-                       costs: CostModel | None = None
-                       ) -> list[ExperimentResult]:
-    """Run the full (or a partial) Figure 5 grid."""
+                       costs: CostModel | None = None,
+                       jobs: int = 1) -> list[ExperimentResult]:
+    """Run the full (or a partial) Figure 5 grid.
+
+    ``jobs`` shards grid cells across worker processes (parallel
+    workers bypass the per-process memo cache; ``jobs=1`` keeps the
+    historical in-process memoized path).  Result order is always the
+    canonical grid nesting.
+    """
     if benchmarks is None:
         benchmarks = list(ALL_SPECS)
-    results = []
+    if jobs <= 1:
+        results = []
+        for benchmark in benchmarks:
+            for agent in agents:
+                for variants in variant_counts:
+                    results.append(run_one(benchmark, agent, variants,
+                                           scale=scale, seed=seed,
+                                           costs=costs))
+        return results
+    tasks = []
     for benchmark in benchmarks:
         for agent in agents:
             for variants in variant_counts:
-                results.append(run_one(benchmark, agent, variants,
-                                       scale=scale, seed=seed,
-                                       costs=costs))
-    return results
+                tasks.append(CellTask(
+                    sweep_id="fig5-grid", index=len(tasks),
+                    fn=_grid_cell,
+                    kwargs=dict(benchmark=benchmark, agent=agent,
+                                variants=variants, scale=scale,
+                                seed=seed, costs=costs)))
+    results = raise_failures(run_cells(tasks, jobs=jobs))
+    return [result.value for result in results]

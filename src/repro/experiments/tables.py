@@ -32,10 +32,10 @@ TABLE1_PAPER = {
 
 
 def table1(results: list[ExperimentResult] | None = None,
-           scale: float = 1.0) -> str:
+           scale: float = 1.0, jobs: int = 1) -> str:
     """Regenerate Table 1: aggregated average slowdowns per agent."""
     if results is None:
-        results = run_benchmark_grid(scale=scale)
+        results = run_benchmark_grid(scale=scale, jobs=jobs)
     slowdowns = aggregate_slowdowns([r.to_slowdown() for r in results])
     geo = aggregate_slowdowns([r.to_slowdown() for r in results],
                               mean="geometric")
@@ -56,27 +56,38 @@ def table1(results: list[ExperimentResult] | None = None,
         title="Table 1: aggregated average slowdowns (measured vs paper)")
 
 
-def table2(scale: float = 1.0, seed: int = 1) -> str:
+def _table2_row(name: str, scale: float, seed: int) -> list[str]:
+    """One Table 2 row; module-level for the parallel engine."""
+    spec = ALL_SPECS[name]
+    program = SyntheticWorkload(spec, scale=scale)
+    result = run_native(program, seed=seed)
+    seconds = result.report.seconds
+    syscall_rate = result.report.total_syscalls / seconds / 1000.0
+    sync_rate = result.report.total_sync_ops / seconds / 1000.0
+    return [
+        name,
+        f"{spec.native_runtime_s:8.2f}",
+        f"{seconds * 1000:8.3f}",
+        f"{syscall_rate:8.2f} ({spec.syscall_rate_k:8.2f})",
+        f"{sync_rate:9.2f} ({spec.sync_rate_k:9.2f})",
+    ]
+
+
+def table2(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
     """Regenerate Table 2: native run time, syscall and sync-op rates.
 
     The run-time column shows the paper's full-benchmark time next to our
     simulated slice length (we simulate a rate-faithful slice, not the
-    whole run; see DESIGN.md).
+    whole run; see DESIGN.md).  ``jobs`` shards the per-benchmark native
+    runs across worker processes; row order stays the spec-table order.
     """
-    rows = []
-    for name, spec in ALL_SPECS.items():
-        program = SyntheticWorkload(spec, scale=scale)
-        result = run_native(program, seed=seed)
-        seconds = result.report.seconds
-        syscall_rate = result.report.total_syscalls / seconds / 1000.0
-        sync_rate = result.report.total_sync_ops / seconds / 1000.0
-        rows.append([
-            name,
-            f"{spec.native_runtime_s:8.2f}",
-            f"{seconds * 1000:8.3f}",
-            f"{syscall_rate:8.2f} ({spec.syscall_rate_k:8.2f})",
-            f"{sync_rate:9.2f} ({spec.sync_rate_k:9.2f})",
-        ])
+    from repro.par.engine import CellTask, raise_failures, run_cells
+
+    tasks = [CellTask(sweep_id="table2", index=index, fn=_table2_row,
+                      kwargs=dict(name=name, scale=scale, seed=seed))
+             for index, name in enumerate(ALL_SPECS)]
+    results = raise_failures(run_cells(tasks, jobs=jobs))
+    rows = [result.value for result in results]
     return format_table(
         ["benchmark", "paper runtime (s)", "slice (ms)",
          "syscalls K/s (paper)", "sync ops K/s (paper)"],
@@ -108,11 +119,11 @@ def table3(analysis: str = "andersen",
 
 
 def figure5_series(results: list[ExperimentResult] | None = None,
-                   scale: float = 1.0) -> str:
+                   scale: float = 1.0, jobs: int = 1) -> str:
     """Regenerate Figure 5: per-benchmark overhead, 3 agents x 2-4
     variants (the three stacks per benchmark of the paper's figure)."""
     if results is None:
-        results = run_benchmark_grid(scale=scale)
+        results = run_benchmark_grid(scale=scale, jobs=jobs)
     indexed = {(r.benchmark, r.agent, r.variants): r for r in results}
     rows = []
     for name in ALL_SPECS:

@@ -148,6 +148,20 @@ SYSCALL_TABLE: dict[str, SyscallSpec] = {
 }
 
 
+#: Frozen specs synthesized for names outside the table, memoized so
+#: repeated interception of the same unknown call reuses one object
+#: instead of constructing a fresh spec per lookup (a hot-path cost:
+#: ``spec_for`` runs several times per monitored syscall).
+_UNKNOWN_SPEC_CACHE: dict[str, SyscallSpec] = {}
+
+
+def _unknown_spec(name: str) -> SyscallSpec:
+    spec = SyscallSpec(name=name, cls=SyscallClass.EXECUTE_ALL,
+                       sensitive=True)
+    _UNKNOWN_SPEC_CACHE[name] = spec
+    return spec
+
+
 def spec_for(name: str) -> SyscallSpec:
     """Look up a syscall spec; unknown calls get a strict default.
 
@@ -158,5 +172,7 @@ def spec_for(name: str) -> SyscallSpec:
     spec = SYSCALL_TABLE.get(name)
     if spec is not None:
         return spec
-    return SyscallSpec(name=name, cls=SyscallClass.EXECUTE_ALL,
-                       sensitive=True)
+    spec = _UNKNOWN_SPEC_CACHE.get(name)
+    if spec is not None:
+        return spec
+    return _unknown_spec(name)

@@ -1,0 +1,43 @@
+"""``repro.par`` — the parallel experiment engine.
+
+The paper's thesis is that an MVEE can *exploit* parallel hardware
+instead of serializing it; this package applies the same discipline to
+the reproduction's own experiment sweeps.  Sweep cells (fault-matrix
+cells, race-sweep rows, Figure 5 grid cells, table rows, benchmark
+matrix entries) are sharded across a pool of worker processes with:
+
+* deterministic per-cell seed derivation
+  (:func:`repro.par.seeds.derive_cell_seed`),
+* pickle-safe task/result envelopes (:class:`CellTask`,
+  :class:`CellResult`),
+* worker crash isolation (a dead worker fails its cell, not the sweep),
+* aggregation ordered by task position, independent of completion order.
+
+``jobs=1`` (the default everywhere) bypasses multiprocessing entirely
+and reproduces the historical serial behaviour; the differential suite
+under ``tests/par/`` pins ``jobs=N`` output bit-equal to ``jobs=1``.
+``repro bench`` (:mod:`repro.par.bench`) measures the resulting
+speedup and writes ``BENCH_par.json``.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from repro.par.engine import (
+    CellResult,
+    CellTask,
+    ParallelCellError,
+    merge_cell_traces,
+    raise_failures,
+    run_cells,
+)
+from repro.par.seeds import derive_cell_seed
+
+__all__ = [
+    "CellTask",
+    "CellResult",
+    "ParallelCellError",
+    "run_cells",
+    "raise_failures",
+    "merge_cell_traces",
+    "derive_cell_seed",
+]

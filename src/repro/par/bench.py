@@ -1,0 +1,249 @@
+"""``repro bench`` — the repo's performance harness.
+
+Runs the benchmark matrix (benchmark x agent x variant count) through
+the parallel engine twice — once sharded across ``jobs`` workers, once
+inline — and records wall-clock, cell counts, and the measured
+speedup-vs-serial into ``BENCH_par.json`` at the repo root.  That file
+seeds the repo's performance trajectory: every optimisation claim
+("makes a hot path measurably faster") is checked against it.
+
+The harness is also its own conformance check: the serial and parallel
+phases run the *same* task list (same derived per-cell seeds), so the
+report records whether their structural outputs were identical and the
+SHA-256 digest of the canonical aggregate.
+
+Schema of ``BENCH_par.json`` (``format_version`` 1) — see
+``docs/PERFORMANCE.md``:
+
+``kind``/``format_version``/``generated_unix``
+    Artifact identification.
+``host``
+    ``cpu_count``, ``platform``, ``python`` of the machine measured.
+``jobs``/``quick``
+    The requested worker count and matrix size.
+``matrix``
+    ``benchmarks``, ``agents``, ``variant_counts``, ``scale``, ``seed``,
+    and the resulting ``cells`` count.
+``serial``/``parallel``
+    Per-phase ``wall_s``, ``ok``, ``failed`` (``parallel`` is ``null``
+    for ``--jobs 1``).
+``speedup``
+    serial wall / parallel wall (``null`` for ``--jobs 1``).
+``identical``
+    Whether parallel structural output matched serial bit-for-bit.
+``digest``
+    ``sha256:`` digest of the canonical serial aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+
+from repro.par.engine import CellTask, merge_cell_traces, run_cells
+
+#: Default artifact path, at the repo root by convention.
+DEFAULT_OUT = "BENCH_par.json"
+
+FORMAT_VERSION = 1
+
+#: The quick matrix: two cheap, shape-diverse cells per agent — enough
+#: to exercise the engine, the schema, and CI smoke in seconds.
+QUICK_BENCHMARKS = ("fft", "dedup")
+QUICK_AGENTS = ("wall_of_clocks",)
+QUICK_VARIANTS = (2,)
+QUICK_SCALE = 0.05
+
+#: The full matrix mirrors the Figure 5 grid.
+FULL_SCALE = 0.1
+
+
+def _bench_cell(benchmark: str, agent: str, variants: int, scale: float,
+                seed: int, obs=None):
+    """One benchmark-matrix cell (module-level: pickled by reference)."""
+    from repro.experiments.runner import run_one
+
+    return run_one(benchmark, agent, variants, scale=scale, seed=seed,
+                   obs=obs)
+
+
+def build_matrix(quick: bool = False, scale: float | None = None,
+                 seed: int = 1) -> dict:
+    """Describe the benchmark matrix (the sweep's parameter space)."""
+    if quick:
+        benchmarks, agents, variant_counts = (
+            QUICK_BENCHMARKS, QUICK_AGENTS, QUICK_VARIANTS)
+        scale = QUICK_SCALE if scale is None else scale
+    else:
+        from repro.experiments.runner import AGENTS, VARIANT_COUNTS
+        from repro.workloads.spec import ALL_SPECS
+
+        benchmarks = tuple(ALL_SPECS)
+        agents = AGENTS
+        variant_counts = VARIANT_COUNTS
+        scale = FULL_SCALE if scale is None else scale
+    return {
+        "benchmarks": list(benchmarks),
+        "agents": list(agents),
+        "variant_counts": list(variant_counts),
+        "scale": scale,
+        "seed": seed,
+        "cells": len(benchmarks) * len(agents) * len(variant_counts),
+    }
+
+
+def bench_tasks(matrix: dict, with_obs: bool = False) -> list[CellTask]:
+    """Expand a matrix into the engine's task list.
+
+    Cell order is the canonical (benchmark, agent, variants) nesting and
+    each cell's seed derives from its position, so the task list — and
+    therefore the aggregate — is a pure function of the matrix.
+    """
+    tasks = []
+    for benchmark in matrix["benchmarks"]:
+        for agent in matrix["agents"]:
+            for variants in matrix["variant_counts"]:
+                tasks.append(CellTask.for_sweep(
+                    "bench", len(tasks), _bench_cell,
+                    dict(benchmark=benchmark, agent=agent,
+                         variants=variants, scale=matrix["scale"]),
+                    base_seed=matrix["seed"], seed_key="seed",
+                    with_obs=with_obs))
+    return tasks
+
+
+def canonical_cells(results) -> list[dict]:
+    """Structural form of a bench aggregate: deterministic fields only,
+    in cell order (host wall-clock never appears here)."""
+    cells = []
+    for result in results:
+        if not result.ok:
+            cells.append({"index": result.index, "ok": False,
+                          "error": result.error})
+            continue
+        r = result.value
+        cells.append({
+            "index": result.index,
+            "benchmark": r.benchmark, "agent": r.agent,
+            "variants": r.variants, "verdict": r.verdict,
+            "native_cycles": r.native_cycles,
+            "mvee_cycles": r.mvee_cycles,
+            "sync_ops": r.sync_ops, "syscalls": r.syscalls,
+            "stall_cycles": r.stall_cycles,
+        })
+    return cells
+
+
+def digest_of(cells: list[dict]) -> str:
+    payload = json.dumps(cells, sort_keys=True).encode()
+    return "sha256:" + hashlib.sha256(payload).hexdigest()
+
+
+def run_bench(jobs: int = 1, quick: bool = False,
+              scale: float | None = None, seed: int = 1,
+              out_path: str | None = DEFAULT_OUT,
+              trace_dir: str | None = None) -> dict:
+    """Run the harness and return (and optionally write) the report.
+
+    The parallel phase runs *first*: its workers fork from a parent
+    whose memo caches are cold, and the caches are reset again before
+    the serial phase, so neither phase warms the other.
+    """
+    from repro.experiments.runner import reset_caches
+
+    matrix = build_matrix(quick=quick, scale=scale, seed=seed)
+    parallel_block = None
+    speedup = None
+    identical = None
+    merged_trace = None
+    if jobs > 1:
+        tasks = bench_tasks(matrix, with_obs=trace_dir is not None)
+        reset_caches()
+        start = time.perf_counter()
+        par_results = run_cells(tasks, jobs=jobs, trace_dir=trace_dir)
+        par_wall = time.perf_counter() - start
+        parallel_block = {
+            "wall_s": par_wall,
+            "ok": sum(1 for r in par_results if r.ok),
+            "failed": sum(1 for r in par_results if not r.ok),
+        }
+        if trace_dir is not None:
+            merged_trace = os.path.join(trace_dir, "merged.jsonl")
+            merge_cell_traces(par_results, merged_trace)
+
+    tasks = bench_tasks(matrix)
+    reset_caches()
+    start = time.perf_counter()
+    serial_results = run_cells(tasks, jobs=1)
+    serial_wall = time.perf_counter() - start
+    serial_cells = canonical_cells(serial_results)
+
+    if parallel_block is not None:
+        speedup = (serial_wall / parallel_block["wall_s"]
+                   if parallel_block["wall_s"] > 0 else None)
+        identical = canonical_cells(par_results) == serial_cells
+
+    report = {
+        "kind": "repro-bench",
+        "format_version": FORMAT_VERSION,
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "jobs": jobs,
+        "quick": quick,
+        "matrix": matrix,
+        "serial": {
+            "wall_s": serial_wall,
+            "ok": sum(1 for r in serial_results if r.ok),
+            "failed": sum(1 for r in serial_results if not r.ok),
+        },
+        "parallel": parallel_block,
+        "speedup": speedup,
+        "identical": identical,
+        "digest": digest_of(serial_cells),
+    }
+    if merged_trace is not None:
+        report["merged_trace"] = merged_trace
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def render_bench(report: dict) -> str:
+    """Human-readable summary of a bench report."""
+    matrix = report["matrix"]
+    lines = [
+        "repro bench: benchmark matrix via the parallel engine",
+        f"matrix   : {len(matrix['benchmarks'])} benchmark(s) x "
+        f"{len(matrix['agents'])} agent(s) x "
+        f"{len(matrix['variant_counts'])} variant count(s) = "
+        f"{matrix['cells']} cells (scale {matrix['scale']}, "
+        f"seed {matrix['seed']})",
+        f"host     : {report['host']['cpu_count']} cpu(s), "
+        f"python {report['host']['python']}",
+        f"serial   : {report['serial']['wall_s']:.2f}s wall, "
+        f"{report['serial']['ok']} ok, "
+        f"{report['serial']['failed']} failed",
+    ]
+    if report["parallel"] is not None:
+        lines.append(
+            f"parallel : {report['parallel']['wall_s']:.2f}s wall "
+            f"({report['jobs']} jobs), {report['parallel']['ok']} ok, "
+            f"{report['parallel']['failed']} failed")
+        lines.append(
+            f"speedup  : {report['speedup']:.2f}x vs serial; "
+            "structural output "
+            + ("IDENTICAL to serial" if report["identical"]
+               else "DIFFERS from serial (bug!)"))
+    else:
+        lines.append("parallel : skipped (--jobs 1)")
+    lines.append(f"digest   : {report['digest']}")
+    return "\n".join(lines)

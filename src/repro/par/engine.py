@@ -1,0 +1,279 @@
+"""The parallel experiment engine: shard sweep cells across processes.
+
+Every sweep in the repo — the fault matrix, the race sweep, the Figure 5
+grid, table rows, the benchmark matrix — is a list of *cells*: pure
+functions of their parameters (including an explicit seed) that return a
+picklable result.  The engine runs such a list either inline
+(``jobs=1``, the historical behaviour) or sharded across a pool of
+worker processes (``jobs>1``), with three guarantees:
+
+* **determinism** — cell results are a function of the task list alone.
+  Aggregated output is ordered by task position, never by completion
+  order, and per-cell seeds come from
+  :func:`repro.par.seeds.derive_cell_seed`, so worker count and
+  scheduling cannot leak into results.
+* **crash isolation** — each cell runs in its own forked process; a
+  worker that dies (``os._exit``, segfault, OOM kill) fails *its* cell
+  with a diagnostic :class:`CellResult` and leaves every sibling cell
+  untouched.  The inline path mirrors this by catching per-cell
+  exceptions, so ``jobs=1`` and ``jobs=N`` agree on failure shape too.
+* **pickle-safe envelopes** — tasks carry a module-level callable plus
+  plain-data kwargs; results carry plain data (value or error string).
+  Anything unpicklable is converted to a failed cell, not a hung pool.
+
+Observability composes: a task created with ``with_obs=True`` gets a
+fresh :class:`repro.obs.ObsHub` injected as its ``obs`` kwarg, and the
+worker writes the hub's trace as JSONL next to its siblings; the parent
+merges the per-worker files into one stream with
+:func:`merge_cell_traces` (ordered by cell index, like every other
+aggregate).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+from repro.par.seeds import derive_cell_seed
+
+__all__ = [
+    "CellTask",
+    "CellResult",
+    "ParallelCellError",
+    "run_cells",
+    "raise_failures",
+    "merge_cell_traces",
+]
+
+
+@dataclass
+class CellTask:
+    """One sweep cell: a picklable (function, kwargs) envelope.
+
+    ``fn`` must be an importable module-level callable (pickled by
+    reference); ``kwargs`` must contain only picklable values.  ``seed``
+    records the cell's derived seed for provenance — the sweep builder
+    is responsible for threading it into ``kwargs`` when the cell
+    function takes one.
+    """
+
+    sweep_id: str
+    index: int
+    fn: object
+    kwargs: dict = field(default_factory=dict)
+    seed: int | None = None
+    #: Inject a fresh ObsHub as ``kwargs["obs"]`` and capture its trace.
+    with_obs: bool = False
+
+    @classmethod
+    def for_sweep(cls, sweep_id: str, index: int, fn, kwargs: dict,
+                  base_seed: int = 0, seed_key: str | None = None,
+                  with_obs: bool = False) -> "CellTask":
+        """Build a task with its derived seed, optionally threading the
+        seed into ``kwargs[seed_key]``."""
+        seed = derive_cell_seed(sweep_id, index, base_seed)
+        kwargs = dict(kwargs)
+        if seed_key is not None:
+            kwargs[seed_key] = seed
+        return cls(sweep_id=sweep_id, index=index, fn=fn, kwargs=kwargs,
+                   seed=seed, with_obs=with_obs)
+
+
+@dataclass
+class CellResult:
+    """Outcome envelope for one cell, in task-list order."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: str | None = None
+    #: Host wall-clock spent inside the cell function (diagnostics only;
+    #: never part of structural output).
+    duration_s: float = 0.0
+    #: Pid of the worker that ran the cell (parent pid when inline).
+    worker_pid: int = 0
+    #: JSONL trace written by the cell's ObsHub, when ``with_obs``.
+    trace_path: str | None = None
+
+
+class ParallelCellError(RuntimeError):
+    """One or more cells of a sweep failed."""
+
+    def __init__(self, failures: list[CellResult]):
+        self.failures = failures
+        lines = [f"{len(failures)} sweep cell(s) failed:"]
+        lines += [f"  cell {r.index}: {r.error}" for r in failures]
+        super().__init__("\n".join(lines))
+
+
+def raise_failures(results: list[CellResult]) -> list[CellResult]:
+    """Raise :class:`ParallelCellError` if any cell failed; else pass
+    results through (a convenience for sweeps that want fail-fast
+    semantics on aggregation)."""
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise ParallelCellError(failures)
+    return results
+
+
+def _trace_path_for(trace_dir: str, task: CellTask) -> str:
+    return os.path.join(trace_dir, f"cell-{task.index:04d}.jsonl")
+
+
+def _execute_cell(task: CellTask, trace_dir: str | None) -> CellResult:
+    """Run one cell in the current process (worker or inline)."""
+    kwargs = dict(task.kwargs)
+    hub = None
+    trace_path = None
+    if task.with_obs:
+        from repro.obs import ObsHub
+
+        hub = ObsHub()
+        kwargs["obs"] = hub
+    start = time.perf_counter()
+    try:
+        value = task.fn(**kwargs)
+    except Exception as exc:
+        return CellResult(index=task.index, ok=False,
+                          error=f"{type(exc).__name__}: {exc}",
+                          duration_s=time.perf_counter() - start,
+                          worker_pid=os.getpid())
+    duration = time.perf_counter() - start
+    if hub is not None and trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        trace_path = _trace_path_for(trace_dir, task)
+        hub.tracer.write_jsonl(trace_path)
+    return CellResult(index=task.index, ok=True, value=value,
+                      duration_s=duration, worker_pid=os.getpid(),
+                      trace_path=trace_path)
+
+
+def _worker_main(conn, task: CellTask, trace_dir: str | None) -> None:
+    """Worker-process entry: run the cell, ship the result envelope."""
+    try:
+        result = _execute_cell(task, trace_dir)
+    except BaseException as exc:  # never let a worker die silently
+        result = CellResult(index=task.index, ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                            worker_pid=os.getpid())
+    try:
+        conn.send(result)
+    except Exception as exc:
+        # The cell value would not pickle: fail the cell, keep the pool.
+        try:
+            conn.send(CellResult(
+                index=task.index, ok=False,
+                error=f"result not picklable: {exc}",
+                worker_pid=os.getpid()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Fork when the platform offers it (cheap, inherits warm imports);
+    otherwise the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def run_cells(tasks, jobs: int = 1,
+              trace_dir: str | None = None) -> list[CellResult]:
+    """Run every task and return results **in task-list order**.
+
+    ``jobs<=1`` runs inline in the calling process (no multiprocessing
+    at all — today's serial behaviour, plus per-cell error capture).
+    ``jobs>1`` runs each cell in its own forked worker, at most ``jobs``
+    alive at once.  A worker that exits without reporting fails only its
+    own cell.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_execute_cell(task, trace_dir) for task in tasks]
+
+    ctx = _mp_context()
+    slots: dict[int, CellResult] = {}
+    pending = deque(enumerate(tasks))
+    running: list[tuple[int, CellTask, object, object]] = []
+
+    def _finish(position: int, task: CellTask, proc, conn) -> None:
+        result = None
+        if conn.poll():
+            try:
+                result = conn.recv()
+            except EOFError:
+                result = None
+        conn.close()
+        proc.join()
+        if result is None:
+            result = CellResult(
+                index=task.index, ok=False,
+                error=(f"worker died before reporting "
+                       f"(exit code {proc.exitcode})"),
+                worker_pid=proc.pid or 0)
+        slots[position] = result
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                position, task = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child_conn, task, trace_dir),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+                running.append((position, task, proc, parent_conn))
+            # Wait on both pipes and process sentinels: a pipe firing
+            # first avoids deadlocking on results larger than the pipe
+            # buffer; a sentinel firing first catches crashed workers.
+            waitables = [entry[3] for entry in running]
+            waitables += [entry[2].sentinel for entry in running]
+            ready = connection.wait(waitables)
+            still_running = []
+            for position, task, proc, conn in running:
+                if conn in ready or proc.sentinel in ready:
+                    _finish(position, task, proc, conn)
+                else:
+                    still_running.append((position, task, proc, conn))
+            running = still_running
+    finally:
+        for _, _, proc, conn in running:
+            proc.terminate()
+            proc.join()
+            conn.close()
+    return [slots[position] for position in range(len(tasks))]
+
+
+def merge_cell_traces(results: list[CellResult], out_path: str) -> int:
+    """Merge per-worker JSONL traces into one stream, in cell order.
+
+    Returns the number of events written.  Cells without a trace (failed
+    cells, ``with_obs=False`` tasks) are skipped.  Each merged line
+    gains a ``"cell"`` key naming the cell it came from, so a single
+    file remains attributable after the per-worker files are deleted.
+    """
+    import json
+
+    written = 0
+    with open(out_path, "w") as out:
+        for result in results:
+            if not result.trace_path:
+                continue
+            with open(result.trace_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    event["cell"] = result.index
+                    out.write(json.dumps(event, sort_keys=True))
+                    out.write("\n")
+                    written += 1
+    return written

@@ -205,3 +205,88 @@ class TestRaceDetectorDeterminism:
             costs=fast_costs)
         assert detected.cycles == baseline.cycles
         assert detected.stdout == baseline.stdout
+
+
+class TestParallelSweepDeterminism:
+    """The parallel engine must not cost a bit of determinism: the
+    aggregated output of a sharded sweep is pinned to a golden digest,
+    and the digest is invariant in the worker count."""
+
+    #: sha256 over the canonical (host-time-free) cells of the quick
+    #: bench matrix at seed=1.  Pure function of the simulator — any
+    #: change to workload synthesis, the scheduler, or the monitor that
+    #: moves a simulated cycle shows up here.
+    GOLDEN_QUICK_DIGEST = \
+        "sha256:29ff2774d57723fcb9cf16eeb61528edc54a4e94a0fceb8aa765515613c74e87"
+
+    def _digest(self, jobs):
+        from repro.experiments.runner import reset_caches
+        from repro.par.bench import (bench_tasks, build_matrix,
+                                     canonical_cells, digest_of)
+        from repro.par.engine import run_cells
+
+        reset_caches()
+        matrix = build_matrix(quick=True, seed=1)
+        results = run_cells(bench_tasks(matrix), jobs=jobs)
+        return digest_of(canonical_cells(results))
+
+    def test_quick_matrix_matches_golden_digest(self):
+        assert self._digest(jobs=1) == self.GOLDEN_QUICK_DIGEST
+
+    def test_digest_invariant_in_worker_count(self):
+        assert self._digest(jobs=2) == self.GOLDEN_QUICK_DIGEST
+
+    def test_derived_seeds_are_frozen(self):
+        """Seed derivation is part of the determinism contract: pin the
+        first cells of the bench sweep's seed stream."""
+        from repro.par.seeds import derive_cell_seed
+
+        assert [derive_cell_seed("bench", index, 1)
+                for index in range(3)] == [
+            1664854912858333258,
+            8864461619434748378,
+            340529501838569161,
+        ]
+        assert len({derive_cell_seed("bench", index, 1)
+                    for index in range(64)}) == 64
+
+
+class TestBenchCLIDeterminism:
+    """``repro bench`` end to end: schema, digest stability, exit code."""
+
+    def _run_bench(self, tmp_path, name, jobs):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / name
+        assert main(["bench", "--quick", "--jobs", str(jobs),
+                     "--seed", "1", "-o", str(out)]) == 0
+        return json.loads(out.read_text())
+
+    def test_bench_report_schema_and_digest(self, tmp_path):
+        report = self._run_bench(tmp_path, "bench.json", jobs=2)
+        assert report["kind"] == "repro-bench"
+        assert report["format_version"] == 1
+        assert report["quick"] is True
+        assert report["jobs"] == 2
+        assert set(report["host"]) == {"cpu_count", "platform", "python"}
+        matrix = report["matrix"]
+        assert matrix["cells"] == len(matrix["benchmarks"]) * \
+            len(matrix["agents"]) * len(matrix["variant_counts"])
+        assert report["serial"]["ok"] == matrix["cells"]
+        assert report["serial"]["failed"] == 0
+        assert report["parallel"]["ok"] == matrix["cells"]
+        assert report["identical"] is True
+        assert report["speedup"] == pytest.approx(
+            report["serial"]["wall_s"] / report["parallel"]["wall_s"])
+        assert (report["digest"]
+                == TestParallelSweepDeterminism.GOLDEN_QUICK_DIGEST)
+
+    def test_bench_serial_only_report(self, tmp_path):
+        report = self._run_bench(tmp_path, "serial.json", jobs=1)
+        assert report["parallel"] is None
+        assert report["speedup"] is None
+        assert report["identical"] is None
+        assert (report["digest"]
+                == TestParallelSweepDeterminism.GOLDEN_QUICK_DIGEST)
