@@ -25,10 +25,18 @@ Commands
     corpus), ``check`` runs the §5.5 coverage cross-check (dynamic races
     vs statically identified sites), ``bench`` prints the races +
     detector-overhead experiment table.
-``bench``
+``bench [run|diff] [--compare REF]``
     Performance harness: run the benchmark matrix serially and through
     the parallel engine, measure the speedup, and write
-    ``BENCH_par.json`` (see ``docs/PERFORMANCE.md``).
+    ``BENCH_par.json`` (see ``docs/PERFORMANCE.md``).  ``--compare REF``
+    gates the fresh report against a committed reference (digest
+    identity hard-fails, wall-clock deltas warn, profile category
+    shifts hard-fail); ``bench diff OLD NEW`` compares two existing
+    reports without re-running anything.
+``profile BENCH [--agent A|all] [--flame-out F] [--lag-out L]``
+    Cycle-accounting profile of one workload (``docs/PROFILING.md``):
+    per-category cycle attribution, cross-variant lag series, collapsed
+    flamegraph stacks, and a markdown comparison report.
 
 The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
 Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
@@ -190,23 +198,28 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    from repro.errors import ReproError
     from repro.obs.forensics import (
         DivergenceBundle,
         bundle_to_chrome,
         summarize_bundle,
     )
 
-    bundle = DivergenceBundle.load(args.bundle)
-    if args.action == "summarize":
-        print(summarize_bundle(bundle))
-        return 0
-    import json
+    try:
+        bundle = DivergenceBundle.load(args.bundle)
+        if args.action == "summarize":
+            print(summarize_bundle(bundle))
+            return 0
+        import json
 
-    out = args.out or (args.bundle + ".trace.json")
-    with open(out, "w") as handle:
-        json.dump(bundle_to_chrome(bundle), handle, sort_keys=True)
-    print(f"wrote Chrome trace to {out}")
-    return 0
+        out = args.out or (args.bundle + ".trace.json")
+        with open(out, "w") as handle:
+            json.dump(bundle_to_chrome(bundle), handle, sort_keys=True)
+        print(f"wrote Chrome trace to {out}")
+        return 0
+    except ReproError as exc:
+        print(f"repro obs: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_fault_matrix(args) -> int:
@@ -325,20 +338,110 @@ def _races_bench(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    from repro.errors import ReproError
     from repro.par.bench import render_bench, run_bench
+    from repro.prof import regress
 
+    if args.action == "diff":
+        if len(args.reports) != 2:
+            print("repro bench diff: expected exactly two report paths "
+                  "(OLD NEW)", file=sys.stderr)
+            return 2
+        try:
+            ref = regress.load_report(args.reports[0])
+            new = regress.load_report(args.reports[1])
+        except ReproError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        findings = regress.compare_reports(
+            new, ref, wall_tolerance=args.tolerance,
+            fail_on_wall=args.fail_on_wall)
+        print(regress.render_findings(findings))
+        return regress.exit_code(findings)
+
+    ref = trajectory = None
+    if args.compare:
+        try:
+            ref = regress.load_report(args.compare)
+        except ReproError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        # The reference's own history plus the reference itself: the
+        # fresh report carries the whole bench trajectory forward.
+        trajectory = (list(ref.get("trajectory") or [])
+                      + [regress.trajectory_entry(ref)])
     report = run_bench(jobs=args.jobs, quick=args.quick,
                        scale=args.scale, seed=args.seed,
-                       out_path=args.out, trace_dir=args.trace_dir)
+                       out_path=args.out, trace_dir=args.trace_dir,
+                       trajectory=trajectory)
     print(render_bench(report))
     if args.out:
         print(f"wrote    : {args.out}")
+    code = 0
     if report.get("identical") is False:
-        return 1
+        code = 1
     failed = report["serial"]["failed"]
     if report["parallel"] is not None:
         failed += report["parallel"]["failed"]
-    return 1 if failed else 0
+    if failed:
+        code = 1
+    if ref is not None:
+        findings = regress.compare_reports(
+            report, ref, wall_tolerance=args.tolerance,
+            fail_on_wall=args.fail_on_wall)
+        print(regress.render_findings(findings))
+        code = max(code, regress.exit_code(findings))
+    return code
+
+
+def _cmd_profile(args) -> int:
+    from repro.errors import ReproError
+    from repro.prof.analytics import (
+        render_report,
+        write_flamegraph,
+        write_lag_series,
+    )
+    from repro.prof.runner import PROFILE_AGENTS, run_profiles
+    from repro.workloads.spec import ALL_SPECS
+
+    if args.benchmark != "nginx" and args.benchmark not in ALL_SPECS:
+        print(f"repro profile: unknown benchmark {args.benchmark!r} "
+              "(see `repro list`; 'nginx' profiles the §5.5 server)",
+              file=sys.stderr)
+        return 2
+    agents = (list(PROFILE_AGENTS) if args.agent == "all"
+              else [args.agent])
+    try:
+        results = run_profiles(args.benchmark, agents,
+                               variants=args.variants,
+                               scale=args.scale, seed=args.seed,
+                               jobs=args.jobs,
+                               lag_sample_every=args.lag_sample_every)
+    except ReproError as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
+        profile = result["profile"]
+        print(f"{result['agent']:15s} verdict={result['verdict']:9s} "
+              f"machine={result['machine_cycles']:,.0f} cycles  "
+              f"accounted={profile['total_cycles']:,.0f}")
+    if args.flame_out:
+        count = write_flamegraph(results, args.flame_out)
+        print(f"flamegraph: {count} collapsed stack(s) -> "
+              f"{args.flame_out}")
+    if args.lag_out:
+        count = write_lag_series(results, args.lag_out)
+        print(f"lag series: {count} sample(s) -> {args.lag_out}")
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            handle.write(render_report(results))
+            handle.write("\n")
+        print(f"report    : {args.report_out}")
+    else:
+        print()
+        print(render_report(results))
+    return 0 if all(r["verdict"] in ("clean", "degraded")
+                    for r in results) else 1
 
 
 def _cmd_races(args) -> int:
@@ -425,6 +528,24 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the benchmark matrix serially and sharded, measure "
              "the speedup, and write BENCH_par.json")
+    p_bench.add_argument("action", nargs="?", default="run",
+                         choices=("run", "diff"),
+                         help="'run' (default) executes the matrix; "
+                              "'diff OLD NEW' compares two existing "
+                              "reports without running anything")
+    p_bench.add_argument("reports", nargs="*", metavar="REPORT",
+                         help="for diff: the two report paths (OLD NEW)")
+    p_bench.add_argument("--compare", default=None, metavar="REF",
+                         help="after the run, gate the fresh report "
+                              "against this reference report "
+                              "(non-zero exit on regression)")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="relative wall-clock tolerance for "
+                              "--compare/diff (default 0.25)")
+    p_bench.add_argument("--fail-on-wall", action="store_true",
+                         help="treat wall-clock regressions as failures "
+                              "instead of warnings")
     p_bench.add_argument("--quick", action="store_true",
                          help="small matrix (2 cells) for smoke runs")
     p_bench.add_argument("--scale", type=float, default=None,
@@ -440,6 +561,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "merge them into DIR/merged.jsonl")
     _add_jobs_flag(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="cycle-accounting profile: per-category attribution, "
+             "cross-variant lag, flamegraph (see docs/PROFILING.md)")
+    p_prof.add_argument("benchmark", help="benchmark twin or 'nginx'")
+    p_prof.add_argument("--agent", default="wall_of_clocks",
+                        choices=("total_order", "partial_order",
+                                 "wall_of_clocks", "all"),
+                        help="sync agent to profile, or 'all' to "
+                             "compare the three main agents "
+                             "(default: wall_of_clocks)")
+    p_prof.add_argument("--variants", type=int, default=2)
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument("--scale", type=float, default=0.25)
+    p_prof.add_argument("--lag-sample-every", type=int, default=1,
+                        metavar="K",
+                        help="keep every K-th lag sample in the series "
+                             "(default 1 = all; summaries always see "
+                             "every event)")
+    p_prof.add_argument("--flame-out", default=None, metavar="PATH",
+                        help="write collapsed stacks here (flamegraph.pl"
+                             " / speedscope format)")
+    p_prof.add_argument("--lag-out", default=None, metavar="PATH",
+                        help="write the lag series here (JSONL)")
+    p_prof.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the markdown report here "
+                             "(default: print to stdout)")
+    _add_jobs_flag(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_run = sub.add_parser("run", help="run one benchmark under the MVEE")
     p_run.add_argument("benchmark")

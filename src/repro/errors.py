@@ -27,6 +27,12 @@ class ConfigError(ReproError):
     """Invalid configuration (bad agent name, nonsensical parameters, ...)."""
 
 
+class ObsArtifactError(ReproError):
+    """An observability artifact (bundle, trace, report) is missing,
+    empty, or corrupt — the CLI turns these into one-line diagnostics
+    instead of tracebacks."""
+
+
 class GuestFault(ReproError):
     """A guest program performed an illegal operation.
 

@@ -306,7 +306,8 @@ def nginx_identified_sites(after_refactor: bool) -> frozenset[str]:
 
 def run_nginx_condition(instrumented: bool, seed: int = 1,
                         costs: CostModel | None = None,
-                        detector=None, variants: int = 2, obs=None):
+                        detector=None, variants: int = 2, obs=None,
+                        agent: str = "wall_of_clocks"):
     """Run the §5.5 server under one instrumentation condition.
 
     ``instrumented=False`` leaves the custom ``nginx.*`` primitives bare
@@ -326,7 +327,7 @@ def run_nginx_condition(instrumented: bool, seed: int = 1,
                          work_cycles=20_000.0)
     stats = TrafficStats()
     mvee = MVEE(NginxServer(config), variants=variants,
-                agent="wall_of_clocks", seed=seed,
+                agent=agent, seed=seed,
                 costs=costs or RACE_SWEEP_COSTS,
                 instrument=((lambda site: True) if instrumented
                             else pthread_only_sites),

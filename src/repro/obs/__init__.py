@@ -75,12 +75,21 @@ class ObsHub:
     instrumented components stay stateless about observability.
     """
 
-    def __init__(self, trace: bool = True, ring_size: int | None = None):
+    def __init__(self, trace: bool = True, ring_size: int | None = None,
+                 profile: bool = False, lag_sample_every: int = 1):
         from repro.obs.tracer import DEFAULT_RING_SIZE
 
         self.tracer = (Tracer(ring_size=ring_size or DEFAULT_RING_SIZE)
                        if trace else NULL_TRACER)
         self.metrics = MetricsRegistry()
+        self._clock = None
+        #: Optional cycle profiler (see :mod:`repro.prof.accounting`).
+        self.prof = None
+        if profile:
+            from repro.prof.accounting import CycleProfiler
+
+            self.attach_profiler(
+                CycleProfiler(lag_sample_every=lag_sample_every))
         #: rendezvous key -> (first-arrival ts, arrival count).
         self._rdv_first: dict = {}
         self.divergence_report = None
@@ -91,10 +100,18 @@ class ObsHub:
         #: Races reported by an attached detector (dicts, in order).
         self.race_log: list[dict] = []
 
+    def attach_profiler(self, prof) -> None:
+        """Attach a :class:`repro.prof.accounting.CycleProfiler`."""
+        self.prof = prof
+        if self._clock is not None:
+            prof.bind_clock(self._clock)
+
     def bind_clock(self, clock) -> None:
         """Attach the machine's simulated clock (``lambda: machine.now``)."""
         self.tracer.bind_clock(clock)
         self._clock = clock
+        if self.prof is not None:
+            self.prof.bind_clock(clock)
 
     @property
     def now(self) -> float:
@@ -165,10 +182,32 @@ class ObsHub:
 
     # -- machine hooks -------------------------------------------------------
 
+    def thread_created(self, variant: int, thread_global: str,
+                       thread: str) -> None:
+        """The machine admitted a new guest thread (profiler-only hook:
+        per-step bookkeeping is too hot for tracing/metrics)."""
+        if self.prof is not None:
+            self.prof.thread_created(variant, thread_global, thread)
+
+    def step_committed(self, variant: int, thread_global: str,
+                       thread: str, kind: str, duration: float) -> None:
+        """The machine committed one executed step (profiler-only)."""
+        if self.prof is not None:
+            self.prof.step_committed(variant, thread_global, thread,
+                                     kind, duration)
+
+    def thread_finished(self, variant: int, thread_global: str,
+                        thread: str) -> None:
+        """A guest thread ran to completion (profiler-only)."""
+        if self.prof is not None:
+            self.prof.thread_finished(variant, thread_global, thread)
+
     def sched_grant(self, variant: int, thread: str) -> None:
         """The scheduler granted a core to a thread."""
         self.metrics.counter("sched.grants").inc()
         self.tracer.instant("sched.grant", variant, thread, cat="sched")
+        if self.prof is not None:
+            self.prof.sched_grant(variant, thread)
 
     def park(self, variant: int, thread_global: str, thread: str,
              wait_key) -> None:
@@ -179,12 +218,16 @@ class ObsHub:
         self.tracer.begin_span(("park", thread_global),
                                f"wait:{kind}", variant, thread,
                                cat="wait")
+        if self.prof is not None:
+            self.prof.park(variant, thread, wait_key)
 
     def unpark(self, variant: int, thread_global: str,
                thread: str) -> None:
         """A parked thread became runnable; closes its wait span."""
         dur = self.tracer.end_span(("park", thread_global))
         self.metrics.histogram("machine.park_cycles").observe(dur)
+        if self.prof is not None:
+            self.prof.unpark(variant, thread)
 
     def divergence(self, report) -> None:
         """The monitor killed the run."""
@@ -269,6 +312,8 @@ class ObsHub:
         gauge.set(occupancy)
         self.tracer.counter(f"buf:{buffer}", variant, occupancy,
                             series="occupancy")
+        if self.prof is not None:
+            self.prof.sync_record(variant, thread, buffer)
 
     def sync_replay(self, variant: int, thread: str, buffer: str,
                     occupancy: int) -> None:
@@ -276,6 +321,8 @@ class ObsHub:
         self.metrics.counter("agent.replayed").inc()
         self.tracer.counter(f"buf:{buffer}", variant, occupancy,
                             series="occupancy")
+        if self.prof is not None:
+            self.prof.sync_replay(variant, thread, buffer)
 
     def sync_stall(self, variant: int, thread: str, kind: str,
                    buffer: str) -> None:
@@ -293,6 +340,8 @@ class ObsHub:
                                        256)).observe(lag)
         self.tracer.instant("clock.stall", variant, thread, cat="clock",
                             args={"clock": clock_id, "lag": lag})
+        if self.prof is not None:
+            self.prof.clock_lag(variant, thread, lag)
 
     # -- kernel hooks --------------------------------------------------------
 
@@ -303,11 +352,15 @@ class ObsHub:
         self.tracer.instant("futex.park", variant,
                             thread_global.partition(":")[2],
                             cat="futex", args={"addr": addr})
+        if self.prof is not None:
+            self.prof.futex_park()
 
     def futex_wake(self, addr: int, woken: list) -> None:
         """A futex wake released queued threads."""
         self.metrics.counter("futex.wakes").inc()
         self.metrics.counter("futex.woken").inc(len(woken))
+        if self.prof is not None:
+            self.prof.futex_wake(len(woken))
         for thread_global in woken:
             self.tracer.instant("futex.wake", _variant_of(thread_global),
                                 thread_global.partition(":")[2],

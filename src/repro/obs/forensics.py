@@ -92,8 +92,31 @@ class DivergenceBundle:
 
     @classmethod
     def load(cls, path) -> "DivergenceBundle":
-        with open(path) as handle:
-            return cls.from_json_dict(json.load(handle))
+        """Load a bundle, raising :class:`ObsArtifactError` (a
+        :class:`ReproError`) on missing/empty/truncated files so the
+        CLI can report one line instead of a traceback."""
+        from repro.errors import ObsArtifactError
+
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ObsArtifactError(
+                f"cannot read bundle {path!r}: "
+                f"{exc.strerror or exc}") from exc
+        if not text.strip():
+            raise ObsArtifactError(f"bundle {path!r} is empty")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObsArtifactError(
+                f"bundle {path!r} is not valid JSON (truncated "
+                f"write?): {exc}") from exc
+        if not isinstance(data, dict):
+            raise ObsArtifactError(
+                f"bundle {path!r} does not contain a bundle object "
+                f"(got {type(data).__name__})")
+        return cls.from_json_dict(data)
 
 
 def _report_dict(report) -> dict:

@@ -62,9 +62,17 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with count/sum/max summary stats."""
+    """Fixed-bucket histogram with count/sum/min/max summary stats.
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
+    Snapshot edge cases are part of the contract (pinned by tests): an
+    empty histogram reports ``min == max == mean == 0.0`` and every
+    percentile as ``0.0``; ``percentile(0)`` is the observed minimum and
+    ``percentile(100)`` the observed maximum exactly (no bucket
+    interpolation at the edges).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max",
+                 "min")
 
     def __init__(self, name: str, bounds=DEFAULT_CYCLE_BUCKETS):
         self.name = name
@@ -75,9 +83,12 @@ class Histogram:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
+        self.min = 0.0
 
     def observe(self, value: float) -> None:
         self.counts[bisect_right(self.bounds, value)] += 1
+        if not self.count or value < self.min:
+            self.min = value
         self.count += 1
         self.total += value
         if value > self.max:
@@ -87,9 +98,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile from the bucket counts.
+
+        Interior percentiles resolve to the upper bound of the bucket
+        containing the p-th observation (clamped to the observed max,
+        which also covers the overflow bucket); ``p=0``/``p=100`` return
+        the exact observed min/max, and an empty histogram returns 0.0.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self.count:
+            return 0.0
+        if p == 0.0:
+            return self.min
+        if p == 100.0:
+            return self.max
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return self.max
+                return min(self.bounds[i], self.max)
+        return self.max  # pragma: no cover - rank <= count always hits
+
     def snapshot(self):
-        return {"count": self.count, "sum": self.total, "max": self.max,
-                "mean": self.mean,
+        return {"count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean,
                 "buckets": {("le_%g" % bound): self.counts[i]
                             for i, bound in enumerate(self.bounds)},
                 "overflow": self.counts[-1]}

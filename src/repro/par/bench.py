@@ -12,7 +12,7 @@ phases run the *same* task list (same derived per-cell seeds), so the
 report records whether their structural outputs were identical and the
 SHA-256 digest of the canonical aggregate.
 
-Schema of ``BENCH_par.json`` (``format_version`` 1) — see
+Schema of ``BENCH_par.json`` (``format_version`` 2) — see
 ``docs/PERFORMANCE.md``:
 
 ``kind``/``format_version``/``generated_unix``
@@ -26,13 +26,23 @@ Schema of ``BENCH_par.json`` (``format_version`` 1) — see
     and the resulting ``cells`` count.
 ``serial``/``parallel``
     Per-phase ``wall_s``, ``ok``, ``failed`` (``parallel`` is ``null``
-    for ``--jobs 1``).
+    for ``--jobs 1``); ``serial`` additionally carries ``cell_wall_s``,
+    the per-cell host wall-clock in cell order (v2).
 ``speedup``
     serial wall / parallel wall (``null`` for ``--jobs 1``).
 ``identical``
     Whether parallel structural output matched serial bit-for-bit.
 ``digest``
-    ``sha256:`` digest of the canonical serial aggregate.
+    ``sha256:`` digest of the canonical serial aggregate.  The digest
+    covers only simulated quantities — unchanged between v1 and v2, so
+    digests compare across format versions.
+``profile`` (v2)
+    Cycle profile of the matrix's first cell (``repro.prof``): the
+    cell's identity plus ``per_category`` and ``total_cycles``, used by
+    ``repro bench --compare`` to flag category-share shifts.
+``trajectory`` (v2)
+    Accumulated history: one compact entry per prior reference this
+    report was ``--compare``'d against (oldest first).
 """
 
 from __future__ import annotations
@@ -48,7 +58,7 @@ from repro.par.engine import CellTask, merge_cell_traces, run_cells
 #: Default artifact path, at the repo root by convention.
 DEFAULT_OUT = "BENCH_par.json"
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: The quick matrix: two cheap, shape-diverse cells per agent — enough
 #: to exercise the engine, the schema, and CI smoke in seconds.
@@ -142,10 +152,38 @@ def digest_of(cells: list[dict]) -> str:
     return "sha256:" + hashlib.sha256(payload).hexdigest()
 
 
+def profile_first_cell(matrix: dict) -> dict:
+    """Cycle-profile the matrix's first cell (``repro.prof``).
+
+    Runs outside the timed phases; the result feeds the ``--compare``
+    category-shift check.  Fields are simulated quantities only.
+    """
+    from repro.par.seeds import derive_cell_seed
+    from repro.prof.runner import profile_cell
+
+    benchmark = matrix["benchmarks"][0]
+    agent = matrix["agents"][0]
+    variants = matrix["variant_counts"][0]
+    result = profile_cell(benchmark, agent, variants,
+                          scale=matrix["scale"],
+                          seed=derive_cell_seed("bench", 0,
+                                                matrix["seed"]))
+    profile = result["profile"]
+    return {
+        "benchmark": benchmark,
+        "agent": agent,
+        "variants": variants,
+        "per_category": profile["per_category"],
+        "total_cycles": profile["total_cycles"],
+        "machine_cycles": result["machine_cycles"],
+    }
+
+
 def run_bench(jobs: int = 1, quick: bool = False,
               scale: float | None = None, seed: int = 1,
               out_path: str | None = DEFAULT_OUT,
-              trace_dir: str | None = None) -> dict:
+              trace_dir: str | None = None,
+              trajectory: list | None = None) -> dict:
     """Run the harness and return (and optionally write) the report.
 
     The parallel phase runs *first*: its workers fork from a parent
@@ -202,11 +240,15 @@ def run_bench(jobs: int = 1, quick: bool = False,
             "wall_s": serial_wall,
             "ok": sum(1 for r in serial_results if r.ok),
             "failed": sum(1 for r in serial_results if not r.ok),
+            "cell_wall_s": [round(r.duration_s, 6)
+                            for r in serial_results],
         },
         "parallel": parallel_block,
         "speedup": speedup,
         "identical": identical,
         "digest": digest_of(serial_cells),
+        "profile": profile_first_cell(matrix),
+        "trajectory": list(trajectory or []),
     }
     if merged_trace is not None:
         report["merged_trace"] = merged_trace

@@ -1,0 +1,260 @@
+"""Profile analytics: cross-variant lag, flamegraphs, markdown reports.
+
+*Lag* is the quantity wall-of-clocks exists to shrink (the paper's §4.5):
+how far each follower trails the master's recorded sync-op stream.  The
+:class:`LagTracker` counts master ``sync_record`` events and per-variant
+``sync_replay`` events and samples ``recorded - replayed`` at every
+replay — a lag series in *operations*, stamped with simulated cycles.
+Wall-of-clocks additionally reports its per-clock cycle lag through the
+``clock_lag`` hook; the tracker folds those into a per-variant summary.
+
+The flamegraph output is the standard collapsed-stack format — one
+``frame;frame;frame count`` line per stack — consumable by
+``flamegraph.pl``, speedscope, or ``inferno-flamegraph``.  Stacks are
+``agent;v<variant>;<thread>;<category>`` with integer cycle counts.
+
+Everything here is a pure function of profile dictionaries, so parallel
+profile cells merge deterministically: the parent renders files from
+cell results in cell order, and ``--jobs 1`` output is byte-identical to
+``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.kernel.vtime import cycles_to_seconds
+
+
+class LagTracker:
+    """Follower lag behind the master's sync-op stream.
+
+    ``sample_every`` bounds the series: only every k-th replay appends a
+    sample (summaries still see every event).
+    """
+
+    def __init__(self, sample_every: int = 1):
+        self.sample_every = max(1, sample_every)
+        self.recorded = 0
+        #: variant -> replayed-op count.
+        self.replayed: dict[int, int] = {}
+        #: (ts, variant, lag_ops) samples, in replay order.
+        self.samples: list[tuple[float, int, int]] = []
+        #: variant -> {count, max, sum} over replay-time lags.
+        self._stats: dict[int, dict] = {}
+        #: variant -> {count, max, sum} over WoC clock-lag cycles.
+        self._clock_stats: dict[int, dict] = {}
+        self._seen = 0
+
+    def record(self, ts: float) -> None:
+        self.recorded += 1
+
+    def replay(self, ts: float, variant: int) -> None:
+        count = self.replayed.get(variant, 0) + 1
+        self.replayed[variant] = count
+        lag = self.recorded - count
+        stats = self._stats.setdefault(
+            variant, {"count": 0, "max": 0, "sum": 0})
+        stats["count"] += 1
+        stats["sum"] += lag
+        if lag > stats["max"]:
+            stats["max"] = lag
+        self._seen += 1
+        if self._seen % self.sample_every == 0:
+            self.samples.append((ts, variant, lag))
+
+    def clock_sample(self, variant: int, lag: float) -> None:
+        stats = self._clock_stats.setdefault(
+            variant, {"count": 0, "max": 0.0, "sum": 0.0})
+        stats["count"] += 1
+        stats["sum"] += lag
+        if lag > stats["max"]:
+            stats["max"] = lag
+
+    def to_dict(self) -> dict:
+        def summary(stats: dict) -> dict:
+            out = {variant: {
+                "count": s["count"],
+                "max": s["max"],
+                "mean": (s["sum"] / s["count"]) if s["count"] else 0.0,
+            } for variant, s in stats.items()}
+            return {str(v): out[v] for v in sorted(out)}
+
+        return {
+            "recorded": self.recorded,
+            "replayed": {str(v): self.replayed[v]
+                         for v in sorted(self.replayed)},
+            "samples": [[ts, variant, lag]
+                        for ts, variant, lag in self.samples],
+            "summary": summary(self._stats),
+            "clock_lag": summary(self._clock_stats),
+        }
+
+
+# -- flamegraph --------------------------------------------------------------
+
+def collapsed_lines(result: dict) -> list[str]:
+    """Collapsed-stack lines for one profile-cell result dict.
+
+    ``agent;v<variant>;<thread>;<category> <cycles>`` — the root frame
+    is the agent, so multi-agent files diff and fold side by side.
+    """
+    agent = result["agent"]
+    lines = []
+    for entry in result["profile"]["threads"]:
+        for category, cycles in entry["categories"].items():
+            count = int(round(cycles))
+            if count <= 0:
+                continue
+            lines.append(f"{agent};v{entry['variant']};"
+                         f"{entry['thread']};{category} {count}")
+    return lines
+
+
+def write_flamegraph(results: list[dict], path: str) -> int:
+    """Write collapsed stacks for all cells, in cell order.
+
+    Returns the number of lines written.  Deterministic in the worker
+    count: the input list is already in cell order.
+    """
+    lines = []
+    for result in results:
+        lines.extend(collapsed_lines(result))
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
+def write_lag_series(results: list[dict], path: str) -> int:
+    """Write the lag series as JSONL, one sample per line, cell order.
+
+    Each line: ``{"agent", "variant", "ts", "lag"}`` — ``ts`` in
+    simulated cycles, ``lag`` in sync operations behind the master.
+    """
+    written = 0
+    with open(path, "w") as handle:
+        for result in results:
+            agent = result["agent"]
+            for ts, variant, lag in result["lag"]["samples"]:
+                handle.write(json.dumps(
+                    {"agent": agent, "variant": variant, "ts": ts,
+                     "lag": lag}, sort_keys=True))
+                handle.write("\n")
+                written += 1
+    return written
+
+
+# -- markdown report ---------------------------------------------------------
+
+def _fmt_cycles(cycles: float) -> str:
+    return f"{cycles:,.0f}"
+
+
+def _category_table(per_category: dict, total: float) -> list[str]:
+    lines = ["| category | cycles | share |",
+             "|---|---:|---:|"]
+    for category, cycles in per_category.items():
+        share = (cycles / total * 100.0) if total else 0.0
+        lines.append(f"| {category} | {_fmt_cycles(cycles)} "
+                     f"| {share:.1f}% |")
+    lines.append(f"| **total** | **{_fmt_cycles(total)}** | 100.0% |")
+    return lines
+
+
+def _lag_section(lag: dict) -> list[str]:
+    lines = [f"Master recorded {lag['recorded']} sync op(s); "
+             "follower lag at replay (operations behind the master):",
+             ""]
+    summary = lag.get("summary", {})
+    if not summary:
+        return lines + ["(no replay activity observed)"]
+    lines += ["| variant | replays | max lag | mean lag |",
+              "|---|---:|---:|---:|"]
+    for variant, stats in summary.items():
+        lines.append(f"| v{variant} | {stats['count']} "
+                     f"| {stats['max']} | {stats['mean']:.2f} |")
+    clock = lag.get("clock_lag", {})
+    if clock:
+        lines += ["", "Wall-of-clocks per-clock cycle lag:",
+                  "", "| variant | samples | max (cycles) | mean |",
+                  "|---|---:|---:|---:|"]
+        for variant, stats in clock.items():
+            lines.append(f"| v{variant} | {stats['count']} "
+                         f"| {stats['max']:.0f} "
+                         f"| {stats['mean']:.1f} |")
+    return lines
+
+
+def render_report(results: list[dict], title: str | None = None) -> str:
+    """Markdown report over one or more profile-cell results.
+
+    One section per agent; a cross-agent comparison table when more
+    than one agent was profiled.  Per-category totals in each section
+    sum exactly to that section's total accounted cycles (both come
+    from the same profile snapshot).
+    """
+    first = results[0]
+    lines = [f"# {title or 'repro profile: ' + first['benchmark']}",
+             "",
+             f"- workload: `{first['benchmark']}` "
+             f"(scale {first['scale']}, seed {first['seed']}, "
+             f"{first['variants']} variants)",
+             f"- agents: {', '.join(r['agent'] for r in results)}",
+             ""]
+    if len(results) > 1:
+        lines += ["## Agent comparison", "",
+                  "| agent | verdict | machine cycles | accounted "
+                  "| slowdown | max lag (ops) |",
+                  "|---|---|---:|---:|---:|---:|"]
+        for result in results:
+            profile = result["profile"]
+            slowdown = (f"{result['slowdown']:.2f}x"
+                        if result.get("slowdown") else "-")
+            summary = result["lag"].get("summary", {})
+            max_lag = max((s["max"] for s in summary.values()),
+                          default=0)
+            lines.append(
+                f"| {result['agent']} | {result['verdict']} "
+                f"| {_fmt_cycles(result['machine_cycles'])} "
+                f"| {_fmt_cycles(profile['total_cycles'])} "
+                f"| {slowdown} | {max_lag} |")
+        lines += ["", "Category shares per agent:", "",
+                  "| category | " +
+                  " | ".join(r["agent"] for r in results) + " |",
+                  "|---|" + "---:|" * len(results)]
+        categories = list(first["profile"]["per_category"])
+        for category in categories:
+            row = [f"| {category} "]
+            for result in results:
+                profile = result["profile"]
+                total = profile["total_cycles"]
+                cycles = profile["per_category"].get(category, 0.0)
+                share = (cycles / total * 100.0) if total else 0.0
+                row.append(f"| {share:.1f}% ")
+            lines.append("".join(row) + "|")
+        lines.append("")
+    for result in results:
+        profile = result["profile"]
+        total = profile["total_cycles"]
+        lines += [f"## {result['agent']}", "",
+                  f"- verdict: {result['verdict']}",
+                  f"- machine wall: "
+                  f"{_fmt_cycles(result['machine_cycles'])} cycles "
+                  f"({cycles_to_seconds(result['machine_cycles']) * 1e3:.2f} "
+                  "simulated ms)",
+                  f"- accounted thread cycles: {_fmt_cycles(total)} "
+                  "(category totals sum to this exactly)"]
+        if result.get("slowdown"):
+            lines.append(f"- slowdown vs native: "
+                         f"{result['slowdown']:.2f}x")
+        futex = profile.get("futex", {})
+        if futex.get("parks"):
+            lines.append(f"- futex traffic: {futex['parks']} park(s), "
+                         f"{futex['wakes']} woken")
+        lines += [""] + _category_table(profile["per_category"], total)
+        lines += ["", "### Cross-variant lag", ""]
+        lines += _lag_section(result["lag"])
+        lines.append("")
+    return "\n".join(lines)

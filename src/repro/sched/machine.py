@@ -131,6 +131,16 @@ class Machine:
             Join: self._commit_join,
             Annotate: self._commit_annotate,
         }
+        # Step-kind names for the profiler's step_committed hook (one
+        # dict lookup per step, only when a hub is attached).
+        self._event_kinds = {
+            Compute: "compute",
+            SyncOp: "syncop",
+            Syscall: "syscall",
+            Spawn: "spawn",
+            Join: "join",
+            Annotate: "annotate",
+        }
 
     # -- setup ----------------------------------------------------------------
 
@@ -150,6 +160,9 @@ class Machine:
         self._threads_by_id[thread.global_id] = thread
         thread.ready_since = self.now
         self._ready.append(thread)
+        if self.obs is not None:
+            self.obs.thread_created(vm.index, thread.global_id,
+                                    logical_id)
         return thread
 
     # -- external actors (benchmark traffic drivers etc.) -----------------------
@@ -259,6 +272,17 @@ class Machine:
                     duration = self.now - started
                     thread.stats.busy_cycles += duration
                     thread.burst_cycles += duration
+                    if self.obs is not None:
+                        # park_resume is still set for mid-event resumes,
+                        # so the hook can attribute the recheck to the
+                        # wait that caused it.
+                        self.obs.step_committed(
+                            thread.vm.index, thread.global_id,
+                            thread.logical_id,
+                            ("resume" if thread.park_resume is not None
+                             else self._event_kinds[
+                                 type(thread.pending_event)]),
+                            duration)
                     self._commit_step(thread)
             elif kind == "external":
                 payload(self)
@@ -714,6 +738,9 @@ class Machine:
         thread.result = value
         thread.state = ThreadState.DONE
         thread.pending_event = None
+        if self.obs is not None:
+            self.obs.thread_finished(thread.vm.index, thread.global_id,
+                                     thread.logical_id)
         if self.interceptor is not None:
             self.interceptor.on_thread_exit(thread.vm, thread)
         if thread.vm.agent is not None:

@@ -46,6 +46,69 @@ class TestHistogram:
     def test_empty_mean_is_zero(self):
         assert Histogram("h").mean == 0.0
 
+    def test_empty_snapshot_edges_pinned(self):
+        """An empty histogram's summary stats are all 0.0 — including
+        min, which must not report a sentinel like +inf."""
+        snap = Histogram("h", bounds=(10.0,)).snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.0
+        assert snap["mean"] == 0.0
+
+    def test_min_tracks_smallest_observation(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        histogram.observe(50.0)
+        assert histogram.snapshot()["min"] == 50.0
+        histogram.observe(5.0)
+        histogram.observe(500.0)
+        snap = histogram.snapshot()
+        assert snap["min"] == 5.0
+        assert snap["max"] == 500.0
+
+    def test_percentile_empty_is_zero(self):
+        histogram = Histogram("h", bounds=(10.0,))
+        for p in (0.0, 50.0, 100.0):
+            assert histogram.percentile(p) == 0.0
+
+    def test_percentile_edges_are_exact_observations(self):
+        """p0/p100 bypass bucket interpolation: they return the exact
+        observed min/max even when those fall inside (or beyond) the
+        bucket bounds."""
+        histogram = Histogram("h", bounds=(10.0, 100.0))
+        histogram.observe(7.0)
+        histogram.observe(42.0)
+        histogram.observe(650.0)   # overflow bucket
+        assert histogram.percentile(0.0) == 7.0
+        assert histogram.percentile(100.0) == 650.0
+
+    def test_interior_percentile_uses_bucket_upper_bound(self):
+        histogram = Histogram("h", bounds=(10.0, 100.0, 1000.0))
+        for value in (5.0, 50.0, 51.0, 52.0, 900.0):
+            histogram.observe(value)
+        assert histogram.percentile(20.0) == 10.0
+        assert histogram.percentile(40.0) == 100.0
+
+    def test_interior_percentile_clamped_to_observed_max(self):
+        histogram = Histogram("h", bounds=(10.0, 1000.0))
+        histogram.observe(20.0)
+        histogram.observe(30.0)
+        # Both land in the le_1000 bucket; its upper bound exceeds the
+        # observed max, so the estimate clamps.
+        assert histogram.percentile(50.0) == 30.0
+
+    def test_percentile_of_overflow_bucket_is_max(self):
+        histogram = Histogram("h", bounds=(10.0,))
+        histogram.observe(500.0)
+        histogram.observe(900.0)
+        assert histogram.percentile(99.0) == 900.0
+
+    def test_percentile_out_of_range_raises(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError, match="out of range"):
+            histogram.percentile(-1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            histogram.percentile(101.0)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):

@@ -1,0 +1,110 @@
+"""Lag tracking, flamegraph output, and report rendering."""
+
+import json
+
+import pytest
+
+from repro.prof.analytics import (
+    LagTracker,
+    collapsed_lines,
+    render_report,
+    write_flamegraph,
+    write_lag_series,
+)
+from repro.prof.runner import PROFILE_AGENTS, run_profiles
+
+
+@pytest.fixture(scope="module")
+def nginx_results():
+    """One profiled nginx run per agent (shared: the runs are pure)."""
+    return run_profiles("nginx", PROFILE_AGENTS, variants=2,
+                        scale=0.25, seed=1)
+
+
+class TestLagTracker:
+    def test_lag_is_recorded_minus_replayed(self):
+        tracker = LagTracker()
+        for ts in (1.0, 2.0, 3.0):
+            tracker.record(ts)
+        tracker.replay(4.0, variant=1)
+        tracker.replay(5.0, variant=1)
+        assert tracker.samples == [(4.0, 1, 2), (5.0, 1, 1)]
+        data = tracker.to_dict()
+        assert data["recorded"] == 3
+        assert data["replayed"] == {"1": 2}
+        assert data["summary"]["1"]["max"] == 2
+        assert data["summary"]["1"]["mean"] == pytest.approx(1.5)
+
+    def test_sample_every_thins_series_not_summary(self):
+        tracker = LagTracker(sample_every=3)
+        for i in range(9):
+            tracker.record(float(i))
+            tracker.replay(float(i), variant=1)
+        assert len(tracker.samples) == 3
+        assert tracker.to_dict()["summary"]["1"]["count"] == 9
+
+    def test_clock_lag_summary(self):
+        tracker = LagTracker()
+        tracker.clock_sample(1, 4.0)
+        tracker.clock_sample(1, 8.0)
+        clock = tracker.to_dict()["clock_lag"]
+        assert clock["1"]["max"] == 8.0
+        assert clock["1"]["mean"] == pytest.approx(6.0)
+
+
+class TestFlamegraph:
+    def test_collapsed_format(self, nginx_results):
+        lines = collapsed_lines(nginx_results[0])
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            frames = stack.split(";")
+            assert frames[0] == nginx_results[0]["agent"]
+            assert frames[1].startswith("v")
+            assert len(frames) == 4
+            assert int(count) > 0
+
+    def test_write_flamegraph_all_agents_in_cell_order(
+            self, nginx_results, tmp_path):
+        path = tmp_path / "flame.txt"
+        count = write_flamegraph(nginx_results, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        roots = [line.split(";")[0] for line in lines]
+        # Cell order == agent order, each agent's block contiguous.
+        assert sorted(set(roots), key=roots.index) == list(PROFILE_AGENTS)
+
+
+class TestLagSeries:
+    def test_jsonl_schema(self, nginx_results, tmp_path):
+        path = tmp_path / "lag.jsonl"
+        count = write_lag_series(nginx_results, str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count > 0
+        for line in lines[:20]:
+            sample = json.loads(line)
+            assert set(sample) == {"agent", "variant", "ts", "lag"}
+            assert sample["variant"] >= 1  # only followers replay
+            assert sample["lag"] >= 0
+
+
+class TestReport:
+    def test_report_covers_all_agents_and_sums_exactly(
+            self, nginx_results):
+        report = render_report(nginx_results)
+        assert "## Agent comparison" in report
+        for result in nginx_results:
+            assert f"## {result['agent']}" in report
+            profile = result["profile"]
+            # The acceptance invariant, checked on the data the report
+            # renders: category totals sum exactly to the run total.
+            assert profile["total_cycles"] == pytest.approx(
+                sum(profile["per_category"].values()))
+            assert result["verdict"] == "clean"
+        assert "Cross-variant lag" in report
+
+    def test_single_agent_report_skips_comparison(self, nginx_results):
+        report = render_report(nginx_results[:1])
+        assert "## Agent comparison" not in report
+        assert "## wall_of_clocks" not in report  # only agent [0]
+        assert f"## {nginx_results[0]['agent']}" in report

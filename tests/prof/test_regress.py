@@ -1,0 +1,179 @@
+"""The bench regression gate (repro.prof.regress)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.prof.regress import (
+    compare_reports,
+    exit_code,
+    load_report,
+    render_findings,
+    trajectory_entry,
+)
+
+
+def make_report(**overrides):
+    report = {
+        "kind": "repro-bench",
+        "format_version": 2,
+        "generated_unix": 1700000000,
+        "jobs": 1,
+        "quick": True,
+        "matrix": {"benchmarks": ["fft", "dedup"],
+                   "agents": ["wall_of_clocks"],
+                   "variant_counts": [2], "scale": 0.05, "seed": 1,
+                   "cells": 2},
+        "serial": {"wall_s": 10.0, "ok": 2, "failed": 0,
+                   "cell_wall_s": [4.0, 6.0]},
+        "parallel": None,
+        "speedup": None,
+        "identical": None,
+        "digest": "sha256:abc",
+        "profile": {"benchmark": "fft", "agent": "wall_of_clocks",
+                    "variants": 2,
+                    "per_category": {"guest-compute": 800.0,
+                                     "agent-wait": 200.0},
+                    "total_cycles": 1000.0,
+                    "machine_cycles": 500.0},
+        "trajectory": [],
+    }
+    report.update(overrides)
+    return report
+
+
+def levels(findings):
+    return {f.code: f.level for f in findings}
+
+
+class TestLoadReport:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ReproError, match="empty"):
+            load_report(str(path))
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text(json.dumps(make_report())[:40])
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_report(str(path))
+
+    def test_wrong_kind(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ReproError, match="repro-bench"):
+            load_report(str(path))
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(make_report()))
+        assert load_report(str(path))["digest"] == "sha256:abc"
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        findings = compare_reports(make_report(), make_report())
+        assert exit_code(findings) == 0
+        assert all(f.level == "info" for f in findings)
+
+    def test_matrix_mismatch_fails_early(self):
+        other = make_report()
+        other["matrix"] = dict(other["matrix"], scale=0.1)
+        findings = compare_reports(make_report(), other)
+        assert levels(findings) == {"matrix-mismatch": "fail"}
+        assert exit_code(findings) == 1
+
+    def test_digest_divergence_fails(self):
+        findings = compare_reports(make_report(digest="sha256:def"),
+                                   make_report())
+        assert levels(findings)["digest-divergence"] == "fail"
+        assert exit_code(findings) == 1
+
+    def test_wall_regression_warns_by_default(self):
+        slow = make_report()
+        slow["serial"] = dict(slow["serial"], wall_s=20.0)
+        findings = compare_reports(slow, make_report())
+        assert levels(findings)["serial-wall"] == "warn"
+        assert exit_code(findings) == 0
+
+    def test_fail_on_wall_promotes(self):
+        slow = make_report()
+        slow["serial"] = dict(slow["serial"], wall_s=20.0)
+        findings = compare_reports(slow, make_report(),
+                                   fail_on_wall=True)
+        assert levels(findings)["serial-wall"] == "fail"
+        assert exit_code(findings) == 1
+
+    def test_wall_within_tolerance_is_info(self):
+        near = make_report()
+        near["serial"] = dict(near["serial"], wall_s=11.0)
+        findings = compare_reports(near, make_report())
+        assert levels(findings)["serial-wall"] == "info"
+
+    def test_cell_wall_offenders_reported(self):
+        slow = make_report()
+        slow["serial"] = dict(slow["serial"],
+                              cell_wall_s=[4.0, 12.0])
+        findings = compare_reports(slow, make_report())
+        assert levels(findings)["cell-wall"] == "warn"
+        assert "cell 1" in next(f for f in findings
+                                if f.code == "cell-wall").message
+
+    def test_profile_shift_fails(self):
+        shifted = make_report()
+        shifted["profile"] = dict(
+            shifted["profile"],
+            per_category={"guest-compute": 700.0,
+                          "agent-wait": 300.0})
+        findings = compare_reports(shifted, make_report())
+        assert levels(findings)["profile-shift"] == "fail"
+        assert exit_code(findings) == 1
+
+    def test_failed_cells_fail(self):
+        broken = make_report()
+        broken["serial"] = dict(broken["serial"], failed=1, ok=1)
+        findings = compare_reports(broken, make_report())
+        assert levels(findings)["failed-cells"] == "fail"
+
+    def test_pre_v2_reference_skips_profile_check(self):
+        old = make_report(format_version=1)
+        del old["profile"]
+        findings = compare_reports(make_report(), old)
+        assert levels(findings)["profile"] == "info"
+        assert exit_code(findings) == 0
+
+    def test_render_findings_mentions_verdict(self):
+        good = render_findings(compare_reports(make_report(),
+                                               make_report()))
+        assert "ok" in good
+        bad = render_findings(
+            compare_reports(make_report(digest="sha256:def"),
+                            make_report()))
+        assert "REGRESSION" in bad
+
+
+class TestTrajectory:
+    def test_entry_is_compact(self):
+        entry = trajectory_entry(make_report())
+        assert entry == {
+            "generated_unix": 1700000000,
+            "format_version": 2,
+            "digest": "sha256:abc",
+            "cells": 2,
+            "jobs": 1,
+            "serial_wall_s": 10.0,
+            "identical": None,
+        }
+
+    def test_comparison_does_not_mutate_inputs(self):
+        new, ref = make_report(), make_report()
+        before = copy.deepcopy((new, ref))
+        compare_reports(new, ref)
+        assert (new, ref) == before

@@ -207,6 +207,64 @@ class TestRaceDetectorDeterminism:
         assert detected.stdout == baseline.stdout
 
 
+class TestProfilerDeterminism:
+    """The cycle profiler is an observer like the tracer and the race
+    detector: obs=None, a plain hub, and a profiling hub must all
+    produce the exact same simulated timeline — across agents and
+    composed with fault injection and race detection."""
+
+    def _run(self, agent, obs=None, costs=None, faults=None,
+             policy=None, races=None):
+        return run_mvee(MutexCounterProgram(workers=3, iters=25),
+                        variants=3, agent=agent, seed=7, costs=costs,
+                        obs=obs, faults=faults, policy=policy,
+                        races=races)
+
+    @pytest.mark.parametrize("agent", ["total_order", "partial_order",
+                                       "wall_of_clocks"])
+    @pytest.mark.parametrize("config", ["plain", "faulted",
+                                        "race-detect"])
+    def test_profiler_attached_is_zero_cost(self, agent, config,
+                                            fast_costs):
+        from repro.races import RaceDetector
+
+        def run_with(obs):
+            kwargs = {}
+            if config == "faulted":
+                kwargs["faults"] = FaultPlan(
+                    (FaultSpec(kind="crash", variant=1, at=4),))
+                kwargs["policy"] = MonitorPolicy(
+                    degradation="quarantine")
+            elif config == "race-detect":
+                kwargs["races"] = RaceDetector()
+            return self._run(agent, obs=obs, costs=fast_costs,
+                             **kwargs)
+
+        baseline = run_with(None)
+        plain_hub = run_with(ObsHub())
+        profiled = run_with(ObsHub(trace=False, profile=True))
+        expected = "degraded" if config == "faulted" else "clean"
+        assert baseline.verdict == expected
+        for outcome in (plain_hub, profiled):
+            assert outcome.verdict == baseline.verdict
+            assert outcome.cycles == baseline.cycles
+            assert outcome.stdout == baseline.stdout
+
+    def test_profile_snapshot_reproducible(self, fast_costs):
+        import json
+
+        def profile_of():
+            hub = ObsHub(trace=False, profile=True)
+            outcome = self._run("wall_of_clocks", obs=hub,
+                                costs=fast_costs)
+            hub.prof.finalize(outcome.machine.now)
+            return hub.prof.snapshot().to_dict()
+
+        first, second = profile_of(), profile_of()
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))
+
+
 class TestParallelSweepDeterminism:
     """The parallel engine must not cost a bit of determinism: the
     aggregated output of a sharded sweep is pinned to a golden digest,
@@ -267,7 +325,7 @@ class TestBenchCLIDeterminism:
     def test_bench_report_schema_and_digest(self, tmp_path):
         report = self._run_bench(tmp_path, "bench.json", jobs=2)
         assert report["kind"] == "repro-bench"
-        assert report["format_version"] == 1
+        assert report["format_version"] == 2
         assert report["quick"] is True
         assert report["jobs"] == 2
         assert set(report["host"]) == {"cpu_count", "platform", "python"}
@@ -282,6 +340,13 @@ class TestBenchCLIDeterminism:
             report["serial"]["wall_s"] / report["parallel"]["wall_s"])
         assert (report["digest"]
                 == TestParallelSweepDeterminism.GOLDEN_QUICK_DIGEST)
+        # v2 additions: per-cell walls, first-cell profile, trajectory.
+        assert len(report["serial"]["cell_wall_s"]) == matrix["cells"]
+        profile = report["profile"]
+        assert profile["benchmark"] == matrix["benchmarks"][0]
+        assert profile["total_cycles"] == pytest.approx(
+            sum(profile["per_category"].values()))
+        assert report["trajectory"] == []
 
     def test_bench_serial_only_report(self, tmp_path):
         report = self._run_bench(tmp_path, "serial.json", jobs=1)
