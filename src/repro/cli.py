@@ -37,6 +37,15 @@ Commands
     Cycle-accounting profile of one workload (``docs/PROFILING.md``):
     per-category cycle attribution, cross-variant lag series, collapsed
     flamegraph stacks, and a markdown comparison report.
+``serve {start,status,bench}``
+    MVEE-as-a-service (``docs/SERVING.md``): ``start`` runs the session
+    daemon in the foreground, ``status`` queries a running daemon, and
+    ``bench`` load-tests an in-process daemon with hundreds of short
+    sessions and writes ``BENCH_serve.json``.
+
+Every subcommand maps a :class:`repro.errors.ReproError` to exit code 2
+with a one-line message on stderr (no tracebacks for expected failures);
+see :func:`_run_guarded`.
 
 The ``run`` and ``trace`` commands accept ``--trace-out PATH`` (write a
 Perfetto-loadable Chrome trace of the run), ``--metrics`` (print the
@@ -453,14 +462,104 @@ def _cmd_races(args) -> int:
 
 
 def _cmd_list(args) -> int:
-    from repro.workloads.spec import ALL_SPECS
+    from repro.workloads.spec import ALL_SPECS, catalog
 
+    if args.json:
+        import json
+
+        print(json.dumps(catalog(), indent=1, sort_keys=True))
+        return 0
     print(f"{'benchmark':18s} {'suite':9s} {'topology':14s} "
           f"{'syscalls K/s':>12s} {'sync K/s':>10s}")
     for name, spec in ALL_SPECS.items():
         print(f"{name:18s} {spec.suite:9s} {spec.topology:14s} "
               f"{spec.syscall_rate_k:12.2f} {spec.sync_rate_k:10.2f}")
     return 0
+
+
+def _serve_start(args) -> int:
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+
+    daemon = ServeDaemon(ServeConfig(
+        host=args.host, port=args.port, state_dir=args.state_dir,
+        max_sessions=args.max_sessions,
+        max_cycles_per_session=args.max_cycles,
+        jobs=args.jobs, bundle_dir=args.bundle_dir))
+    if daemon.registry.recovered:
+        for sid, state in sorted(daemon.registry.recovered.items()):
+            print(f"recovered : {sid} -> {state}")
+    host, port = daemon.start()
+    print(f"serving   : {host}:{port} "
+          f"(quota {args.max_sessions} sessions, "
+          f"{args.jobs} worker job(s)"
+          + (f", state in {args.state_dir}" if args.state_dir else "")
+          + ")", flush=True)
+    try:
+        daemon.join()
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        daemon.stop()
+    return 0
+
+
+def _serve_status(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        status = client.status()
+    status.pop("ok", None)
+    status.pop("op", None)
+    status.pop("status", None)
+    print(json.dumps(status, indent=1, sort_keys=True))
+    return 0
+
+
+def _serve_bench(args) -> int:
+    from repro.errors import ReproError
+    from repro.prof import regress
+    from repro.serve.bench import (
+        render_serve_bench,
+        run_serve_bench,
+        serve_trajectory_entry,
+    )
+
+    trajectory = None
+    if args.compare:
+        try:
+            ref = regress.load_report(args.compare,
+                                      expected_kind="repro-serve-bench")
+        except ReproError as exc:
+            print(f"repro serve bench: {exc}", file=sys.stderr)
+            return 2
+        trajectory = (list(ref.get("trajectory") or [])
+                      + [serve_trajectory_entry(ref)])
+    report = run_serve_bench(
+        sessions=args.sessions, concurrency=args.concurrency,
+        max_sessions=args.max_sessions, jobs=args.jobs,
+        workload=args.workload, base_seed=args.seed, mode=args.mode,
+        out_path=args.out or None, trajectory=trajectory)
+    print(render_serve_bench(report))
+    if args.out:
+        print(f"wrote    : {args.out}")
+    code = 0
+    if report["totals"]["failures"]:
+        code = 1
+    if report["totals"]["completed"] != args.sessions:
+        code = 1
+    if report.get("verified_single_shot") is False:
+        code = 1
+    return code
+
+
+def _cmd_serve(args) -> int:
+    if args.action == "start":
+        return _serve_start(args)
+    if args.action == "status":
+        return _serve_status(args)
+    return _serve_bench(args)
 
 
 def _cmd_nginx(args) -> int:
@@ -692,17 +791,89 @@ def build_parser() -> argparse.ArgumentParser:
     p_races.set_defaults(func=_cmd_races)
 
     p_list = sub.add_parser("list", help="list benchmark twins")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable workload catalog (the "
+                             "same structure the serve daemon's "
+                             "'workloads' op returns)")
     p_list.set_defaults(func=_cmd_list)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="MVEE-as-a-service: session daemon, status client, and "
+             "load test (see docs/SERVING.md)")
+    p_serve.add_argument("action", choices=("start", "status", "bench"))
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7333,
+                         help="daemon port (start: 0 picks an "
+                              "ephemeral port; default 7333)")
+    p_serve.add_argument("--state-dir", default=None, metavar="DIR",
+                         help="start: journal the session registry "
+                              "here so it survives daemon restarts "
+                              "(default: in-memory only)")
+    p_serve.add_argument("--bundle-dir", default=None, metavar="DIR",
+                         help="start: write divergence forensics "
+                              "bundles for served sessions here")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="admission control: max concurrently "
+                              "active sessions (default 64)")
+    p_serve.add_argument("--max-cycles", type=float, default=None,
+                         metavar="CYCLES",
+                         help="per-session simulated-cycle quota; a "
+                              "session exceeding it is killed "
+                              "(default: unlimited)")
+    p_serve.add_argument("--sessions", type=int, default=256,
+                         help="bench: total sessions to push "
+                              "(default 256)")
+    p_serve.add_argument("--concurrency", type=int, default=72,
+                         help="bench: concurrent client threads "
+                              "(default 72, above the default quota so "
+                              "admission control engages)")
+    p_serve.add_argument("--workload", default="nginx",
+                         help="bench: workload for every session "
+                              "(default nginx)")
+    p_serve.add_argument("--mode", default="batch",
+                         choices=("batch", "step"),
+                         help="bench: drive sessions through the "
+                              "worker pool ('batch') or in step "
+                              "batches ('step'); digests are identical")
+    p_serve.add_argument("--seed", type=int, default=1,
+                         help="bench: base seed for per-session seed "
+                              "derivation")
+    p_serve.add_argument("--compare", default=None, metavar="REF",
+                         help="bench: carry REF's trajectory forward "
+                              "into the fresh report")
+    p_serve.add_argument("-o", "--out", default="BENCH_serve.json",
+                         metavar="PATH",
+                         help="bench: artifact path (default: "
+                              "BENCH_serve.json; empty string to skip)")
+    _add_jobs_flag(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_nginx = sub.add_parser("nginx", help="run the §5.5 demo")
     p_nginx.set_defaults(func=_cmd_nginx)
     return parser
 
 
+def _run_guarded(func, args) -> int:
+    """Run one subcommand under the CLI error contract: any
+    :class:`repro.errors.ReproError` becomes exit code 2 with a
+    one-line message on stderr — expected failures (bad inputs,
+    missing artifacts, unreachable daemon, quota rejections) never
+    print tracebacks.  Unexpected exceptions still propagate loudly.
+    """
+    from repro.errors import ReproError
+
+    try:
+        return func(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return _run_guarded(args.func, args)
 
 
 if __name__ == "__main__":

@@ -294,12 +294,29 @@ class MVEE:
 
     def run(self) -> MVEEOutcome:
         """Execute the variant set and return the verdict."""
+        outcome = self.advance()
+        assert outcome is not None
+        return outcome
+
+    def advance(self, max_events: int | None = None) -> MVEEOutcome | None:
+        """Drive the run incrementally: process up to ``max_events``
+        machine events and return the :class:`MVEEOutcome` once the run
+        finishes, or ``None`` while it is still in flight.
+
+        A budgeted sequence of ``advance`` calls yields the *same*
+        outcome (verdict, cycles, observability stream) as one
+        :meth:`run` — the machine pauses between events without
+        perturbing the timeline.  This is the execution primitive behind
+        ``repro.serve`` step-driven sessions.
+        """
         try:
-            report = self.machine.run()
+            report = self.machine.advance(max_events)
         except DivergenceError as exc:
             return self._outcome("divergence", None, exc.report)
         except DeadlockError as exc:
             return self._outcome("deadlock", None, None, deadlock=exc)
+        if report is None:
+            return None
         audit = self.monitor.finalize()
         if audit is not None:
             return self._outcome("divergence", report, audit)

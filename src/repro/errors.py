@@ -33,6 +33,68 @@ class ObsArtifactError(ReproError):
     instead of tracebacks."""
 
 
+class ServeError(ReproError):
+    """Base class for ``repro.serve`` request failures.
+
+    Every subclass pins an HTTP-style ``status`` code so the daemon can
+    put a machine-readable class on the wire and the client can re-raise
+    the *same* typed error on its side (see ``docs/SERVING.md``).
+    Admission-control rejections are ordinary, expected responses —
+    typed, never hangs — which is why they get their own hierarchy
+    instead of ad-hoc strings.
+    """
+
+    #: HTTP-style status code (subclasses override).
+    status = 500
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+    @property
+    def code(self) -> str:
+        """Wire name of the error class (``"QuotaExceeded"`` ...)."""
+        return type(self).__name__
+
+
+class BadRequest(ServeError):
+    """Malformed or unparseable request (HTTP 400 analogue)."""
+
+    status = 400
+
+
+class SessionNotFound(ServeError):
+    """The request names a session the registry does not know (404)."""
+
+    status = 404
+
+
+class SessionConflict(ServeError):
+    """The session exists but is in the wrong state for the op (409)."""
+
+    status = 409
+
+
+class QuotaExceeded(ServeError):
+    """Admission control rejected the request (429): session, cycle, or
+    queue quota hit.  Clients are expected to back off and retry."""
+
+    status = 429
+
+
+class DaemonUnavailable(ServeError):
+    """The daemon is shutting down or unreachable (503)."""
+
+    status = 503
+
+
+#: Wire name -> ServeError class, for client-side re-raising.
+SERVE_ERRORS = {cls.__name__: cls for cls in (
+    ServeError, BadRequest, SessionNotFound, SessionConflict,
+    QuotaExceeded, DaemonUnavailable)}
+
+
 class GuestFault(ReproError):
     """A guest program performed an illegal operation.
 

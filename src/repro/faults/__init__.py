@@ -31,7 +31,13 @@ from repro.faults.plan import (
     parse_fault_spec,
 )
 
+#: The monitor's graceful-degradation policies, in documentation order.
+#: Single source of truth for everything that enumerates them (CLI
+#: choices, the fault matrix, serve session specs, registry recovery).
+DEGRADATION_POLICIES = ("kill-all", "quarantine", "restart")
+
 __all__ = [
+    "DEGRADATION_POLICIES",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",

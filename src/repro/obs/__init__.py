@@ -117,6 +117,28 @@ class ObsHub:
     def now(self) -> float:
         return self.tracer.now
 
+    def digest(self) -> str:
+        """Canonical digest of everything the hub observed.
+
+        Covers the metrics snapshot and the fault/recovery/race logs —
+        all simulated quantities, so two runs of the same configuration
+        produce the same digest regardless of host, worker count, or
+        whether the run was driven in one shot or in step batches.
+        ``repro.serve`` uses this to prove a served session is
+        byte-identical to the equivalent single-shot ``repro run``.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "metrics": self.metrics.snapshot(),
+            "faults": self.fault_log,
+            "recovery": self.recovery_log,
+            "races": self.race_log,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()
+
     # -- monitor hooks -------------------------------------------------------
 
     def monitored_call(self, variant: int, thread: str, name: str,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -43,6 +44,7 @@ from repro.par.seeds import derive_cell_seed
 __all__ = [
     "CellTask",
     "CellResult",
+    "CellExecutor",
     "ParallelCellError",
     "run_cells",
     "raise_failures",
@@ -249,6 +251,183 @@ def run_cells(tasks, jobs: int = 1,
             proc.join()
             conn.close()
     return [slots[position] for position in range(len(tasks))]
+
+
+class CellExecutor:
+    """A long-lived worker pool: submit cells over time, share the slots.
+
+    :func:`run_cells` is a synchronous batch — fine for sweeps, useless
+    for a daemon whose cells (serve sessions) arrive one at a time from
+    many client connections.  The executor keeps the engine's guarantees
+    (crash isolation, pickle-safe envelopes, explicit per-cell seeds —
+    determinism never depends on completion order) while letting N
+    independent submitters share at most ``jobs`` forked workers.
+
+    ``jobs == 0`` runs every cell inline in the submitting thread — no
+    fork at all, used by tests and fork-less platforms; results are
+    identical because cells are pure functions of their task.
+
+    Single-consumer per ticket: :meth:`wait` (or a :meth:`poll` that
+    finds the cell done) hands the result over exactly once.
+    """
+
+    def __init__(self, jobs: int = 2, trace_dir: str | None = None):
+        self.jobs = max(0, jobs)
+        self.trace_dir = trace_dir
+        self._lock = threading.Lock()
+        self._pending: deque = deque()
+        self._running: list = []
+        self._done: dict[int, CellResult] = {}
+        self._events: dict[int, threading.Event] = {}
+        self._next_ticket = 0
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        if self.jobs > 0:
+            self._ctx = _mp_context()
+            self._wake_r, self._wake_w = os.pipe()
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="cell-executor",
+                daemon=True)
+            self._thread.start()
+
+    # -- submit side -------------------------------------------------------
+
+    def submit(self, task: CellTask) -> int:
+        """Queue one cell; returns a ticket for :meth:`wait`/:meth:`poll`."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._events[ticket] = threading.Event()
+            self.submitted += 1
+            if self.jobs == 0:
+                # Inline mode: run right here, same envelope semantics.
+                result = _execute_cell(task, self.trace_dir)
+                self._done[ticket] = result
+                self.completed += 1
+                self._events[ticket].set()
+                return ticket
+            self._pending.append((ticket, task))
+        self._wake()
+        return ticket
+
+    def poll(self, ticket: int) -> CellResult | None:
+        """The cell's result if it finished, else ``None`` (never blocks).
+        A returned result is handed over: the ticket is retired."""
+        with self._lock:
+            result = self._done.pop(ticket, None)
+            if result is not None:
+                self._events.pop(ticket, None)
+            return result
+
+    def wait(self, ticket: int,
+             timeout: float | None = None) -> CellResult | None:
+        """Block until the cell finishes; ``None`` only on timeout."""
+        event = self._events.get(ticket)
+        if event is not None and not event.wait(timeout):
+            return None
+        return self.poll(ticket)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self.submitted - self.completed
+
+    def shutdown(self) -> None:
+        """Stop the pool: running workers are terminated, queued cells
+        fail with a diagnostic result (nothing hangs)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.jobs > 0:
+            self._wake()
+            self._thread.join(timeout=30.0)
+            os.close(self._wake_r)
+            os.close(self._wake_w)
+
+    # -- dispatcher --------------------------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - closed during shutdown
+            pass
+
+    def _deliver(self, ticket: int, result: CellResult) -> None:
+        with self._lock:
+            self._done[ticket] = result
+            self.completed += 1
+            event = self._events.get(ticket)
+        if event is not None:
+            event.set()
+
+    def _start_one(self, ticket: int, task: CellTask) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, task, self.trace_dir),
+                                 daemon=True)
+        proc.start()
+        child_conn.close()
+        self._running.append((ticket, task, proc, parent_conn))
+
+    def _finish_one(self, ticket: int, task: CellTask, proc, conn) -> None:
+        result = None
+        if conn.poll():
+            try:
+                result = conn.recv()
+            except EOFError:
+                result = None
+        conn.close()
+        proc.join()
+        if result is None:
+            result = CellResult(
+                index=task.index, ok=False,
+                error=(f"worker died before reporting "
+                       f"(exit code {proc.exitcode})"),
+                worker_pid=proc.pid or 0)
+        self._deliver(ticket, result)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                closed = self._closed
+                while (not closed and self._pending
+                       and len(self._running) < self.jobs):
+                    ticket, task = self._pending.popleft()
+                    self._start_one(ticket, task)
+            if closed:
+                break
+            waitables = [self._wake_r]
+            waitables += [entry[3] for entry in self._running]
+            waitables += [entry[2].sentinel for entry in self._running]
+            ready = connection.wait(waitables)
+            if self._wake_r in ready:
+                os.read(self._wake_r, 4096)
+            still = []
+            for ticket, task, proc, conn in self._running:
+                if conn in ready or proc.sentinel in ready:
+                    self._finish_one(ticket, task, proc, conn)
+                else:
+                    still.append((ticket, task, proc, conn))
+            self._running = still
+        # Shutdown: kill the survivors, fail the queue — never hang.
+        for ticket, task, proc, conn in self._running:
+            proc.terminate()
+            proc.join()
+            conn.close()
+            self._deliver(ticket, CellResult(
+                index=task.index, ok=False,
+                error="executor shut down", worker_pid=proc.pid or 0))
+        self._running = []
+        with self._lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        for ticket, task in pending:
+            self._deliver(ticket, CellResult(
+                index=task.index, ok=False, error="executor shut down"))
 
 
 def merge_cell_traces(results: list[CellResult], out_path: str) -> int:

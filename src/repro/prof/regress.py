@@ -58,7 +58,7 @@ class Finding:
         return f"[{self.level.upper():4s}] {self.code}: {self.message}"
 
 
-def load_report(path: str) -> dict:
+def load_report(path: str, expected_kind: str = "repro-bench") -> dict:
     """Load a bench report, raising :class:`ReproError` on anything a
     user can plausibly hand us: missing, empty, truncated, wrong kind."""
     try:
@@ -74,9 +74,9 @@ def load_report(path: str) -> dict:
     except json.JSONDecodeError as exc:
         raise ReproError(f"bench report {path!r} is not valid JSON "
                          f"(truncated?): {exc}") from exc
-    if not isinstance(report, dict) or report.get("kind") != "repro-bench":
-        raise ReproError(f"{path!r} is not a repro-bench report "
-                         "(missing kind == 'repro-bench')")
+    if not isinstance(report, dict) or report.get("kind") != expected_kind:
+        raise ReproError(f"{path!r} is not a {expected_kind} report "
+                         f"(missing kind == {expected_kind!r})")
     return report
 
 

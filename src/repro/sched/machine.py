@@ -91,6 +91,10 @@ class Machine:
         self._threads_by_id: dict[str, GuestThread] = {}
         self._divergence = None
         self._fault: GuestFault | None = None
+        # Whether the initial dispatch has happened; lets advance() be
+        # called repeatedly (incremental driving) without re-running the
+        # bootstrap dispatch.
+        self._started = False
         #: Optional callable(vm, thread, label, payload) for Annotate events.
         self.trace_hook = None
         #: Optional :class:`repro.obs.ObsHub`; hooks fire only when set,
@@ -248,9 +252,29 @@ class Machine:
         :class:`GuestFault` for unhandled native faults, and
         :class:`DeadlockError` when no progress is possible.
         """
-        self._dispatch()
-        self._raise_if_flagged()
+        return self.advance()
+
+    def advance(self, max_events: int | None = None) -> MachineReport | None:
+        """Process up to ``max_events`` pending events, then pause.
+
+        ``None`` (the default) runs to completion — exactly
+        :meth:`run`.  With a budget, the machine returns ``None`` when
+        the budget is exhausted but the simulation has not finished;
+        calling :meth:`advance` again resumes *exactly* where it
+        stopped, so a budgeted sequence of calls produces a timeline
+        bit-identical to one unbudgeted :meth:`run` (the property
+        ``repro.serve`` sessions rely on).  Exceptions propagate at the
+        same event they would under :meth:`run`.
+        """
+        if not self._started:
+            self._started = True
+            self._dispatch()
+            self._raise_if_flagged()
+        processed = 0
         while self._heap:
+            if max_events is not None and processed >= max_events:
+                return None
+            processed += 1
             time, _, kind, payload = heapq.heappop(self._heap)
             if kind == "watchdog":
                 # Probes neither advance the clock nor count against the

@@ -1,0 +1,334 @@
+"""The serve daemon: a long-lived TCP server multiplexing MVEE sessions.
+
+One :class:`ServeDaemon` owns three things:
+
+* a :class:`~repro.serve.registry.SessionRegistry` — the session table,
+  admission control, and the journal that survives restarts;
+* a shared :class:`~repro.par.engine.CellExecutor` — batch (``run`` op)
+  sessions from *all* clients fan out across one worker pool, so a
+  daemon with ``jobs=4`` never forks more than four workers no matter
+  how many clients are connected;
+* a ``socketserver.ThreadingTCPServer`` speaking the JSON-lines
+  protocol (:mod:`repro.serve.protocol`) — one thread per connection,
+  one request per line, one response per line.
+
+Request handling is deliberately split from transport:
+:meth:`ServeDaemon.handle` takes a decoded request dict and returns a
+response dict, so tests can exercise every op without a socket, and the
+socket layer reduces to decode → handle → encode.  Every failure path
+raises a typed :class:`repro.errors.ServeError`; nothing on the wire is
+ever a traceback, and nothing blocks forever (admission control rejects
+instead of queueing unboundedly, executor waits carry timeouts).
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import threading
+import time
+
+from repro.errors import (
+    BadRequest,
+    DaemonUnavailable,
+    SessionConflict,
+    ServeError,
+)
+from repro.par.engine import CellExecutor, CellTask
+from repro.serve import protocol
+from repro.serve.registry import SessionRegistry
+from repro.serve.session import Session, SessionSpec, run_session_cell
+
+#: Default cap on events per ``step`` request: large enough that a short
+#: session finishes in a handful of steps, small enough that one step
+#: cannot monopolise a handler thread.
+DEFAULT_STEP_BUDGET = 20_000
+
+#: Hard ceiling a client's ``max_events`` is clamped to.
+MAX_STEP_BUDGET = 1_000_000
+
+
+class ServeConfig:
+    """Daemon knobs, in one picklable bag."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 state_dir: str | None = None,
+                 max_sessions: int = 64,
+                 max_cycles_per_session: float | None = None,
+                 jobs: int = 0,
+                 step_budget: int = DEFAULT_STEP_BUDGET,
+                 bundle_dir: str | None = None):
+        self.host = host
+        self.port = port
+        self.state_dir = state_dir
+        self.max_sessions = max_sessions
+        self.max_cycles_per_session = max_cycles_per_session
+        #: Worker processes for the batch (``run``) path; 0 executes
+        #: batch sessions inline in the handler thread (fork-free).
+        self.jobs = jobs
+        self.step_budget = step_budget
+        self.bundle_dir = bundle_dir
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """decode → daemon.handle → encode, one line at a time."""
+
+    def handle(self) -> None:
+        daemon: ServeDaemon = self.server.serve_daemon
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES + 2)
+            except OSError:
+                return
+            if not line:
+                return
+            op = None
+            try:
+                request = protocol.decode_request(line)
+                op = request["op"]
+                response = daemon.handle(request)
+            except ServeError as exc:
+                response = protocol.error_response(exc, op=op)
+            except Exception as exc:  # never leak a traceback on-wire
+                response = protocol.error_response(
+                    ServeError(f"internal error: "
+                               f"{type(exc).__name__}: {exc}"), op=op)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except OSError:
+                return
+            if op == "shutdown" and response.get("ok"):
+                return
+
+
+class ServeDaemon:
+    """The MVEE-as-a-service daemon (see ``docs/SERVING.md``)."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.registry = SessionRegistry(
+            state_dir=self.config.state_dir,
+            max_sessions=self.config.max_sessions,
+            max_cycles_per_session=self.config.max_cycles_per_session)
+        self.executor = CellExecutor(jobs=self.config.jobs)
+        self.started_unix = time.time()
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a background thread; returns (host, port)."""
+        self._server = _Server((self.config.host, self.config.port),
+                               _Handler)
+        self._server.serve_daemon = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serve-daemon",
+            daemon=True)
+        self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise DaemonUnavailable("daemon is not started")
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def join(self) -> None:
+        """Foreground mode (``repro serve start``): block until the
+        daemon stops — via :meth:`stop` or a client ``shutdown`` op.
+        The short join timeout keeps KeyboardInterrupt deliverable."""
+        if self._thread is None:
+            raise DaemonUnavailable("daemon is not started")
+        while self._thread.is_alive():
+            self._thread.join(timeout=0.5)
+        self._teardown()
+
+    def stop(self) -> None:
+        """Stop serving and release everything (idempotent)."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self.executor.shutdown()
+        self.registry.shutdown()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one decoded request; raises ServeError on failure."""
+        if self._stopping:
+            raise DaemonUnavailable("daemon is shutting down")
+        op = request["op"]
+        handler = getattr(self, f"_op_{op}")
+        return handler(request)
+
+    # -- ops: daemon-level -------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return protocol.ok_response(
+            "ping", version=protocol.PROTOCOL_VERSION, pid=os.getpid())
+
+    def _op_status(self, request: dict) -> dict:
+        status = self.registry.status()
+        status["executor"] = {
+            "jobs": self.executor.jobs,
+            "submitted": self.executor.submitted,
+            "completed": self.executor.completed,
+            "in_flight": self.executor.in_flight,
+        }
+        status["uptime_s"] = round(time.time() - self.started_unix, 3)
+        status["version"] = protocol.PROTOCOL_VERSION
+        return protocol.ok_response("status", **status)
+
+    def _op_workloads(self, request: dict) -> dict:
+        from repro.workloads.spec import catalog
+
+        return protocol.ok_response("workloads", workloads=catalog())
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # Respond first, then stop from a helper thread: shutdown()
+        # joins serve_forever, which would deadlock the handler thread
+        # that is itself inside serve_forever's accept loop.
+        threading.Thread(target=self.stop, daemon=True).start()
+        return protocol.ok_response("shutdown", stopping=True)
+
+    # -- ops: session lifecycle --------------------------------------------
+
+    def _op_create(self, request: dict) -> dict:
+        spec = SessionSpec.from_dict(request.get("spec")).validate()
+        session = self.registry.create(spec,
+                                       bundle_dir=self.config.bundle_dir)
+        return protocol.ok_response("create", id=session.id,
+                                    state=session.state)
+
+    def _op_step(self, request: dict) -> dict:
+        session = self.registry.get(request.get("id"))
+        budget = request.get("max_events", self.config.step_budget)
+        if not isinstance(budget, int) or budget < 1:
+            raise BadRequest("max_events must be a positive integer")
+        budget = min(budget, MAX_STEP_BUDGET)
+        with session.lock:
+            before = session.state
+            envelope = session.step(budget)
+            if session.state != before:
+                self.registry.journal_state(session)
+        return protocol.ok_response("step", id=session.id, **envelope)
+
+    def _op_run(self, request: dict) -> dict:
+        session = self.registry.get(request.get("id"))
+        with session.lock:
+            if session.state != "created":
+                raise SessionConflict(
+                    f"session {session.id} is {session.state}; run "
+                    "needs a freshly created session (use step to "
+                    "drive a running one)")
+            task = CellTask(
+                sweep_id="serve", index=self._task_index(session),
+                fn=run_session_cell,
+                kwargs={"spec_dict": session.spec.to_dict(),
+                        "session_id": session.id,
+                        "bundle_dir": self.config.bundle_dir},
+                seed=session.spec.seed)
+            session.state = "queued"
+            session.ticket = self.executor.submit(task)
+            self.registry.journal_state(session)
+        if not request.get("wait", True):
+            return protocol.ok_response("run", id=session.id, done=False,
+                                        state=session.state)
+        timeout = request.get("timeout")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise BadRequest("timeout must be a number of seconds")
+        result = self.executor.wait(session.ticket, timeout)
+        if result is None:       # timed out; session stays queued
+            return protocol.ok_response("run", id=session.id, done=False,
+                                        state=session.state)
+        envelope = self._harvest(session, result)
+        return protocol.ok_response("run", id=session.id, **envelope)
+
+    def _op_poll(self, request: dict) -> dict:
+        session = self.registry.get(request.get("id"))
+        with session.lock:
+            if session.state == "queued" and session.ticket is not None:
+                result = self.executor.poll(session.ticket)
+                if result is not None:
+                    envelope = self._harvest(session, result,
+                                             locked=True)
+                    return protocol.ok_response("poll", id=session.id,
+                                                **envelope)
+            return protocol.ok_response(
+                "poll", id=session.id,
+                done=session.state in ("finished", "killed"),
+                state=session.state, result=session.result)
+
+    def _op_metrics(self, request: dict) -> dict:
+        session = self.registry.get(request.get("id"))
+        return protocol.ok_response(
+            "metrics", id=session.id, state=session.state,
+            metrics=session.metrics_snapshot())
+
+    def _op_resume(self, request: dict) -> dict:
+        session = self.registry.resume(request.get("id"))
+        return protocol.ok_response("resume", id=session.id,
+                                    state=session.state)
+
+    def _op_close(self, request: dict) -> dict:
+        session = self.registry.close(request.get("id"))
+        return protocol.ok_response("close", id=session.id,
+                                    state=session.state)
+
+    # -- batch-path helpers ------------------------------------------------
+
+    @staticmethod
+    def _task_index(session: Session) -> int:
+        try:
+            return int(session.id.split("-")[-1])
+        except ValueError:  # pragma: no cover - ids are always s-<n>
+            return 0
+
+    def _harvest(self, session: Session, cell_result,
+                 locked: bool = False) -> dict:
+        """Fold a finished CellResult into the session (single consumer:
+        the executor hands each ticket's result over exactly once)."""
+        lock = session.lock if not locked else None
+        if lock is not None:
+            lock.acquire()
+        try:
+            session.ticket = None
+            if not cell_result.ok:
+                session.state = "killed"
+                session.result = {"verdict": "error",
+                                  "error": cell_result.error}
+            else:
+                session.result = cell_result.value
+                quota = self.config.max_cycles_per_session
+                cycles = session.result.get("cycles") or 0
+                if quota is not None and cycles > quota:
+                    session.state = "killed"
+                    session.result = {
+                        "verdict": "killed",
+                        "reason": "cycle quota exceeded",
+                        "cycles": cycles}
+                else:
+                    session.state = "finished"
+            self.registry.journal_state(session)
+            return {"done": True, "state": session.state,
+                    "result": session.result}
+        finally:
+            if lock is not None:
+                lock.release()

@@ -1,0 +1,74 @@
+"""Wire protocol for the serve daemon: JSON lines over a stream socket.
+
+One request per line, one response per line, UTF-8, no framing beyond
+the newline — trivially scriptable (``nc``, ``socat``) and trivially
+testable.  Every response carries ``ok`` plus an HTTP-style ``status``;
+failures additionally carry the :class:`repro.errors.ServeError`
+subclass name in ``error`` so the client re-raises the *same* typed
+error the daemon raised (see ``docs/SERVING.md`` for the op reference).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SERVE_ERRORS, BadRequest, ServeError
+
+#: Bumped when a request or response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every operation the daemon understands.
+OPS = ("ping", "status", "workloads", "create", "step", "run", "poll",
+       "metrics", "resume", "close", "shutdown")
+
+#: Largest accepted request line (a spec is tiny; anything bigger is a
+#: confused or hostile client, rejected before parsing).
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode(message: dict) -> bytes:
+    """One wire line: canonical JSON + newline."""
+    return json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode() + b"\n"
+
+
+def decode_request(line: bytes) -> dict:
+    """Parse one request line; typed errors for every malformed shape."""
+    if len(line) > MAX_LINE_BYTES:
+        raise BadRequest(f"request exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise BadRequest(f"request is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise BadRequest("request must be a JSON object")
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise BadRequest("request needs a string 'op' field")
+    if op not in OPS:
+        raise BadRequest(f"unknown op {op!r}; expected one of "
+                         + ", ".join(OPS))
+    return message
+
+
+def ok_response(op: str, **fields) -> dict:
+    response = {"ok": True, "status": 200, "op": op}
+    response.update(fields)
+    return response
+
+
+def error_response(exc: ServeError, op: str | None = None) -> dict:
+    response = {"ok": False, "status": exc.status, "error": exc.code,
+                "message": str(exc)}
+    if op is not None:
+        response["op"] = op
+    return response
+
+
+def raise_for(response: dict) -> dict:
+    """Client side: re-raise the daemon's typed error, else pass through."""
+    if response.get("ok"):
+        return response
+    cls = SERVE_ERRORS.get(response.get("error", ""), ServeError)
+    raise cls(response.get("message", "request failed"),
+              status=response.get("status"))

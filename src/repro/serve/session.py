@@ -1,0 +1,370 @@
+"""Sessions: one lockstep MVEE execution owned by the serve daemon.
+
+A session binds a workload, agent, variant count, optional fault plan,
+and seed — exactly the knobs of a single ``repro run`` invocation — and
+can be driven two ways:
+
+* **stepped** (the ``step`` op): the daemon holds the live
+  :class:`~repro.core.mvee.MVEE` and advances it in bounded event
+  batches via :meth:`MVEE.advance`, streaming verdicts, recovery
+  events, and metrics snapshots back after each batch.  Budgeted
+  stepping is byte-identical to a one-shot run by construction (the
+  event heap is popped in the same order either way).
+* **batch** (the ``run`` op): the session is shipped as a pickle-safe
+  spec through the shared :class:`repro.par.engine.CellExecutor`, so N
+  sessions fan out across one worker pool without breaking per-cell
+  seed derivation.
+
+Both paths end in the same result dict, whose ``obs_digest`` (see
+:meth:`repro.obs.ObsHub.digest`) is the byte-identity anchor against
+single-shot ``repro run`` for the same (workload, agent, seed).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import BadRequest, SessionConflict
+from repro.faults import DEGRADATION_POLICIES as POLICY_NAMES
+
+#: Every state a session can be in.  Transitions:
+#: created -> running -> finished | killed       (stepped path)
+#: created -> queued -> finished | killed        (batch path)
+#: any in-flight state -> quarantined | killed | created   (daemon restart,
+#:   per degradation policy — see registry.recover_state)
+#: finished | quarantined | killed -> closed
+SESSION_STATES = ("created", "running", "queued", "finished",
+                  "quarantined", "killed", "closed")
+
+#: States a close() accepts from; everything else must finish or be
+#: killed first.
+CLOSEABLE_STATES = ("created", "finished", "quarantined", "killed")
+
+AGENT_NAMES = ("none", "total_order", "partial_order", "wall_of_clocks",
+               "dmt")
+
+#: Default nginx sizing for serve sessions: short enough that a session
+#: completes in milliseconds, long enough to exercise the acceptor pool
+#: and produce non-trivial sync traffic.
+SHORT_NGINX = {"pool_threads": 2, "connections": 2,
+               "requests_per_connection": 1, "work_cycles": 5000.0}
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to (re)build a session's MVEE, JSON-safe.
+
+    The spec is the unit of persistence: the registry journals it, a
+    daemon restart replays it, and the batch path pickles it into a
+    worker.  Rebuilding from the same spec reproduces the same
+    simulated timeline (seeded determinism), which is what makes
+    quarantine-resume converge to the original result.
+    """
+
+    workload: str
+    agent: str = "wall_of_clocks"
+    variants: int = 2
+    seed: int = 1
+    scale: float = 0.25
+    #: Fault plan text as accepted by ``repro run --faults`` (None = no
+    #: faults); stored as text and re-parsed so it journals as JSON.
+    faults: str | None = None
+    fault_seed: int = 0
+    policy: str = "kill-all"
+    watchdog: float | None = None
+    race_detect: bool = False
+    #: Workload-specific overrides (nginx: pool_threads, connections,
+    #: requests_per_connection, work_cycles).
+    params: dict = field(default_factory=dict)
+
+    def validate(self) -> "SessionSpec":
+        from repro.workloads.spec import ALL_SPECS
+
+        if self.workload != "nginx" and self.workload not in ALL_SPECS:
+            raise BadRequest(f"unknown workload {self.workload!r} "
+                             "(see the 'workloads' op)")
+        if self.agent not in AGENT_NAMES:
+            raise BadRequest(f"unknown agent {self.agent!r}; expected "
+                             "one of " + ", ".join(AGENT_NAMES))
+        if self.policy not in POLICY_NAMES:
+            raise BadRequest(f"unknown policy {self.policy!r}; expected "
+                             "one of " + ", ".join(POLICY_NAMES))
+        if not 2 <= int(self.variants) <= 16:
+            raise BadRequest("variants must be between 2 and 16 "
+                             "(an MVEE needs at least two)")
+        if not 0.001 <= float(self.scale) <= 4.0:
+            raise BadRequest("scale must be between 0.001 and 4.0")
+        if self.faults is not None:
+            from repro.errors import ConfigError
+            from repro.faults import parse_fault_plan
+
+            try:
+                parse_fault_plan(self.faults, seed=self.fault_seed,
+                                 n_variants=self.variants)
+            except ConfigError as exc:
+                raise BadRequest(f"bad fault plan: {exc}") from None
+        if not isinstance(self.params, dict):
+            raise BadRequest("params must be an object")
+        return self
+
+    def to_dict(self) -> dict:
+        return {"workload": self.workload, "agent": self.agent,
+                "variants": self.variants, "seed": self.seed,
+                "scale": self.scale, "faults": self.faults,
+                "fault_seed": self.fault_seed, "policy": self.policy,
+                "watchdog": self.watchdog,
+                "race_detect": self.race_detect,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionSpec":
+        if not isinstance(data, dict):
+            raise BadRequest("spec must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        extra = set(data) - known
+        if extra:
+            raise BadRequest("unknown spec field(s): "
+                             + ", ".join(sorted(extra)))
+        if "workload" not in data:
+            raise BadRequest("spec needs a 'workload' field")
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise BadRequest(f"bad spec: {exc}") from None
+
+
+def build_mvee(spec: SessionSpec, obs=None):
+    """Instantiate the MVEE for a spec, plus the native-cycle baseline.
+
+    Mirrors the CLI paths exactly — synthetic twins match ``repro run``
+    (``max_cycles = native * 400``), nginx matches
+    :func:`repro.experiments.runner.run_nginx_condition` — so a serve
+    session's verdict and obs digest are byte-identical to the
+    equivalent single-shot command.
+    """
+    from repro.core.divergence import MonitorPolicy
+    from repro.core.mvee import MVEE
+
+    agent = None if spec.agent == "none" else spec.agent
+    policy = MonitorPolicy(degradation=spec.policy,
+                           watchdog_cycles=spec.watchdog)
+    plan = None
+    if spec.faults is not None:
+        from repro.faults import parse_fault_plan
+
+        plan = parse_fault_plan(spec.faults, seed=spec.fault_seed,
+                                n_variants=spec.variants)
+    detector = None
+    if spec.race_detect:
+        from repro.races import RaceDetector
+
+        detector = RaceDetector()
+    if spec.workload == "nginx":
+        from repro.experiments.runner import RACE_SWEEP_COSTS
+        from repro.workloads.nginx import (
+            NginxConfig,
+            NginxServer,
+            TrafficStats,
+            make_traffic,
+        )
+
+        params = dict(SHORT_NGINX)
+        params.update(spec.params)
+        try:
+            config = NginxConfig(**params)
+        except TypeError as exc:
+            raise BadRequest(f"bad nginx params: {exc}") from None
+        stats = TrafficStats()
+        mvee = MVEE(NginxServer(config), variants=spec.variants,
+                    agent=agent, seed=spec.seed,
+                    costs=RACE_SWEEP_COSTS, policy=policy,
+                    with_network=True,
+                    traffic=make_traffic(config, 0.0, stats),
+                    max_cycles=5e9, obs=obs, faults=plan,
+                    races=detector)
+        return mvee, None
+    from repro.experiments.runner import native_cycles
+    from repro.workloads.synthetic import make_benchmark
+
+    if spec.params:
+        raise BadRequest("params are only accepted for the nginx "
+                         "workload")
+    native = native_cycles(spec.workload, scale=spec.scale,
+                           seed=spec.seed)
+    mvee = MVEE(make_benchmark(spec.workload, scale=spec.scale),
+                variants=spec.variants, agent=agent, seed=spec.seed,
+                policy=policy, max_cycles=native * 400, obs=obs,
+                faults=plan, races=detector)
+    return mvee, native
+
+
+def outcome_to_result(outcome, native: float | None,
+                      obs=None, bundle_path: str | None = None) -> dict:
+    """Fold an MVEEOutcome into the JSON result both paths return."""
+    result = {
+        "verdict": outcome.verdict,
+        "cycles": outcome.cycles,
+        "syscalls": (outcome.report.total_syscalls
+                     if outcome.report is not None else None),
+        "sync_ops": (outcome.report.total_sync_ops
+                     if outcome.report is not None else None),
+        "faults_injected": len(outcome.faults),
+        "quarantines": [event.summary() for event in outcome.quarantines],
+        "races": (len(outcome.races.races)
+                  if outcome.races is not None else 0),
+        "divergence": (outcome.divergence.explain()
+                       if outcome.divergence is not None else None),
+        "obs_digest": obs.digest() if obs is not None else None,
+        "bundle": None,
+    }
+    if native:
+        result["slowdown"] = outcome.cycles / native
+    if bundle_path and outcome.obs_bundle is not None:
+        outcome.obs_bundle.save(bundle_path)
+        result["bundle"] = bundle_path
+    return result
+
+
+class Session:
+    """One live, step-drivable session inside the daemon.
+
+    The MVEE is built lazily on the first step so that ``create`` stays
+    cheap (admission control responds in microseconds) and so a
+    batch-mode session never materialises guest state in the daemon
+    process.  Each session carries its own lock: steps on one session
+    serialize, steps on different sessions proceed concurrently.
+    """
+
+    def __init__(self, session_id: str, spec: SessionSpec,
+                 max_cycles: float | None = None,
+                 bundle_dir: str | None = None):
+        self.id = session_id
+        self.spec = spec
+        self.state = "created"
+        self.max_cycles = max_cycles
+        self.bundle_dir = bundle_dir
+        self.lock = threading.Lock()
+        self.result: dict | None = None
+        #: CellExecutor ticket while the session is queued (batch path).
+        self.ticket: int | None = None
+        self.steps = 0
+        self.events_processed = 0
+        self._mvee = None
+        self._hub = None
+        self._native = None
+        self._event_seq = itertools.count()
+        self._seen_recovery = 0
+        self._seen_races = 0
+        self._seen_faults = 0
+
+    # -- stepped execution ---------------------------------------------------
+
+    def _ensure_mvee(self):
+        if self._mvee is None:
+            from repro.obs import ObsHub
+
+            self._hub = ObsHub(trace=False)
+            self._mvee, self._native = build_mvee(self.spec, obs=self._hub)
+            self.state = "running"
+
+    def step(self, max_events: int) -> dict:
+        """Advance by at most ``max_events`` simulator events.
+
+        Returns the step envelope: new events since the previous step
+        (faults, recovery actions, races), a live metrics snapshot, and
+        — once the run completes — the final result dict.  Caller holds
+        ``self.lock``.
+        """
+        if self.state not in ("created", "running"):
+            raise SessionConflict(
+                f"session {self.id} is {self.state}; step needs a "
+                "created or running session")
+        self._ensure_mvee()
+        outcome = self._mvee.advance(max_events)
+        self.steps += 1
+        self.events_processed += max_events if outcome is None else 0
+        envelope = {
+            "done": outcome is not None,
+            "state": self.state,
+            "steps": self.steps,
+            "events": self._drain_events(),
+            "cycles": self._mvee.machine.now,
+        }
+        if outcome is not None:
+            bundle_path = None
+            if self.bundle_dir and outcome.obs_bundle is not None:
+                bundle_path = f"{self.bundle_dir}/{self.id}.bundle.json"
+            self.result = outcome_to_result(outcome, self._native,
+                                            obs=self._hub,
+                                            bundle_path=bundle_path)
+            self.state = "finished"
+            envelope["state"] = self.state
+            envelope["result"] = self.result
+        elif (self.max_cycles is not None
+                and self._mvee.machine.now > self.max_cycles):
+            self.state = "killed"
+            self.result = {"verdict": "killed",
+                           "reason": "cycle quota exceeded",
+                           "cycles": self._mvee.machine.now}
+            envelope["state"] = self.state
+            envelope["result"] = self.result
+        return envelope
+
+    def _drain_events(self) -> list[dict]:
+        """New fault/recovery/race records since the last step.
+
+        Each record is delivered exactly once, wrapped with a
+        session-level ``stream_seq`` (the records' own fields — some
+        carry a per-variant ``seq`` — are passed through untouched).
+        """
+        hub = self._hub
+        events = []
+
+        def _wrap(kind: str, record: dict) -> dict:
+            return {"stream_seq": next(self._event_seq), "type": kind,
+                    "record": dict(record)}
+
+        for record in hub.fault_log[self._seen_faults:]:
+            events.append(_wrap("fault", record))
+        self._seen_faults = len(hub.fault_log)
+        for record in hub.recovery_log[self._seen_recovery:]:
+            events.append(_wrap("recovery", record))
+        self._seen_recovery = len(hub.recovery_log)
+        for record in hub.race_log[self._seen_races:]:
+            events.append(_wrap("race", record))
+        self._seen_races = len(hub.race_log)
+        return events
+
+    def metrics_snapshot(self) -> dict:
+        if self._hub is None:
+            return {}
+        return self._hub.metrics.snapshot()
+
+    def describe(self) -> dict:
+        return {"id": self.id, "state": self.state,
+                "spec": self.spec.to_dict(), "steps": self.steps,
+                "result": self.result}
+
+
+def run_session_cell(spec_dict: dict, session_id: str,
+                     bundle_dir: str | None = None) -> dict:
+    """Batch path: execute one session start-to-finish in a worker.
+
+    Module-level and argument-pure so :class:`CellTask` pickles it by
+    reference into a forked worker; builds a fresh ObsHub there, so the
+    digest is computed from the same simulated quantities as the
+    stepped path.
+    """
+    from repro.obs import ObsHub
+
+    spec = SessionSpec.from_dict(spec_dict).validate()
+    hub = ObsHub(trace=False)
+    mvee, native = build_mvee(spec, obs=hub)
+    outcome = mvee.run()
+    bundle_path = None
+    if bundle_dir and outcome.obs_bundle is not None:
+        bundle_path = f"{bundle_dir}/{session_id}.bundle.json"
+    return outcome_to_result(outcome, native, obs=hub,
+                             bundle_path=bundle_path)

@@ -124,6 +124,40 @@ SPLASH_SPECS = {spec.name: spec for spec in [
 ALL_SPECS = {**PARSEC_SPECS, **SPLASH_SPECS}
 
 
+def catalog() -> list[dict]:
+    """Machine-readable benchmark-twin listing.
+
+    One entry per synthetic twin plus the §5.5 nginx service — the same
+    structure behind ``repro list --json`` and the serve daemon's
+    ``workloads`` op, so clients discover workloads without scraping
+    stdout.  Fields are plain JSON types.
+    """
+    entries = []
+    for name, spec in ALL_SPECS.items():
+        entries.append({
+            "name": name,
+            "kind": "benchmark",
+            "suite": spec.suite,
+            "topology": spec.topology,
+            "native_runtime_s": spec.native_runtime_s,
+            "syscall_rate_k": spec.syscall_rate_k,
+            "sync_rate_k": spec.sync_rate_k,
+            "contention": spec.contention,
+            "n_locks": spec.n_locks,
+            "workers": spec.workers,
+            "total_threads": spec.total_threads,
+        })
+    entries.append({
+        "name": "nginx",
+        "kind": "service",
+        "suite": "use-case",
+        "topology": "acceptor_pool",
+        "description": "§5.5 threaded web server with custom sync "
+                       "primitives (fully instrumented)",
+    })
+    return entries
+
+
 def spec_by_name(name: str) -> WorkloadSpec:
     try:
         return ALL_SPECS[name]

@@ -1,0 +1,87 @@
+"""Wire-protocol unit tests: framing, validation, typed error round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    DaemonUnavailable,
+    QuotaExceeded,
+    SERVE_ERRORS,
+    ServeError,
+    SessionConflict,
+    SessionNotFound,
+)
+from repro.serve import protocol
+
+
+class TestDecode:
+    def test_valid_request(self):
+        message = protocol.decode_request(b'{"op": "ping"}')
+        assert message == {"op": "ping"}
+
+    def test_rejects_non_json(self):
+        with pytest.raises(BadRequest):
+            protocol.decode_request(b"not json at all\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(BadRequest):
+            protocol.decode_request(b'[1, 2, 3]')
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(BadRequest):
+            protocol.decode_request(b'{"id": "s-1"}')
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(BadRequest, match="unknown op"):
+            protocol.decode_request(b'{"op": "frobnicate"}')
+
+    def test_rejects_oversized_line(self):
+        line = b'{"op": "ping", "pad": "' \
+               + b"x" * protocol.MAX_LINE_BYTES + b'"}'
+        with pytest.raises(BadRequest, match="exceeds"):
+            protocol.decode_request(line)
+
+
+class TestEncode:
+    def test_one_line_canonical_json(self):
+        blob = protocol.encode({"ok": True, "b": 1, "a": 2})
+        assert blob.endswith(b"\n")
+        assert blob.count(b"\n") == 1
+        assert json.loads(blob) == {"ok": True, "a": 2, "b": 1}
+        # Canonical: sorted keys, no whitespace.
+        assert blob == b'{"a":2,"b":1,"ok":true}\n'
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize("exc_cls,status", [
+        (BadRequest, 400), (SessionNotFound, 404),
+        (SessionConflict, 409), (QuotaExceeded, 429),
+        (DaemonUnavailable, 503),
+    ])
+    def test_typed_error_survives_the_wire(self, exc_cls, status):
+        response = protocol.error_response(exc_cls("nope"), op="create")
+        assert response["ok"] is False
+        assert response["status"] == status
+        assert response["op"] == "create"
+        with pytest.raises(exc_cls, match="nope") as info:
+            protocol.raise_for(json.loads(protocol.encode(response)))
+        assert info.value.status == status
+
+    def test_unknown_error_class_degrades_to_serve_error(self):
+        with pytest.raises(ServeError):
+            protocol.raise_for({"ok": False, "error": "Mystery",
+                                "message": "??", "status": 500})
+
+    def test_ok_response_passes_through(self):
+        response = protocol.ok_response("ping", version=1)
+        assert protocol.raise_for(response) is response
+        assert response["status"] == 200
+
+    def test_registry_covers_every_serve_error(self):
+        assert set(SERVE_ERRORS) == {
+            "ServeError", "BadRequest", "SessionNotFound",
+            "SessionConflict", "QuotaExceeded", "DaemonUnavailable"}

@@ -218,3 +218,89 @@ class TestRacesCommand:
     def test_table3_volatile_flag_accepted(self, capsys):
         assert main(["table", "3", "--treat-volatile-as-sync"]) == 0
         assert "libc-2.19.so" in capsys.readouterr().out
+
+
+class TestListJson:
+    def test_list_json_is_the_machine_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in catalog}
+        assert "nginx" in by_name and "fft" in by_name
+        assert by_name["nginx"]["kind"] == "service"
+        assert by_name["fft"]["kind"] == "benchmark"
+
+    def test_list_json_matches_daemon_workloads_op(self, capsys):
+        from repro.workloads.spec import catalog
+
+        main(["list", "--json"])
+        assert json.loads(capsys.readouterr().out) == catalog()
+
+
+class TestErrorContract:
+    """Every subcommand maps ReproError to exit 2 + one stderr line."""
+
+    def test_serve_status_dead_daemon_exits_two(self, capsys):
+        # Port 1 is privileged and unbound: connection refused, fast.
+        code = main(["serve", "status", "--port", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.out == ""
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("repro serve: ")
+        assert "cannot reach serve daemon" in lines[0]
+
+    def test_obs_missing_bundle_exits_two(self, capsys):
+        code = main(["obs", "summarize", "/no/such/bundle.json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro obs: ")
+        assert "Traceback" not in captured.err
+
+    def test_bench_missing_reference_exits_two(self, capsys):
+        code = main(["bench", "--compare", "/no/such/ref.json"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro bench: ")
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "bench"])
+        assert args.port == 7333
+        assert args.max_sessions == 64
+        assert args.sessions == 256
+        assert args.concurrency == 72
+        assert args.mode == "batch"
+
+    def test_serve_bench_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(["serve", "bench", "--sessions", "4",
+                     "--concurrency", "3", "--max-sessions", "2",
+                     "--workload", "fft", "--seed", "3",
+                     "-o", str(out)])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "4 completed" in stdout
+        assert "quota rejection(s) retried" in stdout
+        report = json.loads(out.read_text())
+        assert report["kind"] == "repro-serve-bench"
+        assert report["totals"]["completed"] == 4
+        assert report["verified_single_shot"] is True
+
+    def test_serve_bench_compare_carries_trajectory(self, capsys,
+                                                    tmp_path):
+        ref = tmp_path / "ref.json"
+        assert main(["serve", "bench", "--sessions", "2",
+                     "--concurrency", "2", "--max-sessions", "2",
+                     "--workload", "fft", "-o", str(ref)]) == 0
+        out = tmp_path / "next.json"
+        assert main(["serve", "bench", "--sessions", "2",
+                     "--concurrency", "2", "--max-sessions", "2",
+                     "--workload", "fft", "--compare", str(ref),
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        report = json.loads(out.read_text())
+        assert len(report["trajectory"]) == 1
+        assert (report["trajectory"][0]["digest"]
+                == json.loads(ref.read_text())["digest"])
