@@ -41,7 +41,15 @@ Commands
     MVEE-as-a-service (``docs/SERVING.md``): ``start`` runs the session
     daemon in the foreground, ``status`` queries a running daemon, and
     ``bench`` load-tests an in-process daemon with hundreds of short
-    sessions and writes ``BENCH_serve.json``.
+    sessions and writes ``BENCH_serve.json`` (``--compare REF`` gates
+    the fresh report against a committed reference).
+``record BENCH -o LOG`` / ``replay LOG`` / ``checkpoint PATH``
+    Decision-stream record/replay (``docs/REPLAY.md``): ``record``
+    captures the master's decision stream into a replayable JSONL log
+    (also ``run --record OUT``), ``replay`` re-drives a run from a log
+    bit-identically (``--to-step N`` fast-forwards then single-steps
+    for time-travel forensics), and ``checkpoint`` inspects a
+    checkpoint store or decision log.
 
 Every subcommand maps a :class:`repro.errors.ReproError` to exit code 2
 with a one-line message on stderr (no tracebacks for expected failures);
@@ -124,6 +132,8 @@ def _cmd_run(args) -> int:
     from repro.experiments.runner import native_cycles
     from repro.workloads.synthetic import make_benchmark
 
+    if args.record:
+        return _record_to(args, args.record)
     agent = None if args.agent == "none" else args.agent
     diversity = (DiversitySpec(aslr=True, dcl=True, seed=args.seed)
                  if args.diversity else None)
@@ -139,14 +149,18 @@ def _cmd_run(args) -> int:
             print(f"repro run: {exc}", file=sys.stderr)
             return 2
     policy = MonitorPolicy(degradation=args.policy,
-                           watchdog_cycles=args.watchdog)
+                           watchdog_cycles=args.watchdog,
+                           resync_mode=args.resync_mode)
     hub = _make_hub(args)
     native = native_cycles(args.benchmark, scale=args.scale,
                            seed=args.seed)
+    checkpoints = args.checkpoint_every
+    if checkpoints is None and args.resync_mode == "checkpoint":
+        checkpoints = native / 64.0
     outcome = run_mvee(make_benchmark(args.benchmark, scale=args.scale),
                        variants=args.variants, agent=agent,
                        seed=args.seed, diversity=diversity,
-                       policy=policy,
+                       policy=policy, checkpoints=checkpoints,
                        max_cycles=native * 400, obs=hub, faults=plan,
                        races=args.race_detect)
     print(f"benchmark : {args.benchmark}")
@@ -159,6 +173,13 @@ def _cmd_run(args) -> int:
               + (f", watchdog: {args.watchdog:.0f} cycles"
                  if args.watchdog is not None else "") + ")")
     print(f"verdict   : {outcome.verdict}")
+    store = getattr(outcome.monitor, "checkpoints", None)
+    if checkpoints is not None and store is not None and len(store):
+        if args.checkpoint_out:
+            store.path = args.checkpoint_out
+            store.persist()
+        print(f"checkpoint: {len(store)} snapshot(s)"
+              + (f" in {store.path}" if store.path else ""))
     if outcome.races is not None:
         print(f"races     : {outcome.races.summary()}")
         for race in outcome.races.races:
@@ -242,8 +263,161 @@ def _cmd_fault_matrix(args) -> int:
     cells = run_fault_matrix(benchmark=args.benchmark, kinds=kinds,
                              policies=policies, variants=args.variants,
                              agent=args.agent, scale=args.scale,
-                             seed=args.seed, jobs=args.jobs)
+                             seed=args.seed, jobs=args.jobs,
+                             resync_mode=args.resync_mode,
+                             checkpoint_every=args.checkpoint_every)
     print(fault_matrix_table(cells))
+    return 0
+
+
+def _record_spec(args):
+    """Assemble the SessionSpec a record/replay CLI run works from."""
+    from repro.errors import ReproError
+    from repro.serve.session import SessionSpec
+
+    if getattr(args, "diversity", False):
+        raise ReproError("--record does not support --diversity yet "
+                         "(diversity state is not in the decision log)")
+    return SessionSpec(
+        workload=args.benchmark, agent=args.agent,
+        variants=args.variants, seed=args.seed, scale=args.scale,
+        faults=args.faults, fault_seed=args.fault_seed,
+        policy=args.policy, watchdog=args.watchdog,
+        race_detect=getattr(args, "race_detect", False),
+        resync_mode=getattr(args, "resync_mode", "history")).validate()
+
+
+def _record_to(args, out_path: str) -> int:
+    """Shared body of ``repro record`` and ``repro run --record``."""
+    from repro.replay import record_run
+
+    spec = _record_spec(args)
+    hub = _make_hub(args)
+    recorded = record_run(
+        spec, out_path=out_path,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_out, hub=hub)
+    outcome = recorded.outcome
+    footer = recorded.footer or {}
+    print(f"recorded  : {spec.workload} x{spec.variants} "
+          f"({spec.agent}, seed {spec.seed})")
+    print(f"verdict   : {outcome.verdict}")
+    print(f"log       : {out_path} ({len(recorded.log.records)} "
+          f"decision(s), {footer.get('steps')} step(s))")
+    print(f"digest    : {recorded.log.digest()}")
+    if recorded.checkpointer is not None:
+        store = recorded.checkpointer.store
+        print(f"checkpoint: {len(store)} snapshot(s)"
+              + (f" in {store.path}" if store.path else " (in-memory)"))
+    _emit_obs(args, recorded.hub, outcome)
+    return 0 if outcome.verdict in ("clean", "degraded") else 1
+
+
+def _cmd_record(args) -> int:
+    return _record_to(args, args.out)
+
+
+def _cmd_replay(args) -> int:
+    import json
+
+    from repro.replay import replay_run
+    from repro.replay.checkpoint import machine_fingerprint
+
+    replayed = replay_run(args.log, to_step=args.to_step)
+    log = replayed.log
+    spec = log.spec or {}
+    print(f"replaying : {args.log} "
+          f"({spec.get('workload')} x{spec.get('variants')}, "
+          f"{len(log.records)} decision(s))")
+    divergence = replayed.replayer.first_divergence
+    if args.to_step is not None and replayed.outcome is None:
+        print(f"stopped   : step {replayed.stopped_at_step} "
+              + ("at first divergence" if divergence is not None
+                 else f"(asked for {args.to_step})"))
+    if divergence is not None:
+        print(f"divergence: {divergence.describe()}")
+    if replayed.outcome is not None:
+        matches = replayed.matches()
+        for key in ("verdict", "cycles", "obs_digest"):
+            entry = matches.get(key)
+            if entry is None:
+                continue
+            mark = "match" if entry["match"] else "MISMATCH"
+            print(f"{key:10s}: {entry['replayed']} ({mark})")
+        if "log_digest_match" in matches:
+            print("log digest: "
+                  + ("stable" if matches["log_digest_match"]
+                     else "MOVED (re-serialization changed the log)"))
+    if args.bundle_out:
+        bundle = {
+            "kind": "repro-replay-forensics",
+            "log": args.log,
+            "header": log.header_dict(),
+            "recorded": log.footer,
+            "stopped_at_step": replayed.stopped_at_step,
+            "divergence": (divergence.describe()
+                           if divergence is not None else None),
+            "machine": (machine_fingerprint(replayed.mvee)
+                        if replayed.mvee is not None else None),
+        }
+        with open(args.bundle_out, "w") as handle:
+            json.dump(bundle, handle, indent=1, sort_keys=True,
+                      default=repr)
+            handle.write("\n")
+        print(f"bundle    : wrote replay forensics to "
+              f"{args.bundle_out}")
+    if divergence is not None:
+        return 1
+    if replayed.outcome is not None:
+        matches = replayed.matches()
+        checks = [entry["match"] for entry in matches.values()
+                  if isinstance(entry, dict) and "match" in entry]
+        if not all(checks) or matches.get("log_digest_match") is False:
+            return 1
+    return 0
+
+
+def _cmd_checkpoint(args) -> int:
+    import json
+
+    from repro.errors import ReplayError
+    from repro.replay import CheckpointStore, DecisionLog
+
+    try:
+        store = CheckpointStore.load(args.path)
+    except ReplayError:
+        store = None
+    if store is not None:
+        if args.json:
+            print(json.dumps(store.to_dict(), indent=1, sort_keys=True))
+            return 0
+        print(f"checkpoint store: {args.path} "
+              f"({len(store)} snapshot(s))")
+        for ckpt in store.checkpoints:
+            print(f"  #{ckpt.index}: at {ckpt.at_cycles:.0f} cycles, "
+                  f"step {ckpt.steps}, decision {ckpt.decision_index}, "
+                  f"{len(ckpt.master_seq)} master thread(s)")
+        return 0
+    log = DecisionLog.load(args.path)  # raises typed ReplayError
+    if args.json:
+        print(json.dumps({"header": log.header_dict(),
+                          "records": len(log.records),
+                          "footer": log.footer,
+                          "digest": log.digest()},
+                         indent=1, sort_keys=True))
+        return 0
+    spec = log.spec or {}
+    print(f"decision log: {args.path}")
+    print(f"  spec    : {spec.get('workload')} x{spec.get('variants')} "
+          f"({spec.get('agent')}, seed {spec.get('seed')})")
+    print(f"  records : {len(log.records)}")
+    print(f"  digest  : {log.digest()}")
+    if log.footer is not None:
+        print(f"  sealed  : verdict {log.footer.get('verdict')}, "
+              f"{log.footer.get('steps')} step(s), "
+              f"cycles {log.footer.get('cycles')}")
+    else:
+        print("  sealed  : no (torn or in-flight log)")
     return 0
 
 
@@ -484,7 +658,8 @@ def _serve_start(args) -> int:
         host=args.host, port=args.port, state_dir=args.state_dir,
         max_sessions=args.max_sessions,
         max_cycles_per_session=args.max_cycles,
-        jobs=args.jobs, bundle_dir=args.bundle_dir))
+        jobs=args.jobs, bundle_dir=args.bundle_dir,
+        checkpoint_every=args.checkpoint_every))
     if daemon.registry.recovered:
         for sid, state in sorted(daemon.registry.recovered.items()):
             print(f"recovered : {sid} -> {state}")
@@ -518,22 +693,19 @@ def _serve_status(args) -> int:
 
 
 def _serve_bench(args) -> int:
-    from repro.errors import ReproError
     from repro.prof import regress
     from repro.serve.bench import (
+        compare_serve_reports,
         render_serve_bench,
         run_serve_bench,
         serve_trajectory_entry,
     )
 
+    ref = None
     trajectory = None
     if args.compare:
-        try:
-            ref = regress.load_report(args.compare,
-                                      expected_kind="repro-serve-bench")
-        except ReproError as exc:
-            print(f"repro serve bench: {exc}", file=sys.stderr)
-            return 2
+        ref = regress.load_report(args.compare,
+                                  expected_kind="repro-serve-bench")
         trajectory = (list(ref.get("trajectory") or [])
                       + [serve_trajectory_entry(ref)])
     report = run_serve_bench(
@@ -551,6 +723,10 @@ def _serve_bench(args) -> int:
         code = 1
     if report.get("verified_single_shot") is False:
         code = 1
+    if ref is not None:
+        findings = compare_serve_reports(report, ref)
+        print(regress.render_findings(findings))
+        code = max(code, regress.exit_code(findings))
     return code
 
 
@@ -582,6 +758,25 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
                              "processes (default 1 = serial; output is "
                              "identical either way — see "
                              "docs/PERFORMANCE.md)")
+
+
+def _add_replay_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--resync-mode", default="history",
+                        choices=("history", "checkpoint"),
+                        help="restart-policy resync strategy: replay "
+                             "full master history at cost, or "
+                             "fast-forward to the latest checkpoint "
+                             "frontier (docs/REPLAY.md; default: "
+                             "history)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="CYCLES",
+                        help="machine checkpoint cadence in simulated "
+                             "cycles (default: off; --resync-mode "
+                             "checkpoint picks native/64 when unset)")
+    parser.add_argument("--checkpoint-out", default=None,
+                        metavar="PATH",
+                        help="persist checkpoints to PATH "
+                             "(.ckpt.json; default: in-memory only)")
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -723,8 +918,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "cycles; a variant missing the deadline is "
                             "diagnosed (WATCHDOG_TIMEOUT) instead of "
                             "hanging the run (default: off)")
+    _add_replay_flags(p_run)
+    p_run.add_argument("--record", default=None, metavar="OUT",
+                       help="record the master's decision stream to "
+                            "OUT (a JSONL decision log replayable with "
+                            "'repro replay'; see docs/REPLAY.md)")
     _add_obs_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_record = sub.add_parser(
+        "record",
+        help="run a workload and record its decision stream "
+             "(docs/REPLAY.md)")
+    p_record.add_argument("benchmark",
+                          help="workload name ('nginx' or a benchmark "
+                               "twin; see 'repro list')")
+    p_record.add_argument("-o", "--out", required=True, metavar="PATH",
+                          help="decision-log output path")
+    p_record.add_argument("--agent", default="wall_of_clocks",
+                          choices=("none", "total_order",
+                                   "partial_order", "wall_of_clocks",
+                                   "dmt"))
+    p_record.add_argument("--variants", type=int, default=2)
+    p_record.add_argument("--seed", type=int, default=1)
+    p_record.add_argument("--scale", type=float, default=0.25)
+    p_record.add_argument("--faults", default=None, metavar="PLAN",
+                          help="fault plan (same syntax as 'repro run "
+                               "--faults')")
+    p_record.add_argument("--fault-seed", type=int, default=0)
+    p_record.add_argument("--policy", default="kill-all",
+                          choices=("kill-all", "quarantine", "restart"))
+    p_record.add_argument("--watchdog", type=float, default=None,
+                          metavar="CYCLES")
+    p_record.add_argument("--race-detect", action="store_true")
+    _add_replay_flags(p_record)
+    _add_obs_flags(p_record)
+    p_record.set_defaults(func=_cmd_record)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded run from its decision log "
+             "(docs/REPLAY.md)")
+    p_replay.add_argument("log", help="decision-log path")
+    p_replay.add_argument("--to-step", type=int, default=None,
+                          metavar="N",
+                          help="fast-forward to machine step N, then "
+                               "single-step (stops early at the first "
+                               "divergence from the log)")
+    p_replay.add_argument("--bundle-out", default=None, metavar="PATH",
+                          help="write a replay-forensics JSON bundle "
+                               "(log header, divergence, machine "
+                               "fingerprint at the stop point)")
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="inspect a checkpoint store or decision log")
+    p_ckpt.add_argument("path",
+                        help="checkpoint store (.ckpt.json) or "
+                             "decision log (.decisions.jsonl)")
+    p_ckpt.add_argument("--json", action="store_true",
+                        help="machine-readable dump")
+    p_ckpt.set_defaults(func=_cmd_checkpoint)
 
     p_trace = sub.add_parser(
         "trace", help="run a benchmark and show lockstep/replay traces")
@@ -762,6 +1017,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fm.add_argument("--agent", default="wall_of_clocks")
     p_fm.add_argument("--scale", type=float, default=0.1)
     p_fm.add_argument("--seed", type=int, default=1)
+    p_fm.add_argument("--resync-mode", default="history",
+                      choices=("history", "checkpoint"),
+                      help="how restart-policy cells resync condemned "
+                           "variants: full-history replay or "
+                           "checkpoint fast-forward (docs/REPLAY.md)")
+    p_fm.add_argument("--checkpoint-every", type=float, default=None,
+                      metavar="CYCLES",
+                      help="checkpoint cadence for --resync-mode "
+                           "checkpoint (default: native/64)")
     _add_jobs_flag(p_fm)
     p_fm.set_defaults(func=_cmd_fault_matrix)
 
@@ -813,6 +1077,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--bundle-dir", default=None, metavar="DIR",
                          help="start: write divergence forensics "
                               "bundles for served sessions here")
+    p_serve.add_argument("--checkpoint-every", type=float, default=None,
+                         metavar="CYCLES",
+                         help="start: record stepped sessions' "
+                              "decision streams and checkpoint them "
+                              "every CYCLES simulated cycles (needs "
+                              "--state-dir); interrupted restart-"
+                              "policy sessions then resume in-flight "
+                              "work after a daemon crash "
+                              "(docs/REPLAY.md)")
     p_serve.add_argument("--max-sessions", type=int, default=64,
                          help="admission control: max concurrently "
                               "active sessions (default 64)")
@@ -840,8 +1113,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bench: base seed for per-session seed "
                               "derivation")
     p_serve.add_argument("--compare", default=None, metavar="REF",
-                         help="bench: carry REF's trajectory forward "
-                              "into the fresh report")
+                         help="bench: gate the fresh report against "
+                              "REF (digest/completion hard-fail, "
+                              "throughput warns) and carry REF's "
+                              "trajectory forward")
     p_serve.add_argument("-o", "--out", default="BENCH_serve.json",
                          metavar="PATH",
                          help="bench: artifact path (default: "

@@ -88,6 +88,14 @@ class MultiProducerLog:
         slowest = min(consumer_frontiers, default=len(self._entries))
         return len(self._entries) - slowest
 
+    def fingerprint(self) -> dict:
+        """JSON-safe cursor snapshot (machine checkpoints)."""
+        return {"entries": len(self._entries),
+                "high_water": self.high_water,
+                "per_thread": {thread: len(positions)
+                               for thread, positions
+                               in sorted(self._thread_positions.items())}}
+
 
 class ConsumptionWindow:
     """Per-slave-variant consumption state over a MultiProducerLog.
@@ -118,6 +126,12 @@ class ConsumptionWindow:
     def window_size(self) -> int:
         """Entries currently in the lookahead window (for stats)."""
         return len(self.consumed)
+
+    def fingerprint(self) -> dict:
+        """JSON-safe cursor snapshot (machine checkpoints)."""
+        return {"frontier": self.frontier,
+                "window": sorted(self.consumed),
+                "per_thread": dict(sorted(self.per_thread.items()))}
 
 
 class SPSCBuffer:
@@ -165,3 +179,10 @@ class SPSCBuffer:
     def occupancy(self) -> int:
         """Entries the slowest consumer has not yet replayed."""
         return len(self._entries) - min(self._cursors.values(), default=0)
+
+    def fingerprint(self) -> dict:
+        """JSON-safe cursor snapshot (machine checkpoints)."""
+        return {"produced": len(self._entries),
+                "high_water": self.high_water,
+                "cursors": {str(consumer): cursor for consumer, cursor
+                            in sorted(self._cursors.items())}}

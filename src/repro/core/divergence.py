@@ -38,6 +38,9 @@ class DivergenceKind(enum.Enum):
     #: A variant was demoted under a graceful-degradation policy while
     #: the remaining set continued (not a whole-run kill).
     VARIANT_QUARANTINED = "variant_quarantined"
+    #: A replayed run left its recorded decision stream (time-travel
+    #: forensics; see ``docs/REPLAY.md``).
+    REPLAY_MISMATCH = "replay_mismatch"
 
 
 @dataclass
@@ -140,6 +143,17 @@ class MonitorPolicy:
       lockstep rendezvous deadline in simulated cycles; ``None``
       disables the watchdog (a stalled variant then parks the run until
       the cycle budget trips).  See ``docs/RESILIENCE.md`` for tuning.
+    ``resync_mode``:
+      how a restarted variant catches up with the survivors:
+      * ``"history"`` — re-execute the master's full retained call
+        history at normal monitor cost (the pre-checkpoint behaviour).
+      * ``"checkpoint"`` — calls at sequence numbers the latest machine
+        checkpoint already covers are *fast-forwarded* (served from
+        history with zero monitor cost charges); only the suffix past
+        the checkpoint frontier is resynced at full cost.  Requires a
+        :class:`repro.replay.Checkpointer` attached to the MVEE
+        (``checkpoints=...``); without one it behaves like
+        ``"history"``.  See ``docs/REPLAY.md``.
     """
 
     lockstep: str = "all"
@@ -151,6 +165,7 @@ class MonitorPolicy:
     watchdog_cycles: float | None = None
     min_active: int = 2
     max_restarts: int = 1
+    resync_mode: str = "history"
 
     def is_locksteped(self, spec: SyscallSpec) -> bool:
         if spec.name in self.never_lockstep:

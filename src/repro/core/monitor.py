@@ -136,6 +136,18 @@ class Monitor(SyscallInterceptor):
         self._catchup: set[int] = set()
         self._history: dict[tuple[str, int], dict] | None = (
             {} if self.policy.degradation == "restart" else None)
+        #: Optional :class:`repro.replay.CheckpointStore` (set by the
+        #: MVEE when a checkpointer is attached); under
+        #: ``resync_mode == "checkpoint"`` the latest checkpoint's
+        #: ``master_seq`` is the fast-forward frontier.
+        self.checkpoints = None
+        #: variant -> {"mode", "restarts", "fast_forwarded", "resynced"}
+        #: — how each restarted variant caught up (fault-matrix column).
+        self.resync_stats: dict[int, dict] = {}
+        #: variant -> fast-forward frontier ({thread logical -> seq}),
+        #: frozen at readmit time from the then-latest checkpoint.
+        self._ff_frontier: dict[int, dict] = {}
+        self._caught_up_announced: set[int] = set()
 
     def bind_machine(self, machine) -> None:
         """Install the wake callback (MVEE bootstrap)."""
@@ -243,11 +255,33 @@ class Monitor(SyscallInterceptor):
             return None
         return set(observations) - winners
 
+    def master_seq_snapshot(self) -> dict[str, int]:
+        """Master's completed monitored calls per logical thread.
+
+        This is what a checkpoint pins as the fast-forward frontier:
+        history entries below it predate the snapshot and can be served
+        to a resyncing variant at zero monitor cost.
+        """
+        return {thread: seq for (variant, thread), seq
+                in self._seq.items() if variant == 0}
+
     def readmit(self, variant: int) -> None:
         """Re-admit a rebuilt variant (restart): wipe its per-variant
         state so it resyncs from the retained master history."""
         self.active.add(variant)
         self._catchup.add(variant)
+        self._caught_up_announced.discard(variant)
+        stats = self.resync_stats.setdefault(
+            variant, {"mode": self.policy.resync_mode, "restarts": 0,
+                      "fast_forwarded": 0, "resynced": 0})
+        stats["restarts"] += 1
+        frontier: dict[str, int] = {}
+        if (self.policy.resync_mode == "checkpoint"
+                and self.checkpoints is not None):
+            latest = self.checkpoints.latest()
+            if latest is not None:
+                frontier = dict(latest.master_seq)
+        self._ff_frontier[variant] = frontier
         for table in (self._seq, self._current, self._stream_count,
                       self._exited):
             for key in [k for k in table if k[0] == variant]:
@@ -546,6 +580,32 @@ class Monitor(SyscallInterceptor):
 
     # -- restart resync ---------------------------------------------------
 
+    def _mark_caught_up(self, variant: int) -> None:
+        """First history miss after a restart: the variant is live again."""
+        if variant in self._caught_up_announced:
+            return
+        self._caught_up_announced.add(variant)
+        if self.obs is not None:
+            self.obs.variant_caught_up(variant)
+
+    def _is_fast_forward(self, variant: int, thread_logical: str,
+                         seq: int) -> bool:
+        """Is this history call below the checkpoint frontier?
+
+        Fast-forwarded calls keep their ordering semantics (the Lamport
+        clock still decides FD allocation order) but charge zero monitor
+        cost — the checkpoint already vouches for everything before it.
+        """
+        frontier = self._ff_frontier.get(variant)
+        if not frontier:
+            return False
+        return seq < frontier.get(thread_logical, 0)
+
+    def _count_resync(self, variant: int, fast: bool) -> None:
+        stats = self.resync_stats.get(variant)
+        if stats is not None:
+            stats["fast_forwarded" if fast else "resynced"] += 1
+
     def _serve_from_history(self, vm, thread, name, args, spec, info,
                             base_cost: float):
         """Resync a restarted variant from the retained master history.
@@ -556,7 +616,12 @@ class Monitor(SyscallInterceptor):
         key = (thread.logical_id, info.seq)
         entry = self._history.get(key)
         if entry is None:
+            self._mark_caught_up(vm.index)
             return None
+        fast = self._is_fast_forward(vm.index, thread.logical_id,
+                                     info.seq)
+        if fast:
+            base_cost = 0.0
         if (name, normalize_args(spec, args)) != entry["call"]:
             report = DivergenceReport(
                 kind=DivergenceKind.SYSCALL_MISMATCH,
@@ -576,29 +641,35 @@ class Monitor(SyscallInterceptor):
                 if self.obs is not None:
                     self.obs.clock_stall(vm.index, thread.logical_id,
                                          outcome.key)
-                outcome.cost += (base_cost
-                                 + self.costs.ordering_bookkeeping)
+                if not fast:
+                    outcome.cost += (base_cost
+                                     + self.costs.ordering_bookkeeping)
                 return outcome
-            base_cost += self.costs.ordering_bookkeeping
+            if not fast:
+                base_cost += self.costs.ordering_bookkeeping
         if entry["replicated"]:
             if spec.ordered and self.policy.order_syscalls:
                 self.orderer.finish(vm.index, thread.logical_id,
                                     thread.global_id)
             vm.kernel.apply_replicated(name, args, entry["result"])
             self._finish_call(vm, thread)
-            return Result(entry["result"],
-                          cost=base_cost + self.costs.replication_copy)
+            self._count_resync(vm.index, fast)
+            copy_cost = 0.0 if fast else self.costs.replication_copy
+            return Result(entry["result"], cost=base_cost + copy_cost)
         # Execute-all call: run it locally; _after_from_history compares.
         return Proceed(cost=base_cost)
 
     def _after_from_history(self, vm, thread, name, spec, info, entry,
                             result):
         """Completion of a history-served execute-all call."""
+        fast = self._is_fast_forward(vm.index, thread.logical_id,
+                                     info.seq)
         cost = 0.0
         if spec.ordered and self.policy.order_syscalls:
             self.orderer.finish(vm.index, thread.logical_id,
                                 thread.global_id)
-            cost += self.costs.ordering_bookkeeping
+            if not fast:
+                cost += self.costs.ordering_bookkeeping
         expected_repr = entry.get("result_repr")
         if (self.policy.compare_results and expected_repr is not None
                 and repr(result) != expected_repr):
@@ -613,6 +684,7 @@ class Monitor(SyscallInterceptor):
                                       allow_restart=False)
             return directive if directive is not None else Proceed()
         self._finish_call(vm, thread)
+        self._count_resync(vm.index, fast)
         return Proceed(cost=cost)
 
     # -- interceptor: after -------------------------------------------------------

@@ -101,7 +101,9 @@ class MVEE:
                  agent_options: dict | None = None,
                  obs=None,
                  faults=None,
-                 races=None):
+                 races=None,
+                 replay=None,
+                 checkpoints=None):
         if variants < 2:
             raise ValueError("an MVEE needs at least two variants")
         self.program = program
@@ -142,6 +144,14 @@ class MVEE:
             self.races = RaceDetector()
         else:
             self.races = races
+        #: Optional replay sink: a ``DecisionRecorder`` (capture the
+        #: decision stream) or ``DecisionReplayer`` (re-drive the run
+        #: from a log).  See :mod:`repro.replay`.
+        self.replay = replay
+        #: Optional checkpointing: a ``CheckpointPolicy``, a cadence in
+        #: cycles, or ``True`` for the default cadence.
+        self._checkpoint_request = checkpoints
+        self.checkpointer = None
         #: Variants replaced by the restart policy (kept for forensics).
         self.retired_vms: list[VariantVM] = []
         self._build()
@@ -192,6 +202,10 @@ class MVEE:
             self._attach_faults()
         if self.races is not None:
             self._attach_races()
+        if self.replay is not None:
+            self._attach_replay()
+        if self._checkpoint_request:
+            self._attach_checkpoints()
         if self.network is not None:
             self.machine.attach_network(self.network)
         for vm in self.vms:
@@ -244,6 +258,52 @@ class MVEE:
         for vm in self.vms:
             vm.kernel.futexes.races = detector
 
+    def _attach_replay(self) -> None:
+        """Wire the decision-stream sink into every decision point.
+
+        Same zero-cost shape as the other observers — plus the one
+        intrusive move the sink demands: the scheduler RNG is wrapped
+        (record) or substituted (replay) so every draw flows through the
+        decision stream.
+        """
+        from repro.replay import RecordingRandom, ReplayRandom
+
+        sink = self.replay
+        self.machine.replay = sink
+        for vm in self.vms:
+            vm.kernel.futexes.replay = sink
+            vm.kernel.futexes.variant = vm.index
+        if sink.mode == "record":
+            self.machine.rng = RecordingRandom(self.machine.rng, sink)
+        elif sink.mode == "replay":
+            self.machine.rng = ReplayRandom(sink, self.machine.rng)
+            if self.obs is not None:
+                sink.obs = self.obs
+
+    def _attach_checkpoints(self) -> None:
+        """Attach a periodic checkpointer (watchdog lane, zero cycles)."""
+        from repro.replay import Checkpointer, CheckpointPolicy
+
+        request = self._checkpoint_request
+        if isinstance(request, Checkpointer):
+            checkpointer = request
+        else:
+            if isinstance(request, CheckpointPolicy):
+                policy = request
+            elif request is True:
+                policy = CheckpointPolicy()
+            else:
+                policy = CheckpointPolicy(every_cycles=float(request))
+            recorder = (self.replay
+                        if (self.replay is not None
+                            and self.replay.mode == "record") else None)
+            checkpointer = Checkpointer(self, policy, recorder=recorder,
+                                        obs=self.obs)
+        self.checkpointer = checkpointer
+        if hasattr(self.monitor, "checkpoints"):
+            self.monitor.checkpoints = checkpointer.store
+        checkpointer.arm()
+
     # -- restart ------------------------------------------------------------
 
     def _restart_variant(self, index: int) -> None:
@@ -284,6 +344,9 @@ class MVEE:
             # incarnation's clocks so they can't fabricate races.
             self.races.reset_variant(index)
             vm.kernel.futexes.races = self.races
+        if self.replay is not None:
+            vm.kernel.futexes.replay = self.replay
+            vm.kernel.futexes.variant = vm.index
         self.monitor.readmit(index)
         ctx = build_context(vm, self.program)
         self.machine.add_thread(vm, "main", self.program.main(ctx))

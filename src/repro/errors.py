@@ -27,6 +27,12 @@ class ConfigError(ReproError):
     """Invalid configuration (bad agent name, nonsensical parameters, ...)."""
 
 
+class ReplayError(ReproError):
+    """A decision log or checkpoint store is missing, malformed, or
+    incompatible with the run it is asked to drive — the CLI turns
+    these into one-line diagnostics instead of tracebacks."""
+
+
 class ObsArtifactError(ReproError):
     """An observability artifact (bundle, trace, report) is missing,
     empty, or corrupt — the CLI turns these into one-line diagnostics

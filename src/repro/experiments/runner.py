@@ -142,6 +142,13 @@ class FaultMatrixCell:
     quarantined: list[int] = field(default_factory=list)
     restarted: list[int] = field(default_factory=list)
     cycles: float = 0.0
+    #: How restarted variants resynced ("history" | "checkpoint") and
+    #: how many history calls each path re-executed at full cost
+    #: (``resynced``) vs skipped past via the checkpoint frontier
+    #: (``fast_forwarded``) — summed across restarted variants.
+    resync_mode: str = "history"
+    fast_forwarded: int = 0
+    resynced: int = 0
 
     @property
     def survived(self) -> bool:
@@ -169,19 +176,28 @@ def _fault_spec_for(kind: str) -> FaultSpec:
 def _fault_matrix_cell(benchmark: str, policy_name: str, kind: str,
                        variants: int, agent: str, scale: float,
                        seed: int, cores: int, costs,
-                       watchdog_factor: float,
-                       native: float) -> FaultMatrixCell:
+                       watchdog_factor: float, native: float,
+                       resync_mode: str = "history",
+                       checkpoint_every: float | None = None
+                       ) -> FaultMatrixCell:
     """One (policy, fault kind) cell; module-level so the parallel
     engine can pickle it by reference into worker processes."""
     plan = FaultPlan((_fault_spec_for(kind),))
     policy = MonitorPolicy(
         degradation=policy_name,
-        watchdog_cycles=native * watchdog_factor)
+        watchdog_cycles=native * watchdog_factor,
+        resync_mode=resync_mode)
+    checkpoints = None
+    if resync_mode == "checkpoint":
+        checkpoints = (checkpoint_every if checkpoint_every is not None
+                       else native / 64.0)
     program = SyntheticWorkload(spec_by_name(benchmark), scale=scale)
     outcome = run_mvee(program, variants=variants, agent=agent,
                        seed=seed, cores=cores, costs=costs,
                        policy=policy, faults=plan,
+                       checkpoints=checkpoints,
                        max_cycles=native * 400)
+    stats = getattr(outcome.monitor, "resync_stats", {}) or {}
     return FaultMatrixCell(
         benchmark=benchmark, policy=policy_name, kind=kind,
         verdict=outcome.verdict,
@@ -189,7 +205,11 @@ def _fault_matrix_cell(benchmark: str, policy_name: str, kind: str,
         quarantined=[e.variant for e in outcome.quarantines],
         restarted=[e.variant for e in outcome.quarantines
                    if e.restarted],
-        cycles=outcome.cycles)
+        cycles=outcome.cycles,
+        resync_mode=resync_mode,
+        fast_forwarded=sum(s.get("fast_forwarded", 0)
+                           for s in stats.values()),
+        resynced=sum(s.get("resynced", 0) for s in stats.values()))
 
 
 def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
@@ -198,17 +218,29 @@ def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
                      cores: int = PAPER_CORES,
                      costs: CostModel | None = None,
                      watchdog_factor: float = 8.0,
-                     jobs: int = 1) -> list[FaultMatrixCell]:
+                     jobs: int = 1,
+                     resync_mode: str = "history",
+                     checkpoint_every: float | None = None
+                     ) -> list[FaultMatrixCell]:
     """Inject each fault kind under each degradation policy.
 
     Every run gets a watchdog of ``watchdog_factor`` × the native
     runtime, so stall-type faults are diagnosed (``WATCHDOG_TIMEOUT``)
     rather than burning the whole cycle budget.
 
+    ``resync_mode`` picks how restart-policy cells recover condemned
+    variants: ``"history"`` replays the full retained master history at
+    cost, ``"checkpoint"`` fast-forwards to the latest machine
+    checkpoint frontier (taken every ``checkpoint_every`` cycles,
+    default native/64) and only re-executes the suffix — same verdicts,
+    fewer full-cost resync steps (``docs/REPLAY.md``).
+
     ``jobs`` shards the (policy x kind) cells across worker processes
     via :mod:`repro.par`; results are aggregated in matrix order, so
     ``jobs=N`` output is structurally identical to ``jobs=1``.
     """
+    if resync_mode not in ("history", "checkpoint"):
+        raise ValueError(f"unknown resync mode {resync_mode!r}")
     kinds = tuple(kinds) if kinds else FAULT_KINDS
     policies = tuple(policies) if policies else FAULT_POLICIES
     native = native_cycles(benchmark, scale, seed, cores,
@@ -225,7 +257,9 @@ def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
                             scale=scale, seed=seed, cores=cores,
                             costs=costs,
                             watchdog_factor=watchdog_factor,
-                            native=native)))
+                            native=native,
+                            resync_mode=resync_mode,
+                            checkpoint_every=checkpoint_every)))
     results = raise_failures(run_cells(tasks, jobs=jobs))
     return [result.value for result in results]
 
@@ -258,6 +292,14 @@ def fault_matrix_table(cells) -> str:
     survived = sum(1 for cell in cells if cell.survived)
     lines.append(f"{survived}/{len(cells)} cells completed the workload "
                  "(clean or degraded)")
+    restart_cells = [cell for cell in cells if cell.restarted]
+    if restart_cells:
+        mode = restart_cells[0].resync_mode
+        ff = sum(cell.fast_forwarded for cell in restart_cells)
+        resynced = sum(cell.resynced for cell in restart_cells)
+        lines.append(f"resync      : mode={mode}, "
+                     f"{resynced} step(s) re-executed at full cost, "
+                     f"{ff} fast-forwarded past the checkpoint frontier")
     return "\n".join(lines)
 
 

@@ -30,6 +30,9 @@ class FutexTable:
         #: Optional :class:`repro.races.RaceDetector`; a wake with a
         #: known waker is a happens-before edge (waker → each wakee).
         self.races = None
+        #: Optional replay sink (recorder or replayer); wake choices on
+        #: the master are part of the decision stream.
+        self.replay = None
 
     def add_waiter(self, addr: int, thread_id: str) -> None:
         """Register ``thread_id`` as blocked on the futex word ``addr``."""
@@ -64,11 +67,18 @@ class FutexTable:
             self.obs.futex_wake(addr, woken)
         if self.races is not None and waker is not None and woken:
             self.races.on_futex_wake(waker, woken)
+        if self.replay is not None:
+            self.replay.on_wake(self.variant, addr, woken)
         return woken
 
     def waiters(self, addr: int) -> list[str]:
         """Current waiters on ``addr`` (FIFO order)."""
         return list(self._waiters.get(addr, []))
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of the wait queues (checkpoint fingerprints)."""
+        return {str(addr): list(queue)
+                for addr, queue in sorted(self._waiters.items())}
 
     def all_waiting_threads(self) -> list[str]:
         """Every thread currently blocked on any futex (for diagnostics)."""

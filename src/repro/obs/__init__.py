@@ -308,6 +308,37 @@ class ObsHub:
         self.metrics.counter("resilience.restarts").inc()
         self.tracer.instant("restart", variant, "main",
                             cat="resilience", args={})
+        if self.prof is not None:
+            self.prof.variant_restarted(variant)
+
+    def variant_caught_up(self, variant: int) -> None:
+        """A restarted variant drained the master history and went live."""
+        self.recovery_log.append({"action": "caught_up",
+                                  "variant": variant,
+                                  "at_cycles": self.now})
+        self.metrics.counter("resilience.caught_up").inc()
+        self.tracer.instant("caught_up", variant, "main",
+                            cat="resilience", args={})
+        if self.prof is not None:
+            self.prof.variant_caught_up(variant)
+
+    # -- replay / checkpoint hooks -------------------------------------------
+    # Tracer-only by design: the digest() payload (metrics + logs) must
+    # not move when recording or checkpointing is enabled, so a recorded
+    # run can prove itself identical to an unrecorded one.
+
+    def checkpoint_taken(self, index: int, at_cycles: float,
+                         decisions: int | None) -> None:
+        """The checkpointer snapshotted machine state."""
+        self.tracer.instant("checkpoint", 0, "main", cat="replay",
+                            args={"index": index,
+                                  "at_cycles": at_cycles,
+                                  "decisions": decisions})
+
+    def replay_diverged(self, step: int, index: int) -> None:
+        """A replayed run left its recorded decision stream."""
+        self.tracer.instant("replay.diverged", 0, "main", cat="replay",
+                            args={"step": step, "index": index})
 
     # -- race detector hooks -------------------------------------------------
 

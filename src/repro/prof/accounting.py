@@ -48,7 +48,7 @@ CATEGORIES = (
     "futex-sleep",      # parked on a futex word
     "guest-wait",       # parked on guest/kernel waits (join, pipe, net)
     "core-queue",       # runnable, waiting for a core
-    "fault-recovery",   # parked on an injected-fault stall
+    "fault-recovery",   # injected-fault stalls + restart-resync service
 )
 
 #: Wait-key kind -> category.  Anything unknown is a guest-level wait.
@@ -197,9 +197,30 @@ class CycleProfiler:
         self.futex_parks = 0
         self.futex_wakes = 0
         self._finalized_at: float | None = None
+        #: Variants resyncing after a restart.  Their *syscall-service*
+        #: charges — the committed steps carrying the monitor's
+        #: history-replay costs — are recategorized to ``fault-recovery``
+        #: until they catch up; re-executed guest compute and wait time
+        #: keep their natural categories.  The bucket thus isolates the
+        #: monitor overhead of resync, which checkpoint-mode resync
+        #: provably shrinks (see ``docs/REPLAY.md``).
+        self._recovering: set[int] = set()
 
     def bind_clock(self, clock) -> None:
         self._clock = clock
+
+    def _category_for(self, variant: int, category: str) -> str:
+        if category == "syscall-service" and variant in self._recovering:
+            return "fault-recovery"
+        return category
+
+    # -- resilience hooks --------------------------------------------------
+
+    def variant_restarted(self, variant: int) -> None:
+        self._recovering.add(variant)
+
+    def variant_caught_up(self, variant: int) -> None:
+        self._recovering.discard(variant)
 
     # -- lifecycle hooks ---------------------------------------------------
 
@@ -231,7 +252,8 @@ class CycleProfiler:
         # Whatever elapsed since the last accounted point — creation,
         # unpark, or the committed step after which the thread yielded
         # its core — was spent runnable in the queue.
-        account.charge("core-queue", now - account.since)
+        account.charge(self._category_for(variant, "core-queue"),
+                       now - account.since)
         account.mode = "run"
         account.since = now
 
@@ -244,7 +266,7 @@ class CycleProfiler:
             category = account.wait_category
         else:
             category = _STEP_CATEGORY.get(kind, "guest-compute")
-        account.charge(category, duration)
+        account.charge(self._category_for(variant, category), duration)
         account.since = self._clock()
 
     def park(self, variant: int, thread: str, wait_key) -> None:
@@ -260,7 +282,9 @@ class CycleProfiler:
         if account is None:
             return
         now = self._clock()
-        account.charge(account.wait_category, now - account.since)
+        account.charge(self._category_for(variant,
+                                          account.wait_category),
+                       now - account.since)
         account.mode = "queue"
         account.since = now
 
@@ -287,10 +311,14 @@ class CycleProfiler:
 
     def _close(self, account: _ThreadAccount, now: float) -> None:
         if account.mode == "blocked":
-            account.charge(account.wait_category, now - account.since)
+            account.charge(self._category_for(account.variant,
+                                              account.wait_category),
+                           now - account.since)
             account.end = now
         elif account.mode == "queue":
-            account.charge("core-queue", now - account.since)
+            account.charge(self._category_for(account.variant,
+                                              "core-queue"),
+                           now - account.since)
             account.end = now
         else:
             # Mid-step at close time: the in-flight step was never

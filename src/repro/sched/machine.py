@@ -108,6 +108,11 @@ class Machine:
         #: contract again.  The detector only observes committed events —
         #: it never charges cycles or consumes randomness.
         self.races = None
+        #: Optional replay sink (:class:`repro.replay.DecisionRecorder`
+        #: or :class:`repro.replay.DecisionReplayer`); same zero-cost
+        #: contract.  RNG capture happens by wrapping ``self.rng``, not
+        #: through this hook, so the disabled path is one attribute test.
+        self.replay = None
         #: Application-level cache-line contention: every atomic access to
         #: a shared word pays coherence, in native runs and MVEE runs
         #: alike.  (Agent-added traffic is charged separately by the
@@ -307,6 +312,8 @@ class Machine:
                              else self._event_kinds[
                                  type(thread.pending_event)]),
                             duration)
+                    if self.replay is not None:
+                        self.replay.on_step()
                     self._commit_step(thread)
             elif kind == "external":
                 payload(self)
@@ -547,6 +554,9 @@ class Machine:
         value = self._apply_syncop(vm, event)
         if self.races is not None:
             self.races.on_sync_op(vm, thread, event, value)
+        if self.replay is not None:
+            self.replay.on_sync(vm.index, thread.logical_id, event.op,
+                                event.site, value)
         thread.stats.sync_ops += 1
         vm.total_sync_ops += 1
         if vm.record_sync_trace:
@@ -690,6 +700,9 @@ class Machine:
             return
         thread.stats.syscalls += 1
         vm.total_syscalls += 1
+        if self.replay is not None:
+            self.replay.on_syscall(vm.index, thread.logical_id,
+                                   event.name, result)
         if vm.record_trace:
             detail = tuple(
                 "<addr>" if index in spec.address_args else arg

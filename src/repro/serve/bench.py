@@ -270,6 +270,86 @@ def render_serve_bench(report: dict) -> str:
     return "\n".join(lines)
 
 
+#: Config fields two serve reports must agree on to be comparable.
+SERVE_IDENTITY = ("sessions", "workload", "agent", "variants",
+                  "base_seed", "mode")
+
+
+def compare_serve_reports(new: dict, ref: dict,
+                          wall_tolerance: float | None = None
+                          ) -> list:
+    """Gate a fresh serve bench report against a committed reference.
+
+    Returns :class:`repro.prof.regress.Finding` lines, same contract as
+    ``repro bench --compare``: simulated quantities (digest, completion,
+    single-shot identity) are hard failures, host quantities
+    (throughput) are advisory warnings.
+    """
+    from repro.prof import regress
+
+    if wall_tolerance is None:
+        wall_tolerance = regress.DEFAULT_WALL_TOLERANCE
+    findings: list[regress.Finding] = []
+    new_config = new.get("config", {})
+    ref_config = ref.get("config", {})
+    mismatched = [key for key in SERVE_IDENTITY
+                  if new_config.get(key) != ref_config.get(key)]
+    if mismatched:
+        findings.append(regress.Finding(
+            "fail", "load-mismatch",
+            "reports ran different loads "
+            f"({', '.join(mismatched)} differ) — digests are not "
+            "comparable"))
+        return findings
+
+    if new.get("digest") != ref.get("digest"):
+        findings.append(regress.Finding(
+            "fail", "digest-divergence",
+            f"serve digest changed: {ref.get('digest')} -> "
+            f"{new.get('digest')} (a served session's simulated "
+            "outcome moved)"))
+    else:
+        findings.append(regress.Finding(
+            "info", "digest",
+            f"serve digest identical ({new.get('digest')})"))
+
+    new_totals = new.get("totals", {})
+    ref_totals = ref.get("totals", {})
+    if new_totals.get("completed") != ref_totals.get("completed"):
+        findings.append(regress.Finding(
+            "fail", "completed",
+            f"completed sessions changed: {ref_totals.get('completed')}"
+            f" -> {new_totals.get('completed')}"))
+    failures = new_totals.get("failures") or []
+    if failures:
+        findings.append(regress.Finding(
+            "fail", "failures",
+            f"{len(failures)} client failure(s) in the new run "
+            f"(first: {failures[0]})"))
+    if new.get("verified_single_shot") is False:
+        findings.append(regress.Finding(
+            "fail", "single-shot-divergence",
+            "served sessions diverged from the daemon-less "
+            "single-shot oracle"))
+
+    new_tp = new.get("throughput_sps")
+    ref_tp = ref.get("throughput_sps")
+    if new_tp and ref_tp:
+        delta = (ref_tp - new_tp) / ref_tp
+        if delta > wall_tolerance:
+            findings.append(regress.Finding(
+                "warn", "throughput",
+                f"throughput regressed {delta * 100.0:+.1f}% "
+                f"({ref_tp:.1f} -> {new_tp:.1f} sessions/s, tolerance "
+                f"{wall_tolerance * 100.0:.0f}%)"))
+        else:
+            findings.append(regress.Finding(
+                "info", "throughput",
+                f"throughput {-delta * 100.0:+.1f}% "
+                f"({ref_tp:.1f} -> {new_tp:.1f} sessions/s)"))
+    return findings
+
+
 def serve_trajectory_entry(report: dict) -> dict:
     """Compact history record for one serve bench reference."""
     return {

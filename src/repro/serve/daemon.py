@@ -57,7 +57,8 @@ class ServeConfig:
                  max_cycles_per_session: float | None = None,
                  jobs: int = 0,
                  step_budget: int = DEFAULT_STEP_BUDGET,
-                 bundle_dir: str | None = None):
+                 bundle_dir: str | None = None,
+                 checkpoint_every: float | None = None):
         self.host = host
         self.port = port
         self.state_dir = state_dir
@@ -68,6 +69,9 @@ class ServeConfig:
         self.jobs = jobs
         self.step_budget = step_budget
         self.bundle_dir = bundle_dir
+        #: Cycle cadence for stepped-session decision-log checkpoints
+        #: (needs ``state_dir``); ``None`` disables session recording.
+        self.checkpoint_every = checkpoint_every
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -115,7 +119,8 @@ class ServeDaemon:
         self.registry = SessionRegistry(
             state_dir=self.config.state_dir,
             max_sessions=self.config.max_sessions,
-            max_cycles_per_session=self.config.max_cycles_per_session)
+            max_cycles_per_session=self.config.max_cycles_per_session,
+            checkpoint_every=self.config.checkpoint_every)
         self.executor = CellExecutor(jobs=self.config.jobs)
         self.started_unix = time.time()
         self._server: _Server | None = None

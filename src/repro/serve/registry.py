@@ -36,6 +36,7 @@ from repro.errors import (
     SessionConflict,
     SessionNotFound,
 )
+from repro.logio import read_jsonl
 from repro.serve.session import (
     CLOSEABLE_STATES,
     SESSION_STATES,
@@ -63,10 +64,14 @@ class SessionRegistry:
 
     def __init__(self, state_dir: str | None = None,
                  max_sessions: int = 64,
-                 max_cycles_per_session: float | None = None):
+                 max_cycles_per_session: float | None = None,
+                 checkpoint_every: float | None = None):
         self.state_dir = state_dir
         self.max_sessions = max_sessions
         self.max_cycles_per_session = max_cycles_per_session
+        #: Cycle cadence for session decision-log checkpoints; ``None``
+        #: disables recording (sessions then recover by policy alone).
+        self.checkpoint_every = checkpoint_every
         self.sessions: dict[str, Session] = {}
         self.peak_active = 0
         self.created_total = 0
@@ -92,22 +97,20 @@ class SessionRegistry:
         path = self.journal_path
         records: dict[str, dict] = {}
         if os.path.exists(path):
-            with open(path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entry = json.loads(line)
-                    except ValueError:
-                        continue      # torn tail write from a crash
-                    sid = entry.get("id")
-                    if not sid:
-                        continue
-                    if entry.get("event") == "create":
-                        records[sid] = entry
-                    elif sid in records:
-                        records[sid]["state"] = entry.get("state")
+            # Same torn-tail-tolerant reader the decision logs use: a
+            # crash mid-append leaves at worst one unparseable (or
+            # unterminated) final line, which is dropped; interior junk
+            # is skipped too — the journal is advisory, not a ledger.
+            for entry in read_jsonl(path, on_bad="skip").records:
+                if not isinstance(entry, dict):
+                    continue
+                sid = entry.get("id")
+                if not sid:
+                    continue
+                if entry.get("event") == "create":
+                    records[sid] = entry
+                elif sid in records:
+                    records[sid]["state"] = entry.get("state")
         highest = 0
         for sid, entry in records.items():
             state = entry.get("state", "created")
@@ -121,8 +124,17 @@ class SessionRegistry:
             if new_state != state:
                 self.recovered[sid] = new_state
             session = Session(sid, spec,
-                              max_cycles=self.max_cycles_per_session)
+                              max_cycles=self.max_cycles_per_session,
+                              state_dir=self.state_dir,
+                              checkpoint_every=self.checkpoint_every)
             session.state = new_state
+            if (state in ("running", "queued")
+                    and new_state == "created" and session.recording):
+                # Interrupted restart-policy session with replay
+                # artifacts on disk: the first step resumes in-flight
+                # work from checkpoint + decision-log prefix instead of
+                # re-executing from scratch.
+                session.resume_from_disk = True
             self.sessions[sid] = session
             try:
                 highest = max(highest, int(sid.split("-")[-1]))
@@ -174,7 +186,9 @@ class SessionRegistry:
             session_id = f"s-{next(self._ids)}"
             session = Session(session_id, spec,
                               max_cycles=self.max_cycles_per_session,
-                              bundle_dir=bundle_dir)
+                              bundle_dir=bundle_dir,
+                              state_dir=self.state_dir,
+                              checkpoint_every=self.checkpoint_every)
             self.sessions[session_id] = session
             self.created_total += 1
             self.peak_active = max(self.peak_active, active + 1)
@@ -217,6 +231,7 @@ class SessionRegistry:
                     f"session {session_id} is {session.state}; only "
                     "quarantined sessions can be resumed")
             session.state = "created"
+            session.release_writer()
             session._mvee = None
             session._hub = None
             session.result = None
@@ -235,6 +250,7 @@ class SessionRegistry:
                     f"session {session_id} is {session.state}; close "
                     "accepts " + ", ".join(CLOSEABLE_STATES))
             session.state = "closed"
+            session.release_writer()
             session._mvee = None
             session._hub = None
         with self._lock:
@@ -256,6 +272,8 @@ class SessionRegistry:
                     "recovered": dict(self.recovered)}
 
     def shutdown(self) -> None:
+        for session in self.sessions.values():
+            session.release_writer()
         if self._journal is not None:
             self._journal.close()
             self._journal = None

@@ -75,6 +75,9 @@ class SessionSpec:
     policy: str = "kill-all"
     watchdog: float | None = None
     race_detect: bool = False
+    #: Restart resync strategy: "history" or "checkpoint" (the latter
+    #: needs a checkpointer attached; see MonitorPolicy.resync_mode).
+    resync_mode: str = "history"
     #: Workload-specific overrides (nginx: pool_threads, connections,
     #: requests_per_connection, work_cycles).
     params: dict = field(default_factory=dict)
@@ -91,6 +94,10 @@ class SessionSpec:
         if self.policy not in POLICY_NAMES:
             raise BadRequest(f"unknown policy {self.policy!r}; expected "
                              "one of " + ", ".join(POLICY_NAMES))
+        if self.resync_mode not in ("history", "checkpoint"):
+            raise BadRequest(f"unknown resync_mode "
+                             f"{self.resync_mode!r}; expected 'history' "
+                             "or 'checkpoint'")
         if not 2 <= int(self.variants) <= 16:
             raise BadRequest("variants must be between 2 and 16 "
                              "(an MVEE needs at least two)")
@@ -116,6 +123,7 @@ class SessionSpec:
                 "fault_seed": self.fault_seed, "policy": self.policy,
                 "watchdog": self.watchdog,
                 "race_detect": self.race_detect,
+                "resync_mode": self.resync_mode,
                 "params": dict(self.params)}
 
     @classmethod
@@ -135,7 +143,8 @@ class SessionSpec:
             raise BadRequest(f"bad spec: {exc}") from None
 
 
-def build_mvee(spec: SessionSpec, obs=None):
+def build_mvee(spec: SessionSpec, obs=None, replay=None,
+               checkpoints=None):
     """Instantiate the MVEE for a spec, plus the native-cycle baseline.
 
     Mirrors the CLI paths exactly — synthetic twins match ``repro run``
@@ -149,7 +158,8 @@ def build_mvee(spec: SessionSpec, obs=None):
 
     agent = None if spec.agent == "none" else spec.agent
     policy = MonitorPolicy(degradation=spec.policy,
-                           watchdog_cycles=spec.watchdog)
+                           watchdog_cycles=spec.watchdog,
+                           resync_mode=spec.resync_mode)
     plan = None
     if spec.faults is not None:
         from repro.faults import parse_fault_plan
@@ -183,7 +193,8 @@ def build_mvee(spec: SessionSpec, obs=None):
                     with_network=True,
                     traffic=make_traffic(config, 0.0, stats),
                     max_cycles=5e9, obs=obs, faults=plan,
-                    races=detector)
+                    races=detector, replay=replay,
+                    checkpoints=checkpoints)
         return mvee, None
     from repro.experiments.runner import native_cycles
     from repro.workloads.synthetic import make_benchmark
@@ -196,7 +207,8 @@ def build_mvee(spec: SessionSpec, obs=None):
     mvee = MVEE(make_benchmark(spec.workload, scale=spec.scale),
                 variants=spec.variants, agent=agent, seed=spec.seed,
                 policy=policy, max_cycles=native * 400, obs=obs,
-                faults=plan, races=detector)
+                faults=plan, races=detector, replay=replay,
+                checkpoints=checkpoints)
     return mvee, native
 
 
@@ -239,12 +251,24 @@ class Session:
 
     def __init__(self, session_id: str, spec: SessionSpec,
                  max_cycles: float | None = None,
-                 bundle_dir: str | None = None):
+                 bundle_dir: str | None = None,
+                 state_dir: str | None = None,
+                 checkpoint_every: float | None = None):
         self.id = session_id
         self.spec = spec
         self.state = "created"
         self.max_cycles = max_cycles
         self.bundle_dir = bundle_dir
+        #: When both are set, stepped execution records its decision
+        #: stream and checkpoints to ``state_dir`` so an interrupted
+        #: session can be resumed from checkpoint + log prefix.
+        self.state_dir = state_dir
+        self.checkpoint_every = checkpoint_every
+        #: Set by the registry when on-disk replay artifacts from a
+        #: previous daemon incarnation should be resumed.
+        self.resume_from_disk = False
+        #: Populated after a successful resume (diagnostics).
+        self.resumed: dict | None = None
         self.lock = threading.Lock()
         self.result: dict | None = None
         #: CellExecutor ticket while the session is queued (batch path).
@@ -254,20 +278,100 @@ class Session:
         self._mvee = None
         self._hub = None
         self._native = None
+        self._recorder = None
+        self._writer = None
         self._event_seq = itertools.count()
         self._seen_recovery = 0
         self._seen_races = 0
         self._seen_faults = 0
 
+    @property
+    def recording(self) -> bool:
+        return (self.state_dir is not None
+                and self.checkpoint_every is not None)
+
+    def decision_log_path(self) -> str | None:
+        if self.state_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.state_dir,
+                            f"{self.id}.decisions.jsonl")
+
+    def checkpoint_path(self) -> str | None:
+        if self.state_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.state_dir, f"{self.id}.ckpt.json")
+
     # -- stepped execution ---------------------------------------------------
 
     def _ensure_mvee(self):
-        if self._mvee is None:
-            from repro.obs import ObsHub
+        if self._mvee is not None:
+            return None
+        from repro.obs import ObsHub
 
-            self._hub = ObsHub(trace=False)
-            self._mvee, self._native = build_mvee(self.spec, obs=self._hub)
-            self.state = "running"
+        self._hub = ObsHub(trace=False)
+        if self.recording:
+            return self._build_recording()
+        self._mvee, self._native = build_mvee(self.spec, obs=self._hub)
+        self.state = "running"
+        return None
+
+    def _build_recording(self):
+        """Build (or resume) a recording MVEE; returns a finished
+        outcome in the rare case the run completed while replaying a
+        resumed prefix."""
+        from repro.replay import (
+            CheckpointPolicy,
+            Checkpointer,
+            CheckpointStore,
+            DecisionLog,
+            DecisionLogWriter,
+            DecisionRecorder,
+            resume_recorded,
+        )
+
+        log_path = self.decision_log_path()
+        ckpt_path = self.checkpoint_path()
+        outcome = None
+        if self.resume_from_disk:
+            self.resume_from_disk = False
+            handle = resume_recorded(
+                self.spec, log_path, ckpt_path,
+                checkpoint_every=self.checkpoint_every, hub=self._hub)
+            if handle is not None:
+                self._mvee = handle.mvee
+                self._native = handle.native
+                self._recorder = handle.recorder
+                self._writer = DecisionLogWriter(log_path, handle.log)
+                self.resumed = {
+                    "checkpoint": handle.checkpoint.index,
+                    "at_cycles": handle.checkpoint.at_cycles,
+                    "replayed_records": handle.checkpoint.decision_index,
+                    "discarded_records": handle.discarded_records,
+                }
+                self.state = "running"
+                return handle.outcome
+        if self._mvee is None:
+            log = DecisionLog(spec=self.spec.to_dict(),
+                              meta={"session": self.id})
+            self._recorder = DecisionRecorder(log)
+            self._mvee, self._native = build_mvee(
+                self.spec, obs=self._hub, replay=self._recorder)
+            checkpointer = Checkpointer(
+                self._mvee,
+                CheckpointPolicy(every_cycles=self.checkpoint_every),
+                recorder=self._recorder,
+                store=CheckpointStore(path=ckpt_path), obs=self._hub)
+            self._mvee.checkpointer = checkpointer
+            if hasattr(self._mvee.monitor, "checkpoints"):
+                self._mvee.monitor.checkpoints = checkpointer.store
+            checkpointer.arm()
+            self._writer = DecisionLogWriter(log_path, log)
+        self.state = "running"
+        return outcome
 
     def step(self, max_events: int) -> dict:
         """Advance by at most ``max_events`` simulator events.
@@ -281,8 +385,11 @@ class Session:
             raise SessionConflict(
                 f"session {self.id} is {self.state}; step needs a "
                 "created or running session")
-        self._ensure_mvee()
-        outcome = self._mvee.advance(max_events)
+        outcome = self._ensure_mvee()
+        if outcome is None:
+            outcome = self._mvee.advance(max_events)
+        if self._writer is not None:
+            self._writer.flush()
         self.steps += 1
         self.events_processed += max_events if outcome is None else 0
         envelope = {
@@ -299,9 +406,17 @@ class Session:
             self.result = outcome_to_result(outcome, self._native,
                                             obs=self._hub,
                                             bundle_path=bundle_path)
+            if self.resumed is not None:
+                self.result["resumed"] = dict(self.resumed)
             self.state = "finished"
             envelope["state"] = self.state
             envelope["result"] = self.result
+            if self._writer is not None:
+                self._writer.close(
+                    steps=self._recorder.steps,
+                    verdict=outcome.verdict, cycles=outcome.cycles,
+                    obs_digest=self.result.get("obs_digest"))
+                self._writer = None
         elif (self.max_cycles is not None
                 and self._mvee.machine.now > self.max_cycles):
             self.state = "killed"
@@ -310,7 +425,15 @@ class Session:
                            "cycles": self._mvee.machine.now}
             envelope["state"] = self.state
             envelope["result"] = self.result
+            self.release_writer()
         return envelope
+
+    def release_writer(self) -> None:
+        """Close the decision-log handle without sealing (the log keeps
+        its torn-tolerant prefix for a later resume)."""
+        if self._writer is not None:
+            self._writer.abandon()
+            self._writer = None
 
     def _drain_events(self) -> list[dict]:
         """New fault/recovery/race records since the last step.

@@ -304,3 +304,86 @@ class TestServeCommand:
         assert len(report["trajectory"]) == 1
         assert (report["trajectory"][0]["digest"]
                 == json.loads(ref.read_text())["digest"])
+
+
+class TestReplayCommands:
+    """repro record / replay / checkpoint and the resync flags."""
+
+    def _record(self, tmp_path, *extra):
+        log = str(tmp_path / "run.decisions.jsonl")
+        code = main(["record", "fft", "-o", log, "--scale", "0.05",
+                     "--variants", "2", "--seed", "5", *extra])
+        return code, log
+
+    def test_record_then_replay_round_trip(self, capsys, tmp_path):
+        code, log = self._record(tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recorded  : fft x2" in out
+        assert "digest    : sha256:" in out
+        code = main(["replay", log])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(match)" in out
+        assert "log digest: stable" in out
+        assert "MISMATCH" not in out
+
+    def test_run_record_writes_a_sealed_log(self, capsys, tmp_path):
+        log = str(tmp_path / "from-run.decisions.jsonl")
+        code = main(["run", "fft", "--scale", "0.05", "--seed", "5",
+                     "--record", log])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"log       : {log}" in out
+        assert main(["replay", log]) == 0
+        assert "log digest: stable" in capsys.readouterr().out
+
+    def test_replay_to_step_writes_forensics_bundle(self, capsys,
+                                                    tmp_path):
+        _, log = self._record(tmp_path)
+        capsys.readouterr()
+        bundle = str(tmp_path / "forensics.json")
+        code = main(["replay", log, "--to-step", "40",
+                     "--bundle-out", bundle])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stopped   : step" in out
+        data = json.load(open(bundle))
+        assert data["kind"] == "repro-replay-forensics"
+        assert data["stopped_at_step"] >= 40
+        assert data["machine"]["cycles"] > 0
+        assert data["recorded"]["k"] == "end"
+
+    def test_replay_missing_log_exits_two(self, capsys):
+        code = main(["replay", "/no/such/run.decisions.jsonl"])
+        captured = capsys.readouterr()
+        assert code == 2
+        lines = captured.err.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("repro replay: ")
+
+    def test_checkpoint_inspects_store_and_log(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt.json")
+        code, log = self._record(tmp_path, "--checkpoint-every",
+                                 "50000", "--checkpoint-out", ckpt)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checkpoint:" in out
+        assert main(["checkpoint", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint store:" in out
+        assert "#0: at" in out
+        assert main(["checkpoint", log]) == 0
+        out = capsys.readouterr().out
+        assert "decision log:" in out
+        assert "sealed  : verdict clean" in out
+
+    def test_fault_matrix_reports_resync_mode(self, capsys):
+        code = main(["fault-matrix", "--benchmark", "fft",
+                     "--scale", "0.05", "--kinds", "crash",
+                     "--policies", "restart",
+                     "--resync-mode", "checkpoint"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mode=checkpoint" in out
+        assert "fast-forwarded" in out
