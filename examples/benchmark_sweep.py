@@ -34,7 +34,8 @@ def main():
         cells = "  ".join(
             f"{variants}v {means[(agent, variants)]:.2f}x "
             f"({target:.2f}x)"
-            for variants, target in zip((2, 3, 4), targets))
+            for variants, target in zip((2, 3, 4), targets,
+                                        strict=True))
         print(f"  {agent:16s} {cells}")
 
 

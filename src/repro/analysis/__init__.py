@@ -20,6 +20,19 @@ The pipeline mirrors the paper's workflow end to end:
 6. :mod:`repro.analysis.instrument` — wrap identified sync ops with
    ``before_sync_op`` / ``after_sync_op`` calls (Listing 3) and emit the
    site set the MVEE's injection layer consumes.
+
+On top of the pipeline sits a reusable interprocedural framework:
+
+7. :mod:`repro.analysis.cfg` — basic-block CFG construction per function.
+8. :mod:`repro.analysis.dataflow` — a generic worklist fixpoint engine
+   (forward/backward, configurable join) with the must-hold lock-set
+   analysis as its first client.
+9. :mod:`repro.analysis.callgraph` — call graphs with indirect calls
+   resolved through the points-to results.
+10. :mod:`repro.analysis.lockorder` — RacerX-style static lock-order
+    graph, cycle enumeration into deadlock candidates with trylock /
+    gate-ordered suppression, and the cross-check against the runtime
+    wait-for-graph evidence (:mod:`repro.races.deadlock`).
 """
 
 from repro.analysis.ir import (
@@ -42,6 +55,23 @@ from repro.analysis.qualify import (
     AtomicQualifierChecker,
     refactor_to_fixpoint,
 )
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    LockHeldAnalysis,
+    solve,
+)
+from repro.analysis.callgraph import CallGraph, CallSite, build_callgraph
+from repro.analysis.lockorder import (
+    AcquisitionEdge,
+    CandidateVerdict,
+    DeadlockCandidate,
+    LockOrderReport,
+    analyze_corpus,
+    analyze_module,
+    cross_check,
+)
 
 __all__ = [
     "Module",
@@ -61,4 +91,21 @@ __all__ = [
     "InstrumentationMismatchError",
     "AtomicQualifierChecker",
     "refactor_to_fixpoint",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "DataflowProblem",
+    "DataflowResult",
+    "LockHeldAnalysis",
+    "solve",
+    "CallGraph",
+    "CallSite",
+    "build_callgraph",
+    "AcquisitionEdge",
+    "DeadlockCandidate",
+    "CandidateVerdict",
+    "LockOrderReport",
+    "analyze_module",
+    "analyze_corpus",
+    "cross_check",
 ]

@@ -1,0 +1,128 @@
+"""Call graphs over the mini-IR, with points-to-resolved indirect calls.
+
+A ``call`` instruction's operand is either a ``str`` naming the callee
+(direct) or a :class:`~repro.analysis.ir.Reg` whose name is a pointer
+variable (indirect).  Indirect targets resolve through the same
+Steensgaard/Andersen results stage 2 uses: a function is *address
+taken* when some ``AddrOf`` fact's object is its name, and an indirect
+call may reach every address-taken function its pointer may point to.
+Unresolvable indirect calls (empty points-to set, or no address-taken
+functions) produce a call site with no callees — the lock-order pass
+treats those as lock-balanced no-ops, the same optimistic assumption
+it makes for calls out of the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ir import Instruction, Module, Reg
+from repro.analysis.pointsto import AndersenAnalysis, SteensgaardAnalysis
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``call`` instruction and its resolved callees."""
+
+    caller: str
+    callees: tuple[str, ...]
+    direct: bool
+    instruction: Instruction
+
+    def __str__(self) -> str:
+        kind = "direct" if self.direct else "indirect"
+        targets = ", ".join(self.callees) or "<unresolved>"
+        return f"{self.caller} --{kind}--> {targets}"
+
+
+@dataclass
+class CallGraph:
+    """Who calls whom, per module."""
+
+    module: Module
+    sites: list[CallSite] = field(default_factory=list)
+    #: caller name -> set of callee names.
+    edges: dict[str, set[str]] = field(default_factory=dict)
+
+    def callees(self, function: str) -> frozenset[str]:
+        return frozenset(self.edges.get(function, ()))
+
+    def callers(self, function: str) -> frozenset[str]:
+        return frozenset(name for name, targets in self.edges.items()
+                         if function in targets)
+
+    def roots(self) -> list[str]:
+        """Functions never called within the module (entry candidates).
+
+        Falls back to every function when the graph is one big cycle —
+        the lock-order pass must not silently skip such modules.
+        """
+        called: set[str] = set()
+        for targets in self.edges.values():
+            called |= targets
+        roots = [fn.name for fn in self.module.functions
+                 if fn.name not in called]
+        return roots or [fn.name for fn in self.module.functions]
+
+    def reachable(self, start: str) -> frozenset[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            name = frontier.pop()
+            for callee in self.edges.get(name, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return frozenset(seen)
+
+
+def build_callgraph(module: Module,
+                    analysis: str | object = "andersen") -> CallGraph:
+    """Build the call graph of ``module``.
+
+    ``analysis`` is a points-to analysis name (``"andersen"`` /
+    ``"steensgaard"``) or an already-computed analysis object exposing
+    ``points_to``; pass the object to share one fixpoint across the
+    call graph and the lock-order pass.
+    """
+    if isinstance(analysis, str):
+        from repro.analysis.identify import ANALYSES
+        if analysis not in ANALYSES:
+            raise ValueError(f"unknown points-to analysis {analysis!r}; "
+                             f"choose from {sorted(ANALYSES)}")
+        pointsto = ANALYSES[analysis](module)
+    else:
+        pointsto = analysis
+    function_names = {fn.name for fn in module.functions}
+    graph = CallGraph(module=module)
+    graph.edges = {fn.name: set() for fn in module.functions}
+    for function in module.functions:
+        for instruction in function.instructions:
+            if not instruction.is_call:
+                continue
+            target = instruction.call_target()
+            if isinstance(target, str):
+                callees = ((target,) if target in function_names else ())
+                direct = True
+            elif isinstance(target, Reg):
+                resolved = pointsto.points_to(target.name)
+                callees = tuple(sorted(
+                    obj for obj in resolved
+                    if isinstance(obj, str) and obj in function_names))
+                direct = False
+            else:
+                callees, direct = (), True
+            site = CallSite(caller=function.name, callees=callees,
+                            direct=direct, instruction=instruction)
+            graph.sites.append(site)
+            graph.edges[function.name].update(callees)
+    return graph
+
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "build_callgraph",
+    "AndersenAnalysis",
+    "SteensgaardAnalysis",
+]

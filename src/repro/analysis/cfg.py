@@ -1,0 +1,158 @@
+"""Basic-block control-flow graphs over the analysis mini-IR.
+
+The corpus functions were straight-line code until the interprocedural
+layer arrived; :mod:`repro.analysis.ir` now defines conventional control
+opcodes (``call``/``ret``/``jmp``/``jcc``/``label``) and this module
+turns a :class:`~repro.analysis.ir.Function` into the classic
+basic-block CFG every dataflow client consumes:
+
+* a *leader* is the first instruction, any ``label``, and any
+  instruction following a terminator (``ret``/``jmp``/``jcc``);
+* a block ending in ``jmp`` has one successor (the target), ``jcc`` has
+  two (target + fall-through), ``ret`` has none, and anything else falls
+  through;
+* ``call`` does **not** end a block — interprocedural effects are the
+  call graph's business (:mod:`repro.analysis.callgraph`), not the
+  CFG's.
+
+A branch to an unknown label is a malformed function and raises
+``ValueError`` — silently treating it as a fall-through would make the
+lock-order analysis unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.ir import (
+    BRANCH_OPCODE,
+    JUMP_OPCODE,
+    RET_OPCODE,
+    Function,
+    Instruction,
+)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    index: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    #: Label naming this block, when it starts with a ``label`` pseudo-op.
+    label: str | None = None
+
+    @property
+    def terminator(self) -> Instruction | None:
+        last = self.instructions[-1] if self.instructions else None
+        return last if last is not None and last.is_terminator else None
+
+    def __str__(self) -> str:
+        head = f"B{self.index}" + (f" ({self.label})" if self.label else "")
+        succ = ", ".join(f"B{s}" for s in self.successors) or "-"
+        return f"{head} -> {succ}"
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    function: Function
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    @property
+    def entry(self) -> BasicBlock | None:
+        return self.blocks[0] if self.blocks else None
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks with no successors (``ret`` or fall-off-the-end)."""
+        return [block for block in self.blocks if not block.successors]
+
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def edge_count(self) -> int:
+        return sum(len(block.successors) for block in self.blocks)
+
+    def reverse_postorder(self) -> list[BasicBlock]:
+        """Blocks in reverse postorder from the entry (the canonical
+        worklist seeding order for forward problems)."""
+        if not self.blocks:
+            return []
+        seen: set[int] = set()
+        order: list[int] = []
+        # Iterative DFS with an explicit stack (deep CFGs must not hit
+        # the interpreter recursion limit).
+        stack: list[tuple[int, int]] = [(0, 0)]
+        seen.add(0)
+        while stack:
+            index, child = stack[-1]
+            successors = self.blocks[index].successors
+            if child < len(successors):
+                stack[-1] = (index, child + 1)
+                succ = successors[child]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, 0))
+            else:
+                stack.pop()
+                order.append(index)
+        order.reverse()
+        # Unreachable blocks go last, in index order, so clients still
+        # see every block exactly once.
+        order.extend(i for i in range(len(self.blocks)) if i not in seen)
+        return [self.blocks[i] for i in order]
+
+
+def build_cfg(function: Function) -> CFG:
+    """Split ``function`` into basic blocks and wire the edges."""
+    instructions = function.instructions
+    cfg = CFG(function=function)
+    if not instructions:
+        return cfg
+    # 1. leaders.
+    leaders = {0}
+    for position, instruction in enumerate(instructions):
+        if instruction.is_label:
+            leaders.add(position)
+        if instruction.is_terminator and position + 1 < len(instructions):
+            leaders.add(position + 1)
+    starts = sorted(leaders)
+    # 2. blocks + label map.
+    label_to_block: dict[str, int] = {}
+    for block_index, start in enumerate(starts):
+        end = (starts[block_index + 1] if block_index + 1 < len(starts)
+               else len(instructions))
+        block = BasicBlock(index=block_index,
+                           instructions=instructions[start:end])
+        first = block.instructions[0]
+        if first.is_label:
+            block.label = first.operands[0]
+            label_to_block[block.label] = block_index
+        cfg.blocks.append(block)
+    # 3. edges.
+    for block in cfg.blocks:
+        terminator = block.terminator
+        fall_through = block.index + 1 < len(cfg.blocks)
+        if terminator is None:
+            if fall_through:
+                block.successors.append(block.index + 1)
+            continue
+        if terminator.opcode == RET_OPCODE:
+            continue
+        target = terminator.branch_target()
+        if target not in label_to_block:
+            raise ValueError(
+                f"{function.name}: branch to unknown label {target!r}")
+        if terminator.opcode == JUMP_OPCODE:
+            block.successors.append(label_to_block[target])
+        elif terminator.opcode == BRANCH_OPCODE:
+            block.successors.append(label_to_block[target])
+            if fall_through:
+                block.successors.append(block.index + 1)
+    for block in cfg.blocks:
+        for succ in block.successors:
+            cfg.blocks[succ].predecessors.append(block.index)
+    return cfg

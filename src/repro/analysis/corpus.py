@@ -64,6 +64,7 @@ _LIBPTHREAD_SITES = [
     ("libpthread.ticketlock.serve.store", "store"),
     ("libpthread.mutex.lock.cmpxchg", "cmpxchg"),
     ("libpthread.mutex.lock.xchg", "xchg"),
+    ("libpthread.mutex.trylock.cmpxchg", "cmpxchg"),
     ("libpthread.mutex.unlock.xchg", "xchg"),
     ("libpthread.cond.wait.load", "load"),
     ("libpthread.cond.signal.xadd", "xadd"),
@@ -189,7 +190,7 @@ def make_library_module(name: str, counts: tuple[int, int, int],
                    for fn in module.functions
                    if fn.instructions[0].lock_prefix
                    or fn.instructions[0].opcode == "xchg"}
-    for prefix, var in site_vars.items():
+    for var in site_vars.values():
         if var not in locked_vars:
             add(var, None, "cmpxchg")
             have1 += 1
@@ -349,6 +350,137 @@ def racy_counter_module() -> Module:
     module.globals.append(GlobalVar("counter"))
     module.globals.append(GlobalVar("lock"))
     return module
+
+
+def _lock_acquire(pointer: str, site: str | None,
+                  source: tuple[str, int]) -> Instruction:
+    return Instruction("cmpxchg", (mem(pointer), Reg("eax")),
+                       lock_prefix=True, site=site, source=source)
+
+
+def _lock_release(pointer: str, source: tuple[str, int]) -> Instruction:
+    return Instruction("mov", (mem(pointer), imm(0)), source=source)
+
+
+def abba_module() -> Module:
+    """The seeded ABBA inversion: two functions nest two locks in
+    opposite orders — the textbook lock-order deadlock the static pass
+    must flag (cycle ``lock_a -> lock_b -> lock_a``)."""
+    module = Module(name="abba")
+    module.functions.append(Function(
+        name="thread_a",
+        instructions=[
+            _lock_acquire("a_lock_a", "abba.thread_a.lock_a.cmpxchg",
+                          ("abba.c", 10)),
+            _lock_acquire("a_lock_b", "abba.thread_a.lock_b.cmpxchg",
+                          ("abba.c", 11)),
+            _lock_release("a_lock_b", ("abba.c", 13)),
+            _lock_release("a_lock_a", ("abba.c", 14)),
+        ],
+        pointer_facts=[AddrOf("a_lock_a", "lock_a"),
+                       AddrOf("a_lock_b", "lock_b")]))
+    module.functions.append(Function(
+        name="thread_b",
+        instructions=[
+            _lock_acquire("b_lock_b", "abba.thread_b.lock_b.cmpxchg",
+                          ("abba.c", 20)),
+            _lock_acquire("b_lock_a", "abba.thread_b.lock_a.cmpxchg",
+                          ("abba.c", 21)),
+            _lock_release("b_lock_a", ("abba.c", 23)),
+            _lock_release("b_lock_b", ("abba.c", 24)),
+        ],
+        pointer_facts=[AddrOf("b_lock_a", "lock_a"),
+                       AddrOf("b_lock_b", "lock_b")]))
+    module.globals.append(GlobalVar("lock_a"))
+    module.globals.append(GlobalVar("lock_b"))
+    return module
+
+
+def trylock_module() -> Module:
+    """The ABBA shape with the inner inverted acquisition guarded by a
+    trylock — a lock-order cycle on paper, but the ``.trylock`` site
+    cannot block, so the suppression heuristic must demote it."""
+    module = Module(name="trylock_guarded")
+    module.functions.append(Function(
+        name="worker",
+        instructions=[
+            _lock_acquire("w_lock_a", "tryl.worker.lock_a.cmpxchg",
+                          ("tryl.c", 10)),
+            _lock_acquire("w_lock_b", "tryl.worker.lock_b.cmpxchg",
+                          ("tryl.c", 11)),
+            _lock_release("w_lock_b", ("tryl.c", 13)),
+            _lock_release("w_lock_a", ("tryl.c", 14)),
+        ],
+        pointer_facts=[AddrOf("w_lock_a", "lock_a"),
+                       AddrOf("w_lock_b", "lock_b")]))
+    module.functions.append(Function(
+        name="scavenger",
+        instructions=[
+            _lock_acquire("s_lock_b", "tryl.scavenger.lock_b.cmpxchg",
+                          ("tryl.c", 20)),
+            _lock_acquire("s_lock_a",
+                          "tryl.scavenger.lock_a.trylock.cmpxchg",
+                          ("tryl.c", 21)),
+            _lock_release("s_lock_a", ("tryl.c", 23)),
+            _lock_release("s_lock_b", ("tryl.c", 24)),
+        ],
+        pointer_facts=[AddrOf("s_lock_a", "lock_a"),
+                       AddrOf("s_lock_b", "lock_b")]))
+    module.globals.append(GlobalVar("lock_a"))
+    module.globals.append(GlobalVar("lock_b"))
+    return module
+
+
+def philosophers_module(philosophers: int = 3) -> Module:
+    """Dining philosophers as the interprocedural test: each
+    ``philosopher_i`` takes its left fork, then *calls* ``take_right_i``
+    (callee acquires the next fork — the edge only exists across the
+    call boundary), and a spawner reaches the philosophers through
+    indirect calls the points-to analysis must resolve.
+
+    The acquisition sites reuse the guest Mutex's fast-path label so the
+    static candidate lines up with the runtime wait-for-graph evidence
+    from :class:`repro.workloads.philosophers.DiningPhilosophers`.
+    """
+    module = Module(name="philosophers")
+    lock_site = "libpthread.mutex.lock.cmpxchg"
+    spawner = Function(name="spawn_table")
+    for i in range(philosophers):
+        left = f"ph{i}_left"
+        right = f"ph{i}_right"
+        next_fork = f"fork_{(i + 1) % philosophers}"
+        module.functions.append(Function(
+            name=f"philosopher_{i}",
+            instructions=[
+                _lock_acquire(left, lock_site,
+                              ("philosophers.c", 10 + 10 * i)),
+                Instruction("call", (f"take_right_{i}",),
+                            source=("philosophers.c", 11 + 10 * i)),
+                _lock_release(left, ("philosophers.c", 12 + 10 * i)),
+            ],
+            pointer_facts=[AddrOf(left, f"fork_{i}")]))
+        module.functions.append(Function(
+            name=f"take_right_{i}",
+            instructions=[
+                _lock_acquire(right, lock_site,
+                              ("philosophers.c", 15 + 10 * i)),
+                _lock_release(right, ("philosophers.c", 16 + 10 * i)),
+            ],
+            pointer_facts=[AddrOf(right, next_fork)]))
+        spawner.instructions.append(Instruction(
+            "call", (Reg(f"fp_{i}"),),
+            source=("philosophers.c", 100 + i)))
+        spawner.pointer_facts.append(AddrOf(f"fp_{i}", f"philosopher_{i}"))
+    module.functions.append(spawner)
+    for i in range(philosophers):
+        module.globals.append(GlobalVar(f"fork_{i}"))
+    return module
+
+
+def deadlock_corpus() -> list[Module]:
+    """The lock-order corpus: one true positive, one guarded false
+    positive, one interprocedural/indirect-call cycle."""
+    return [abba_module(), trylock_module(), philosophers_module()]
 
 
 def heap_imprecision_module() -> Module:

@@ -1,0 +1,228 @@
+"""A generic worklist fixpoint engine over basic-block CFGs.
+
+The engine is deliberately small and classical: a
+:class:`DataflowProblem` supplies direction, boundary value, ``top``
+(the value of an unreached block), a join, and a per-instruction
+transfer function; :func:`solve` iterates to a fixpoint with a
+worklist seeded in reverse postorder.  Termination is the client's
+obligation (finite lattice + monotone transfer); the engine enforces a
+generous iteration cap so a buggy client raises instead of spinning.
+
+First client: :class:`LockHeldAnalysis`, the forward *must*-hold lock
+set analysis the lock-order pass (:mod:`repro.analysis.lockorder`)
+runs per function.  Its transfer rules are exactly the intraprocedural
+recipe :mod:`repro.races.lockset` established:
+
+* a LOCK-prefixed RMW (or ``xchg``) on a lock object **acquires** it;
+* a plain store to a held lock object **releases** it;
+* plain loads are polling, not synchronization;
+* ``call`` is held-neutral — callees are assumed lock-balanced; the
+  interprocedural pass handles callee effects itself by re-analysing
+  callees under the caller's held set.
+
+Because this is a *must* analysis the join is set intersection and the
+unreached value is ``None`` (identity of the join), so merge points
+keep only locks held on **every** incoming path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.analysis.ir import XCHG_OPCODE, Instruction, Mem
+
+#: Iteration safety cap: (blocks * this) worklist pops before the engine
+#: declares the client non-monotone and raises.
+MAX_VISITS_PER_BLOCK = 64
+
+
+class DataflowProblem:
+    """Base class for dataflow problems.
+
+    Subclasses override :meth:`initial`, :meth:`top`, :meth:`join`, and
+    :meth:`transfer_instruction` (or :meth:`transfer` wholesale).
+    Values must be immutable (or treated as such) and support ``==``.
+    """
+
+    #: ``"forward"`` or ``"backward"``.
+    direction = "forward"
+
+    def initial(self, cfg: CFG):
+        """The value at the boundary (entry for forward problems)."""
+        raise NotImplementedError
+
+    def top(self, cfg: CFG):
+        """The value of a not-yet-reached block (identity of the join)."""
+        return None
+
+    def join(self, values: list):
+        """Combine the values flowing into a confluence point.
+
+        Receives only non-``top`` values; never called with an empty
+        list.
+        """
+        raise NotImplementedError
+
+    def transfer_instruction(self, instruction: Instruction, value):
+        """Flow ``value`` across one instruction."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, value):
+        """Flow ``value`` across a whole block (defaults to folding
+        :meth:`transfer_instruction`; backward problems fold reversed)."""
+        instructions = block.instructions
+        if self.direction == "backward":
+            instructions = reversed(instructions)
+        for instruction in instructions:
+            value = self.transfer_instruction(instruction, value)
+        return value
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint values per block (``None`` marks unreached blocks)."""
+
+    cfg: CFG
+    block_in: dict[int, object] = field(default_factory=dict)
+    block_out: dict[int, object] = field(default_factory=dict)
+    iterations: int = 0
+
+    def value_before(self, block: BasicBlock):
+        return self.block_in.get(block.index)
+
+    def value_after(self, block: BasicBlock):
+        return self.block_out.get(block.index)
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> DataflowResult:
+    """Run ``problem`` over ``cfg`` to a fixpoint."""
+    result = DataflowResult(cfg=cfg)
+    if not cfg.blocks:
+        return result
+    forward = problem.direction != "backward"
+    top = problem.top(cfg)
+
+    if forward:
+        def edges_in(block: BasicBlock) -> list[int]:
+            return block.predecessors
+
+        def edges_out(block: BasicBlock) -> list[int]:
+            return block.successors
+
+        boundary_blocks = [cfg.blocks[0].index]
+    else:
+        def edges_in(block: BasicBlock) -> list[int]:
+            return block.successors
+
+        def edges_out(block: BasicBlock) -> list[int]:
+            return block.predecessors
+
+        boundary_blocks = [b.index for b in cfg.exit_blocks()] or \
+            [cfg.blocks[-1].index]
+
+    block_in = {block.index: top for block in cfg.blocks}
+    block_out = {block.index: top for block in cfg.blocks}
+
+    order = [b.index for b in cfg.reverse_postorder()]
+    if not forward:
+        order = list(reversed(order))
+    worklist = list(order)
+    queued = set(worklist)
+    budget = len(cfg.blocks) * MAX_VISITS_PER_BLOCK
+
+    while worklist:
+        result.iterations += 1
+        if result.iterations > budget:
+            raise RuntimeError(
+                f"dataflow fixpoint did not converge on "
+                f"{cfg.function.name!r} after {budget} visits "
+                f"(non-monotone transfer function?)")
+        index = worklist.pop(0)
+        queued.discard(index)
+        block = cfg.blocks[index]
+        incoming = [block_out[p] for p in edges_in(block)
+                    if block_out[p] is not top]
+        if index in boundary_blocks:
+            boundary = problem.initial(cfg)
+            incoming = incoming + [boundary]
+        if not incoming:
+            continue  # unreached so far
+        value_in = incoming[0] if len(incoming) == 1 \
+            else problem.join(incoming)
+        value_out = problem.transfer(block, value_in)
+        if value_in == block_in[index] and value_out == block_out[index]:
+            continue
+        block_in[index] = value_in
+        block_out[index] = value_out
+        for succ in edges_out(block):
+            if succ not in queued:
+                queued.add(succ)
+                worklist.append(succ)
+
+    for index in block_in:
+        if block_in[index] is not top:
+            result.block_in[index] = block_in[index]
+        if block_out[index] is not top:
+            result.block_out[index] = block_out[index]
+    return result
+
+
+# -- first client: must-hold lock sets ---------------------------------------
+
+
+class LockHeldAnalysis(DataflowProblem):
+    """Forward must-analysis computing the set of lock objects held at
+    each program point.
+
+    ``pointsto`` is a callable mapping a pointer-variable name to a
+    frozenset of abstract objects (either points-to analysis result
+    object's ``points_to`` works); ``lock_objects`` is the set of
+    abstract objects the lock-order pass treats as locks.
+    """
+
+    direction = "forward"
+
+    def __init__(self, pointsto: Callable[[str], frozenset],
+                 lock_objects: frozenset,
+                 entry: frozenset = frozenset()):
+        self._pointsto = pointsto
+        self._lock_objects = lock_objects
+        self._entry = frozenset(entry)
+
+    def initial(self, cfg: CFG) -> frozenset:
+        return self._entry
+
+    def top(self, cfg: CFG):
+        return None
+
+    def join(self, values: list) -> frozenset:
+        joined = values[0]
+        for value in values[1:]:
+            joined = joined & value
+        return joined
+
+    def locks_of(self, instruction: Instruction) -> frozenset:
+        """The lock objects an instruction's memory operands may name."""
+        locks: frozenset = frozenset()
+        for operand in instruction.operands:
+            if isinstance(operand, Mem):
+                locks = locks | (self._pointsto(operand.ptr)
+                                 & self._lock_objects)
+        return locks
+
+    @staticmethod
+    def is_rmw(instruction: Instruction) -> bool:
+        return instruction.lock_prefix or instruction.opcode == XCHG_OPCODE
+
+    def transfer_instruction(self, instruction: Instruction,
+                             value: frozenset) -> frozenset:
+        locks = self.locks_of(instruction)
+        if not locks:
+            return value
+        if self.is_rmw(instruction):
+            return value | locks
+        if instruction.is_store and (value & locks):
+            return value - locks
+        return value

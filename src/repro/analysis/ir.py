@@ -75,6 +75,30 @@ XCHG_OPCODE = "xchg"
 #: Plain aligned data-movement opcodes (candidate type iii).
 MOVE_OPCODES = frozenset({"mov", "movl", "movq"})
 
+# -- control flow (by convention; interpreted by repro.analysis.cfg) ---------
+#
+# The corpus builders originally emitted straight-line functions only, so
+# the IR had no control transfer.  The interprocedural layer adds these
+# conventional opcodes.  Operand conventions:
+#
+# * ``call`` — one operand: a ``str`` naming the callee (direct call), or
+#   a :class:`Reg` whose name is a *pointer variable* (indirect call; the
+#   points-to analysis resolves it against address-taken function names).
+# * ``jmp`` / ``jcc`` — one ``str`` operand naming a ``label``; ``jcc``
+#   additionally falls through.
+# * ``label`` — one ``str`` operand; a pseudo-instruction marking a
+#   branch target (no machine effect).
+# * ``ret`` — no operands; ends the function's control flow.
+
+CALL_OPCODE = "call"
+RET_OPCODE = "ret"
+JUMP_OPCODE = "jmp"
+BRANCH_OPCODE = "jcc"
+LABEL_OPCODE = "label"
+
+#: Opcodes that end a basic block (a label *starts* one instead).
+BLOCK_TERMINATORS = frozenset({RET_OPCODE, JUMP_OPCODE, BRANCH_OPCODE})
+
 
 @dataclass
 class Instruction:
@@ -94,6 +118,31 @@ class Instruction:
 
     def memory_operands(self) -> list[Mem]:
         return [op for op in self.operands if isinstance(op, Mem)]
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode == CALL_OPCODE
+
+    @property
+    def is_label(self) -> bool:
+        return self.opcode == LABEL_OPCODE
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in BLOCK_TERMINATORS
+
+    def branch_target(self) -> str | None:
+        """The label a ``jmp``/``jcc`` transfers to (None otherwise)."""
+        if self.opcode in (JUMP_OPCODE, BRANCH_OPCODE) and self.operands:
+            return self.operands[0]
+        return None
+
+    def call_target(self):
+        """The callee of a ``call``: a ``str`` (direct) or ``Reg``
+        (indirect, resolved through points-to); None for non-calls."""
+        if self.opcode == CALL_OPCODE and self.operands:
+            return self.operands[0]
+        return None
 
     @property
     def is_store(self) -> bool:

@@ -1,0 +1,368 @@
+"""RacerX-style static lock-order analysis over the mini-IR.
+
+The §4.3 pipeline identifies *which* instructions are synchronization;
+under replicated ordering a guest lock-order inversion then wedges all
+variants identically, so the next static question is *in which order*
+locks nest.  This pass answers it interprocedurally:
+
+1. The stage-1 sync-pointer roots, closed under points-to, are the
+   *abstract lock objects* (exactly the stage-2/lockset set).
+2. From each call-graph root, functions are re-analysed under the
+   caller's held set (context = entry lock set, memoised): per function
+   the :class:`~repro.analysis.dataflow.LockHeldAnalysis` fixpoint
+   gives the must-held set at block entry, and a linear walk records an
+   ordering edge ``A -> B`` at every acquisition of ``B`` while ``A``
+   is held.  Each edge carries witnesses: function, site label, source
+   line, the full held set, and the call chain that established it.
+3. Cycles in the lock-order graph are enumerated into
+   :class:`DeadlockCandidate` records (canonical rotation, deduped).
+4. Two RacerX-style suppression heuristics demote likely false
+   positives: a cycle with an edge acquired *only* through trylock
+   sites cannot block indefinitely (``trylock``), and a cycle whose
+   every witness runs under one common *gate* lock outside the cycle
+   cannot have its edges interleave (``gate-ordered``).
+
+The dynamic mirror lives in :mod:`repro.races.deadlock`;
+:func:`cross_check` classifies each static candidate against that
+runtime evidence as ``confirmed`` / ``unexercised`` /
+``refuted-by-guard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import LockHeldAnalysis, solve
+from repro.analysis.ir import Module
+from repro.analysis.scanner import scan_module
+
+#: Substring marking an acquisition site as a non-blocking attempt.
+TRYLOCK_MARKER = ".trylock"
+
+
+@dataclass(frozen=True)
+class AcquisitionEdge:
+    """One witnessed ``first``-held-while-acquiring-``second`` event."""
+
+    first: str
+    second: str
+    function: str
+    site: str | None
+    source: tuple[str, int] | None
+    held: frozenset
+    call_chain: tuple[str, ...]
+
+    @property
+    def trylock(self) -> bool:
+        return bool(self.site) and TRYLOCK_MARKER in self.site
+
+    def __str__(self) -> str:
+        where = self.site or (f"{self.source[0]}:{self.source[1]}"
+                              if self.source else self.function)
+        chain = " > ".join(self.call_chain + (self.function,))
+        return (f"{self.first} -> {self.second} @ {where} (path: {chain})")
+
+
+@dataclass(frozen=True)
+class DeadlockCandidate:
+    """A cycle in the lock-order graph."""
+
+    #: Lock names in canonical rotation; ``cycle[i]`` is held while
+    #: ``cycle[(i+1) % n]`` is acquired.
+    cycle: tuple[str, ...]
+    #: Every witness of every edge on the cycle.
+    witnesses: tuple[AcquisitionEdge, ...]
+    suppressed: bool = False
+    #: ``"trylock"`` or ``"gate-ordered"`` when suppressed.
+    suppression: str | None = None
+
+    def name(self) -> str:
+        loop = [str(lock) for lock in self.cycle]
+        return " -> ".join(loop + [loop[0]])
+
+    def sites(self) -> frozenset[str]:
+        return frozenset(w.site for w in self.witnesses
+                         if w.site is not None)
+
+    def source_lines(self) -> frozenset[tuple[str, int]]:
+        return frozenset(w.source for w in self.witnesses
+                         if w.source is not None)
+
+    def functions(self) -> frozenset[str]:
+        return frozenset(w.function for w in self.witnesses)
+
+    def witnesses_for(self, first, second) -> tuple[AcquisitionEdge, ...]:
+        return tuple(w for w in self.witnesses
+                     if w.first == first and w.second == second)
+
+    def __str__(self) -> str:
+        status = f" [suppressed: {self.suppression}]" if self.suppressed \
+            else ""
+        return (f"{self.name()}: {len(self.witnesses)} witness(es) in "
+                f"{len(self.functions())} function(s){status}")
+
+
+@dataclass
+class LockOrderReport:
+    """Lock-order analysis result for one module."""
+
+    module: str
+    analysis: str
+    candidates: list[DeadlockCandidate] = field(default_factory=list)
+    lock_objects: frozenset = frozenset()
+    #: Ordered edges observed, as (first, second) pairs.
+    edges: frozenset = frozenset()
+    functions_analyzed: int = 0
+
+    @property
+    def flagged(self) -> list[DeadlockCandidate]:
+        """Candidates that survived suppression."""
+        return [c for c in self.candidates if not c.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.flagged
+
+    def candidate_sites(self) -> frozenset[str]:
+        sites: set[str] = set()
+        for candidate in self.candidates:
+            sites |= candidate.sites()
+        return frozenset(sites)
+
+    def summary(self) -> str:
+        if not self.candidates:
+            return (f"{self.module}: no lock-order cycles "
+                    f"({len(self.lock_objects)} lock(s), "
+                    f"{len(self.edges)} ordering edge(s))")
+        suppressed = sum(1 for c in self.candidates if c.suppressed)
+        return (f"{self.module}: {len(self.flagged)} deadlock "
+                f"candidate(s) ({suppressed} suppressed) over "
+                f"{len(self.edges)} ordering edge(s)")
+
+
+class _Walker:
+    """The interprocedural acquisition walk."""
+
+    def __init__(self, module: Module, pointsto, lock_objects: frozenset,
+                 callgraph: CallGraph):
+        self.module = module
+        self.pointsto = pointsto
+        self.lock_objects = lock_objects
+        self.callgraph = callgraph
+        self.functions = {fn.name: fn for fn in module.functions}
+        self.witnesses: dict[tuple, list[AcquisitionEdge]] = {}
+        self._visited: set[tuple[str, frozenset]] = set()
+        self._call_targets = {
+            id(site.instruction): site.callees
+            for site in callgraph.sites}
+
+    def run(self) -> None:
+        for root in self.callgraph.roots():
+            self.visit(root, frozenset(), ())
+
+    def visit(self, name: str, entry: frozenset,
+              chain: tuple[str, ...]) -> None:
+        # Memoised on (function, entry held set): a second visit under
+        # the same context adds no new edges.  Witness call chains are
+        # therefore the *first* chain that reached each context.
+        key = (name, entry)
+        if key in self._visited or name not in self.functions:
+            return
+        self._visited.add(key)
+        function = self.functions[name]
+        cfg = build_cfg(function)
+        problem = LockHeldAnalysis(self.pointsto.points_to,
+                                   self.lock_objects, entry=entry)
+        result = solve(cfg, problem)
+        for block in cfg.blocks:
+            held = result.block_in.get(block.index)
+            if held is None:
+                continue  # unreachable block
+            for instruction in block.instructions:
+                locks = problem.locks_of(instruction)
+                if locks and problem.is_rmw(instruction):
+                    for second in locks:
+                        for first in held - {second}:
+                            self._witness(first, second, function.name,
+                                          instruction, held, chain)
+                if instruction.is_call:
+                    for callee in self._call_targets.get(
+                            id(instruction), ()):
+                        self.visit(callee, frozenset(held),
+                                   chain + (name,))
+                held = problem.transfer_instruction(instruction, held)
+
+    def _witness(self, first, second, function: str, instruction,
+                 held: frozenset, chain: tuple[str, ...]) -> None:
+        edge = AcquisitionEdge(
+            first=first, second=second, function=function,
+            site=instruction.site, source=instruction.source,
+            held=frozenset(held), call_chain=chain)
+        self.witnesses.setdefault((first, second), []).append(edge)
+
+
+def _enumerate_cycles(edges: dict) -> list[tuple]:
+    """All elementary cycles, each in canonical rotation (smallest node
+    first), found by DFS restricted to nodes >= the start node."""
+    nodes = sorted(edges, key=str)
+    rank = {node: i for i, node in enumerate(nodes)}
+    cycles: list[tuple] = []
+    seen: set[tuple] = set()
+
+    def search(start, node, path: list, on_path: set) -> None:
+        for succ in sorted(edges.get(node, ()), key=str):
+            if rank.get(succ, -1) < rank[start]:
+                continue
+            if succ == start:
+                cycle = tuple(path)
+                if cycle not in seen:
+                    seen.add(cycle)
+                    cycles.append(cycle)
+            elif succ not in on_path:
+                path.append(succ)
+                on_path.add(succ)
+                search(start, succ, path, on_path)
+                on_path.discard(succ)
+                path.pop()
+
+    for start in nodes:
+        search(start, start, [start], {start})
+    return cycles
+
+
+def _suppression(cycle: tuple,
+                 witnesses: dict) -> str | None:
+    """Apply the RacerX heuristics; return the reason or None."""
+    count = len(cycle)
+    per_edge = []
+    for i, first in enumerate(cycle):
+        second = cycle[(i + 1) % count]
+        per_edge.append(tuple(witnesses.get((first, second), ())))
+    # trylock: some edge is only ever a non-blocking attempt.
+    for edge_witnesses in per_edge:
+        if edge_witnesses and all(w.trylock for w in edge_witnesses):
+            return "trylock"
+    # gate-ordered: one lock outside the cycle is held across every
+    # witness of every edge, so the edges cannot interleave.
+    in_cycle = set(cycle)
+    gates: frozenset | None = None
+    for edge_witnesses in per_edge:
+        for witness in edge_witnesses:
+            outside = witness.held - in_cycle
+            gates = outside if gates is None else (gates & outside)
+    if gates:
+        return "gate-ordered"
+    return None
+
+
+def analyze_module(module: Module, analysis: str = "andersen"
+                   ) -> LockOrderReport:
+    """Run the full static lock-order pass over one module."""
+    from repro.analysis.identify import ANALYSES
+    if analysis not in ANALYSES:
+        raise ValueError(f"unknown points-to analysis {analysis!r}; "
+                         f"choose from {sorted(ANALYSES)}")
+    scan = scan_module(module)
+    pointsto = ANALYSES[analysis](module)
+    lock_objects: set = set()
+    for pointer in scan.sync_pointers:
+        lock_objects |= pointsto.points_to(pointer)
+    callgraph = build_callgraph(module, pointsto)
+    walker = _Walker(module, pointsto, frozenset(lock_objects), callgraph)
+    walker.run()
+    adjacency: dict = {}
+    for (first, second) in walker.witnesses:
+        adjacency.setdefault(first, set()).add(second)
+    report = LockOrderReport(
+        module=module.name, analysis=analysis,
+        lock_objects=frozenset(lock_objects),
+        edges=frozenset(walker.witnesses),
+        functions_analyzed=len(module.functions))
+    for cycle in _enumerate_cycles(adjacency):
+        count = len(cycle)
+        all_witnesses: list[AcquisitionEdge] = []
+        for i, first in enumerate(cycle):
+            second = cycle[(i + 1) % count]
+            all_witnesses.extend(walker.witnesses.get((first, second), ()))
+        reason = _suppression(cycle, walker.witnesses)
+        report.candidates.append(DeadlockCandidate(
+            cycle=cycle, witnesses=tuple(all_witnesses),
+            suppressed=reason is not None, suppression=reason))
+    report.candidates.sort(key=lambda c: c.name())
+    return report
+
+
+def analyze_corpus(modules, analysis: str = "andersen"
+                   ) -> list[LockOrderReport]:
+    """Analyze every module of a corpus."""
+    return [analyze_module(module, analysis=analysis)
+            for module in modules]
+
+
+# -- static vs dynamic cross-check -------------------------------------------
+
+
+CONFIRMED = "confirmed"
+UNEXERCISED = "unexercised"
+REFUTED = "refuted-by-guard"
+
+
+@dataclass(frozen=True)
+class CandidateVerdict:
+    """One static candidate classified against runtime evidence."""
+
+    candidate: DeadlockCandidate
+    classification: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"{self.candidate.name()}: {self.classification} "
+                f"({self.reason})")
+
+
+def cross_check(report: LockOrderReport,
+                dynamic=None) -> list[CandidateVerdict]:
+    """Classify each static candidate against dynamic evidence.
+
+    ``dynamic`` is a :class:`repro.races.deadlock.DeadlockReport` (or
+    None, when no detector-attached run happened): its record sites are
+    the lock-hold sites of actual runtime deadlock cycles, and its
+    ``guard_sites`` are trylock sites observed exercising their guard.
+    """
+    verdicts: list[CandidateVerdict] = []
+    dynamic_cycle_sites: frozenset[str] = frozenset()
+    guard_sites: frozenset[str] = frozenset()
+    observed_sites: frozenset[str] = frozenset()
+    if dynamic is not None:
+        for record in dynamic.records:
+            dynamic_cycle_sites |= record.sites()
+        guard_sites = frozenset(dynamic.guard_sites)
+        observed_sites = frozenset(dynamic.observed_sites)
+    for candidate in report.candidates:
+        sites = candidate.sites()
+        if candidate.suppressed:
+            verdicts.append(CandidateVerdict(
+                candidate, REFUTED,
+                f"statically suppressed ({candidate.suppression})"))
+        elif sites & dynamic_cycle_sites:
+            verdicts.append(CandidateVerdict(
+                candidate, CONFIRMED,
+                "runtime wait-for cycle hit the same site(s): "
+                + ", ".join(sorted(sites & dynamic_cycle_sites))))
+        elif sites & guard_sites:
+            verdicts.append(CandidateVerdict(
+                candidate, REFUTED,
+                "runtime trylock guard engaged at: "
+                + ", ".join(sorted(sites & guard_sites))))
+        elif sites and sites <= observed_sites:
+            verdicts.append(CandidateVerdict(
+                candidate, UNEXERCISED,
+                "sites executed but the interleaving never formed a "
+                "cycle"))
+        else:
+            verdicts.append(CandidateVerdict(
+                candidate, UNEXERCISED,
+                "no run exercised these sites"))
+    return verdicts

@@ -25,6 +25,14 @@ Commands
     corpus), ``check`` runs the §5.5 coverage cross-check (dynamic races
     vs statically identified sites), ``bench`` prints the races +
     detector-overhead experiment table.
+``deadlock {lint,check,bench}``
+    Two-sided deadlock detection (see ``docs/DEADLOCK.md``): ``lint``
+    runs the RacerX-style static lock-order analysis over the deadlock
+    corpus, ``check`` classifies every static candidate against dynamic
+    dining-philosophers evidence (confirmed / unexercised /
+    refuted-by-guard), ``bench`` prints the diagnosis-latency sweep
+    (watchdog deadline vs detection at cycle formation).  Both lints
+    accept ``--json``.
 ``bench [run|diff] [--compare REF]``
     Performance harness: run the benchmark matrix serially and through
     the parallel engine, measure the speedup, and write
@@ -162,7 +170,8 @@ def _cmd_run(args) -> int:
                        seed=args.seed, diversity=diversity,
                        policy=policy, checkpoints=checkpoints,
                        max_cycles=native * 400, obs=hub, faults=plan,
-                       races=args.race_detect)
+                       races=args.race_detect,
+                       deadlocks=args.deadlock_detect)
     print(f"benchmark : {args.benchmark}")
     print(f"agent     : {args.agent}, variants: {args.variants}, "
           f"diversity: {'ASLR+DCL' if args.diversity else 'off'}")
@@ -184,6 +193,10 @@ def _cmd_run(args) -> int:
         print(f"races     : {outcome.races.summary()}")
         for race in outcome.races.races:
             print(f"            {race}")
+    if outcome.deadlocks is not None:
+        print(f"deadlocks : {outcome.deadlocks.summary()}")
+        for record in outcome.deadlocks.records:
+            print(f"            {record}")
     for event in outcome.quarantines:
         print(f"quarantine: {event.summary()}")
     if outcome.divergence is not None:
@@ -437,15 +450,34 @@ def _races_lint(args) -> int:
                nginx_module()]
     if args.corpus:
         modules.extend(paper_corpus())
-    flagged = 0
-    for module in modules:
-        lint = lint_module(
-            module, analysis=args.analysis,
-            treat_volatile_as_sync=args.treat_volatile_as_sync)
+    lints = [lint_module(
+        module, analysis=args.analysis,
+        treat_volatile_as_sync=args.treat_volatile_as_sync)
+        for module in modules]
+    flagged = sum(len(lint.candidates) for lint in lints)
+    if args.json:
+        import json
+
+        payload = [{
+            "module": lint.module,
+            "analysis": lint.analysis,
+            "objects_seen": lint.objects_seen,
+            "accesses_recorded": lint.accesses_recorded,
+            "candidates": [{
+                "object": candidate.obj,
+                "writes": candidate.writes,
+                "functions": sorted(candidate.functions()),
+                "sites": sorted(candidate.sites()),
+                "source_lines": [list(line) for line in
+                                 sorted(candidate.source_lines())],
+            } for candidate in lint.candidates],
+        } for lint in lints]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 1 if flagged else 0
+    for lint in lints:
         print(lint.summary())
         for candidate in lint.candidates:
             print(f"  {candidate}")
-            flagged += 1
     print(f"-- {flagged} candidate(s) across {len(modules)} module(s) "
           f"({args.analysis}, treat_volatile_as_sync="
           f"{'on' if args.treat_volatile_as_sync else 'off'})")
@@ -633,6 +665,129 @@ def _cmd_races(args) -> int:
     if args.action == "check":
         return _races_check(args)
     return _races_bench(args)
+
+
+def _deadlock_lint(args) -> int:
+    from repro.analysis.corpus import deadlock_corpus
+    from repro.analysis.lockorder import analyze_module
+
+    reports = [analyze_module(module, analysis=args.analysis)
+               for module in deadlock_corpus()]
+    flagged = sum(len(report.flagged) for report in reports)
+    if args.json:
+        import json
+
+        payload = [{
+            "module": report.module,
+            "analysis": report.analysis,
+            "functions_analyzed": report.functions_analyzed,
+            "lock_objects": sorted(report.lock_objects),
+            "edges": [[str(first), str(second)]
+                      for first, second in sorted(
+                          report.edges, key=lambda e: (str(e[0]),
+                                                       str(e[1])))],
+            "candidates": [{
+                "cycle": candidate.name(),
+                "suppressed": candidate.suppressed,
+                "suppression": candidate.suppression,
+                "sites": sorted(candidate.sites()),
+                "source_lines": [list(line) for line in
+                                 sorted(candidate.source_lines())],
+                "functions": sorted(candidate.functions()),
+            } for candidate in report.candidates],
+        } for report in reports]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 1 if flagged else 0
+    for report in reports:
+        print(report.summary())
+        for candidate in report.candidates:
+            status = (f"suppressed ({candidate.suppression})"
+                      if candidate.suppressed else "FLAGGED")
+            print(f"  {candidate.name()} [{status}]")
+            print(f"    sites : {', '.join(sorted(candidate.sites()))}")
+            lines = ", ".join(f"{f}:{n}" for f, n in
+                              sorted(candidate.source_lines()))
+            print(f"    lines : {lines}")
+    print(f"-- {flagged} flagged candidate(s) across {len(reports)} "
+          f"module(s) ({args.analysis})")
+    return 1 if flagged else 0
+
+
+def _deadlock_check(args) -> int:
+    from repro.analysis.corpus import deadlock_corpus
+    from repro.analysis.lockorder import (
+        CONFIRMED,
+        REFUTED,
+        UNEXERCISED,
+        analyze_module,
+        cross_check,
+    )
+    from repro.core.mvee import run_mvee
+    from repro.races import DeadlockDetector, DeadlockReport
+    from repro.workloads.philosophers import DiningPhilosophers
+
+    print("dynamic evidence: dining philosophers, blocking and "
+          "trylock-guarded tables")
+    wedging = DeadlockDetector()
+    wedged = run_mvee(DiningPhilosophers(3), variants=2, seed=args.seed,
+                      max_cycles=5e7, deadlocks=wedging)
+    guarded = DeadlockDetector()
+    clean = run_mvee(DiningPhilosophers(3, trylock=True), variants=2,
+                     seed=args.seed, max_cycles=5e7, deadlocks=guarded)
+    print(f"  blocking : {wedged.verdict} "
+          f"({wedging.report.summary()})")
+    print(f"  guarded  : {clean.verdict} "
+          f"({guarded.report.summary()})")
+    evidence = DeadlockReport(
+        records=wedging.report.records + guarded.report.records,
+        observed_sites=(wedging.report.observed_sites
+                        | guarded.report.observed_sites),
+        guard_sites=(wedging.report.guard_sites
+                     | guarded.report.guard_sites),
+        guard_refusals=(wedging.report.guard_refusals
+                        + guarded.report.guard_refusals))
+
+    expected = {"philosophers": CONFIRMED, "abba": UNEXERCISED,
+                "trylock_guarded": REFUTED}
+    all_match = (wedged.verdict == "deadlock"
+                 and clean.verdict == "clean")
+    print("static candidates vs dynamic evidence:")
+    for module in deadlock_corpus():
+        report = analyze_module(module, analysis=args.analysis)
+        verdicts = cross_check(report, evidence)
+        for verdict in verdicts:
+            print(f"  {report.module:16s} {verdict.candidate.name():30s} "
+                  f"{verdict.classification:17s} {verdict.reason}")
+            if verdict.classification != expected.get(report.module):
+                all_match = False
+        if not verdicts:
+            print(f"  {report.module:16s} (no candidates)")
+            all_match = False
+    print("cross-check: " +
+          ("the wedging cycle is confirmed, the never-run inversion "
+           "stays unexercised, and the trylock guard refutes its "
+           "candidate" if all_match else
+           "UNEXPECTED — see the classifications above"))
+    return 0 if all_match else 1
+
+
+def _deadlock_bench(args) -> int:
+    from repro.experiments.runner import (
+        deadlock_sweep_table,
+        run_deadlock_sweep,
+    )
+
+    rows = run_deadlock_sweep(seed=args.seed, jobs=args.jobs)
+    print(deadlock_sweep_table(rows))
+    return 0
+
+
+def _cmd_deadlock(args) -> int:
+    if args.action == "lint":
+        return _deadlock_lint(args)
+    if args.action == "check":
+        return _deadlock_check(args)
+    return _deadlock_bench(args)
 
 
 def _cmd_list(args) -> int:
@@ -912,6 +1067,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach the happens-before race detector "
                             "(see docs/RACES.md); zero simulated-cycle "
                             "cost, reports races after the run")
+    p_run.add_argument("--deadlock-detect", action="store_true",
+                       help="attach the wait-for-graph deadlock "
+                            "detector (see docs/DEADLOCK.md); a guest "
+                            "lock cycle ends the run with a 'deadlock' "
+                            "verdict at cycle formation")
     p_run.add_argument("--watchdog", type=float, default=None,
                        metavar="CYCLES",
                        help="lockstep rendezvous deadline in simulated "
@@ -1051,8 +1211,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bench: skip the nginx conditions")
     p_races.add_argument("--scale", type=float, default=0.1)
     p_races.add_argument("--seed", type=int, default=1)
+    p_races.add_argument("--json", action="store_true",
+                         help="lint: machine-readable candidate dump")
     _add_jobs_flag(p_races)
     p_races.set_defaults(func=_cmd_races)
+
+    p_deadlock = sub.add_parser(
+        "deadlock",
+        help="two-sided deadlock detection: static lock-order lint, "
+             "cross-check vs the runtime wait-for graph, latency sweep "
+             "(see docs/DEADLOCK.md)")
+    p_deadlock.add_argument("action", choices=("lint", "check", "bench"))
+    p_deadlock.add_argument("--analysis", default="andersen",
+                            choices=("andersen", "steensgaard"),
+                            help="points-to analysis resolving lock "
+                                 "objects and indirect calls "
+                                 "(default: andersen)")
+    p_deadlock.add_argument("--seed", type=int, default=1)
+    p_deadlock.add_argument("--json", action="store_true",
+                            help="lint: machine-readable candidate dump")
+    _add_jobs_flag(p_deadlock)
+    p_deadlock.set_defaults(func=_cmd_deadlock)
 
     p_list = sub.add_parser("list", help="list benchmark twins")
     p_list.add_argument("--json", action="store_true",

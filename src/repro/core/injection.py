@@ -106,7 +106,7 @@ def inject_agents(vms, agent_name: str | None,
         return None
     shared, agents = make_agents(agent_name, len(vms), costs,
                                  **agent_options)
-    for vm, agent in zip(vms, agents):
+    for vm, agent in zip(vms, agents, strict=True):
         # The role discovery: variant 0's agent records, others replay —
         # what the real agent learns from the mvee_get_role pseudo-call.
         vm.agent = agent

@@ -317,6 +317,32 @@ class Monitor(SyscallInterceptor):
             lambda machine, time, key=rdv_key:
                 self._watchdog_fire(key, time))
 
+    def _watchdog_cause(self) -> str:
+        """Classify a watchdog timeout for the diagnosis detail.
+
+        ``deadlock-suspected`` when at least two variants are wedged on
+        futex words — replicated sync ordering wedges every variant
+        identically, so multi-variant futex blockage at the deadline is
+        the guest-deadlock signature; ``stall`` otherwise (one slow or
+        wedged variant).  Runs with a deadlock detector attached never
+        reach this path: the cycle is flagged at formation.
+        """
+        vms = getattr(self._machine, "vms", None) or ()
+        wedged = 0
+        for vm in vms:
+            # The master's deadlocked threads park on futex words; its
+            # slaves park on the blocking-call *streams* of those same
+            # calls (the master never publishes a result).  Either way,
+            # >= 2 threads wedged in blocking sync is the hold-and-wait
+            # signature; join/timer parks don't count.
+            parked = sum(
+                1 for thread in vm.threads.values()
+                if thread.park_key is not None
+                and thread.park_key[0] in ("futex", "stream"))
+            if parked >= 2:
+                wedged += 1
+        return "deadlock-suspected" if wedged >= 2 else "stall"
+
     def _watchdog_fire(self, rdv_key, time: float) -> None:
         """Rendezvous deadline elapsed: diagnose who never arrived."""
         if self.divergence is not None:
@@ -350,7 +376,8 @@ class Monitor(SyscallInterceptor):
             detail=(f"variant(s) {sorted(missing)} failed to reach "
                     f"monitored call #{seq} ({call_name}) within the "
                     f"{self.policy.watchdog_cycles:.0f}-cycle "
-                    "rendezvous deadline"),
+                    "rendezvous deadline "
+                    f"[cause: {self._watchdog_cause()}]"),
             observations=observations)
         if self.obs is not None:
             self.obs.watchdog_timeout(thread_logical, seq,
@@ -391,7 +418,7 @@ class Monitor(SyscallInterceptor):
                     f"#{index} for thread {thread_logical!r} within the "
                     f"{self.policy.watchdog_cycles:.0f}-cycle deadline "
                     "(master-side hang: lost wake or stalled blocking "
-                    "call)"),
+                    f"call) [cause: {self._watchdog_cause()}]"),
             observations={0: "<blocking call never returned>"})
         if self.obs is not None:
             self.obs.watchdog_timeout(thread_logical, index, [0])

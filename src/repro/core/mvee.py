@@ -63,6 +63,8 @@ class MVEEOutcome:
     faults: list = field(default_factory=list)
     #: Race report from an attached detector (None when disabled).
     races: object | None = None
+    #: Deadlock report from an attached detector (None when disabled).
+    deadlocks: object | None = None
 
     @property
     def cycles(self) -> float:
@@ -102,6 +104,7 @@ class MVEE:
                  obs=None,
                  faults=None,
                  races=None,
+                 deadlocks=None,
                  replay=None,
                  checkpoints=None):
         if variants < 2:
@@ -144,6 +147,16 @@ class MVEE:
             self.races = RaceDetector()
         else:
             self.races = races
+        #: Optional deadlock detection: ``True`` attaches a default
+        #: :class:`repro.races.DeadlockDetector`, or pass a configured one.
+        if deadlocks is None or deadlocks is False:
+            self.deadlocks = None
+        elif deadlocks is True:
+            from repro.races import DeadlockDetector
+
+            self.deadlocks = DeadlockDetector()
+        else:
+            self.deadlocks = deadlocks
         #: Optional replay sink: a ``DecisionRecorder`` (capture the
         #: decision stream) or ``DecisionReplayer`` (re-drive the run
         #: from a log).  See :mod:`repro.replay`.
@@ -202,6 +215,8 @@ class MVEE:
             self._attach_faults()
         if self.races is not None:
             self._attach_races()
+        if self.deadlocks is not None:
+            self._attach_deadlocks()
         if self.replay is not None:
             self._attach_replay()
         if self._checkpoint_request:
@@ -257,6 +272,19 @@ class MVEE:
         self.machine.races = detector
         for vm in self.vms:
             vm.kernel.futexes.races = detector
+
+    def _attach_deadlocks(self) -> None:
+        """Point the machine and every futex table at the wait-for-graph
+        detector, and let a completed cycle end the run (sticky flag)."""
+        detector = self.deadlocks
+        detector.bind_clock(lambda: self.machine.now)
+        detector.bind_machine(self.machine)
+        if self.obs is not None:
+            detector.bind_obs(self.obs)
+        self.machine.deadlocks = detector
+        for vm in self.vms:
+            vm.kernel.futexes.deadlocks = detector
+            vm.kernel.futexes.variant = vm.index
 
     def _attach_replay(self) -> None:
         """Wire the decision-stream sink into every decision point.
@@ -344,6 +372,12 @@ class MVEE:
             # incarnation's clocks so they can't fabricate races.
             self.races.reset_variant(index)
             vm.kernel.futexes.races = self.races
+        if self.deadlocks is not None:
+            # Fresh memory: stale lock ownership would fabricate
+            # wait-for edges against the new incarnation.
+            self.deadlocks.reset_variant(index)
+            vm.kernel.futexes.deadlocks = self.deadlocks
+            vm.kernel.futexes.variant = vm.index
         if self.replay is not None:
             vm.kernel.futexes.replay = self.replay
             vm.kernel.futexes.variant = vm.index
@@ -398,7 +432,10 @@ class MVEE:
         focus = divergence
         if focus is None and quarantines:
             focus = quarantines[-1].report
-        if self.obs is not None and focus is not None:
+        # A guest deadlock has no divergence report, but the forensics
+        # bundle still carries the wait-for cycle (hub.deadlock_log).
+        if self.obs is not None and (focus is not None
+                                     or verdict == "deadlock"):
             from repro.obs.forensics import capture_bundle
 
             bundle = capture_bundle(
@@ -414,7 +451,9 @@ class MVEE:
             deadlock=deadlock, obs=self.obs, obs_bundle=bundle,
             quarantines=quarantines, faults=faults,
             races=(self.races.report if self.races is not None
-                   else None))
+                   else None),
+            deadlocks=(self.deadlocks.report
+                       if self.deadlocks is not None else None))
 
 
 def run_mvee(program: GuestProgram, **kwargs) -> MVEEOutcome:

@@ -49,7 +49,7 @@ def code_regions_disjoint(layouts: list[LayoutBases]) -> bool:
         end = start + CODE_SLOT_PAGES * PAGE_SIZE
         spans.append((start, end))
     spans.sort()
-    for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+    for (_, prev_end), (next_start, _) in zip(spans, spans[1:], strict=False):
         if next_start < prev_end:
             return False
     return True

@@ -487,6 +487,128 @@ def race_sweep_table(rows) -> str:
     return "\n".join(lines)
 
 
+#: Watchdog deadline for the deadlock sweep's detector-less baseline
+#: rows — what a wedged run costs before the old path even diagnoses it.
+DEADLOCK_SWEEP_WATCHDOG = 300_000.0
+
+
+@dataclass
+class DeadlockSweepRow:
+    """One (workload, mode) cell of the deadlock-detection experiment."""
+
+    workload: str
+    #: ``watchdog`` (detector detached, old diagnosis path) or
+    #: ``detector`` (wait-for-graph attached).
+    mode: str
+    verdict: str
+    #: Simulated cycles when the run ended (detection latency).
+    cycles: float
+    #: The named wait-for cycle, the watchdog cause hint, or ``-``.
+    diagnosis: str
+    guard_refusals: int
+    #: Clean runs only: detector-attached timeline matched detached.
+    cycles_identical: bool | None
+
+
+def _deadlock_sweep_cell(workload: str, mode: str,
+                         seed: int) -> DeadlockSweepRow:
+    """One deadlock-sweep row; module-level for the parallel engine."""
+    import re
+
+    from repro.workloads.philosophers import DiningPhilosophers
+
+    base, _, flavor = workload.partition("+")
+    philosophers = int(base.rsplit("/", 1)[1])
+    trylock = flavor == "trylock"
+
+    def run(detector):
+        policy = (None if mode == "detector" else MonitorPolicy(
+            watchdog_cycles=DEADLOCK_SWEEP_WATCHDOG))
+        return run_mvee(DiningPhilosophers(philosophers, trylock=trylock),
+                        variants=2, seed=seed, policy=policy,
+                        max_cycles=5e7, deadlocks=detector)
+
+    if mode == "watchdog":
+        outcome = run(None)
+        diagnosis = "-"
+        if outcome.divergence is not None:
+            match = re.search(r"\[cause: ([^\]]+)\]",
+                              outcome.divergence.detail)
+            diagnosis = match.group(1) if match else "-"
+        return DeadlockSweepRow(
+            workload=workload, mode=mode, verdict=outcome.verdict,
+            cycles=outcome.machine.now, diagnosis=diagnosis,
+            guard_refusals=0, cycles_identical=None)
+
+    from repro.races import DeadlockDetector
+
+    detector = DeadlockDetector()
+    outcome = run(detector)
+    report = detector.report
+    diagnosis = (report.records[0].cycle_name() if report.records
+                 else "-")
+    identical = None
+    if outcome.verdict == "clean":
+        identical = run(None).machine.now == outcome.machine.now
+    return DeadlockSweepRow(
+        workload=workload, mode=mode, verdict=outcome.verdict,
+        cycles=outcome.machine.now, diagnosis=diagnosis,
+        guard_refusals=report.guard_refusals,
+        cycles_identical=identical)
+
+
+def run_deadlock_sweep(sizes=(3, 4), seed: int = 1,
+                       jobs: int = 1) -> list[DeadlockSweepRow]:
+    """Deadlock-detection experiment: diagnosis latency and quality.
+
+    For each table size the wedging workload runs twice — once on the
+    old path (no detector, watchdog deadline diagnosis with the cause
+    hint) and once with the wait-for-graph detector (``deadlock``
+    verdict at cycle formation) — and the trylock-guarded variant runs
+    with the detector to show a guarded program staying clean on an
+    unperturbed timeline.
+    """
+    cells = []
+    for size in sizes:
+        cells.append((f"philosophers/{size}", "watchdog"))
+        cells.append((f"philosophers/{size}", "detector"))
+    cells.append((f"philosophers/{sizes[0]}+trylock", "detector"))
+    tasks = [CellTask(sweep_id="deadlock-sweep", index=index,
+                      fn=_deadlock_sweep_cell,
+                      kwargs=dict(workload=workload, mode=mode,
+                                  seed=seed))
+             for index, (workload, mode) in enumerate(cells)]
+    results = raise_failures(run_cells(tasks, jobs=jobs))
+    return [result.value for result in results]
+
+
+def deadlock_sweep_table(rows) -> str:
+    """Render the deadlock experiment: latency + diagnosis per cell."""
+    lines = ["deadlock detection: diagnosis latency and quality",
+             f"{'workload':22s} {'mode':>9s} {'verdict':>11s} "
+             f"{'cycles':>10s} {'guards':>7s} {'timeline':>9s}  diagnosis"]
+    for row in rows:
+        timeline = ("same" if row.cycles_identical
+                    else "DIFFERS" if row.cycles_identical is False
+                    else "-")
+        lines.append(
+            f"{row.workload:22s} {row.mode:>9s} {row.verdict:>11s} "
+            f"{row.cycles:10.0f} {row.guard_refusals:7d} "
+            f"{timeline:>9s}  {row.diagnosis}")
+    detected = [row for row in rows
+                if row.mode == "detector" and row.verdict == "deadlock"]
+    baseline = {row.workload: row.cycles for row in rows
+                if row.mode == "watchdog"}
+    speedups = [baseline[row.workload] / row.cycles for row in detected
+                if baseline.get(row.workload)]
+    if speedups:
+        lines.append(
+            f"detector diagnoses {len(detected)} wedge(s) "
+            f"{min(speedups):.1f}-{max(speedups):.1f}x earlier than "
+            "the watchdog deadline, with the cycle named")
+    return "\n".join(lines)
+
+
 def _grid_cell(benchmark: str, agent: str, variants: int, scale: float,
                seed: int, costs) -> ExperimentResult:
     """One Figure 5 grid cell; module-level for the parallel engine."""

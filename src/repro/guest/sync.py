@@ -82,6 +82,7 @@ class Mutex:
 
     SITE_FAST = "libpthread.mutex.lock.cmpxchg"
     SITE_SLOW = "libpthread.mutex.lock.xchg"
+    SITE_TRY = "libpthread.mutex.trylock.cmpxchg"
     SITE_UNLOCK = "libpthread.mutex.unlock.xchg"
 
     def __init__(self, addr: int):
@@ -98,8 +99,12 @@ class Mutex:
             yield from ctx.futex_wait(self.addr, 2)
 
     def try_acquire(self, ctx: GuestContext):
-        """pthread_mutex_trylock: True on success (no blocking)."""
-        old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_FAST)
+        """pthread_mutex_trylock: True on success (no blocking).
+
+        Carries its own site label so the deadlock analyses can tell a
+        guarded attempt from a blocking acquisition.
+        """
+        old = yield from ctx.cas(self.addr, 0, 1, site=self.SITE_TRY)
         return old == 0
 
     def release(self, ctx: GuestContext):
@@ -332,7 +337,7 @@ VOLATILE_FLAG_SITES = frozenset({
 LIBPTHREAD_SITES = frozenset({
     SpinLock.SITE_LOCK, SpinLock.SITE_UNLOCK,
     TicketLock.SITE_TAKE, TicketLock.SITE_POLL, TicketLock.SITE_SERVE,
-    Mutex.SITE_FAST, Mutex.SITE_SLOW, Mutex.SITE_UNLOCK,
+    Mutex.SITE_FAST, Mutex.SITE_SLOW, Mutex.SITE_TRY, Mutex.SITE_UNLOCK,
     CondVar.SITE_SEQ_READ, CondVar.SITE_SIGNAL,
     Barrier.SITE_ARRIVE, Barrier.SITE_GEN_READ, Barrier.SITE_GEN_BUMP,
     Barrier.SITE_RESET,

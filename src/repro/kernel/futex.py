@@ -33,12 +33,17 @@ class FutexTable:
         #: Optional replay sink (recorder or replayer); wake choices on
         #: the master are part of the decision stream.
         self.replay = None
+        #: Optional :class:`repro.races.DeadlockDetector`; parking on an
+        #: owned word adds a wait-for edge (and may complete a cycle).
+        self.deadlocks = None
 
     def add_waiter(self, addr: int, thread_id: str) -> None:
         """Register ``thread_id`` as blocked on the futex word ``addr``."""
         self._waiters.setdefault(addr, []).append(thread_id)
         if self.obs is not None:
             self.obs.futex_park(thread_id, addr)
+        if self.deadlocks is not None:
+            self.deadlocks.on_futex_wait(self.variant, thread_id, addr)
 
     def remove_waiter(self, addr: int, thread_id: str) -> None:
         """Remove a waiter (e.g. on timeout or variant shutdown)."""
@@ -47,6 +52,8 @@ class FutexTable:
             queue.remove(thread_id)
             if not queue:
                 del self._waiters[addr]
+            if self.deadlocks is not None:
+                self.deadlocks.on_futex_unwait(thread_id)
 
     def wake(self, addr: int, count: int,
              waker: str | None = None) -> list[str]:
@@ -69,6 +76,8 @@ class FutexTable:
             self.races.on_futex_wake(waker, woken)
         if self.replay is not None:
             self.replay.on_wake(self.variant, addr, woken)
+        if self.deadlocks is not None and woken:
+            self.deadlocks.on_futex_wake(woken)
         return woken
 
     def waiters(self, addr: int) -> list[str]:

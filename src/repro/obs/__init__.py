@@ -99,6 +99,12 @@ class ObsHub:
         self.recovery_log: list[dict] = []
         #: Races reported by an attached detector (dicts, in order).
         self.race_log: list[dict] = []
+        #: Wait-for cycles reported by an attached deadlock detector.
+        #: Deliberately NOT part of :meth:`digest`'s payload (the keys
+        #: there are frozen by the golden-digest pins); a detected cycle
+        #: still moves the digest through the ``deadlocks.detected``
+        #: counter, and a clean run's digest is unchanged.
+        self.deadlock_log: list[dict] = []
 
     def attach_profiler(self, prof) -> None:
         """Attach a :class:`repro.prof.accounting.CycleProfiler`."""
@@ -354,6 +360,19 @@ class ObsHub:
                             args={"kind": race.kind,
                                   "site": race.current.site,
                                   "prior_site": race.prior.site})
+
+    # -- deadlock detector hooks ---------------------------------------------
+
+    def deadlock_detected(self, record) -> None:
+        """The wait-for-graph detector completed a cycle."""
+        entry = record.to_dict()
+        entry["at_cycles"] = self.now
+        self.deadlock_log.append(entry)
+        self.metrics.counter("deadlocks.detected").inc()
+        self.tracer.instant("deadlock", record.variant,
+                            record.threads[0].thread, cat="deadlock",
+                            args={"cycle": record.cycle_name(),
+                                  "locks": list(record.locks())})
 
     # -- agent hooks ---------------------------------------------------------
 

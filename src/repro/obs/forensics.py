@@ -50,6 +50,9 @@ class DivergenceBundle:
     recovery: list[dict] = field(default_factory=list)
     #: Races an attached detector reported before the kill.
     races: list[dict] = field(default_factory=list)
+    #: Wait-for cycles an attached deadlock detector reported (each dict
+    #: names the cycle and the held/wanted locks per thread).
+    deadlocks: list[dict] = field(default_factory=list)
 
     # -- (de)serialization --------------------------------------------------
 
@@ -66,6 +69,7 @@ class DivergenceBundle:
             "faults": self.faults,
             "recovery": self.recovery,
             "races": self.races,
+            "deadlocks": self.deadlocks,
         }
 
     @classmethod
@@ -82,6 +86,7 @@ class DivergenceBundle:
             faults=data.get("faults", []),
             recovery=data.get("recovery", []),
             races=data.get("races", []),
+            deadlocks=data.get("deadlocks", []),
         )
 
     def save(self, path) -> None:
@@ -163,6 +168,8 @@ def capture_bundle(hub, report, monitor=None,
                   getattr(hub, "recovery_log", ())],
         races=[dict(event) for event in
                getattr(hub, "race_log", ())],
+        deadlocks=[dict(event) for event in
+                   getattr(hub, "deadlock_log", ())],
     )
 
 
@@ -257,6 +264,14 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
                         for race in bundle.races})
         lines.append(f"  races detected: {len(bundle.races)} at "
                      f"{', '.join(sites)}")
+    for record in bundle.deadlocks:
+        lines.append(f"  deadlock cycle: {record.get('cycle')} "
+                     f"(v{record.get('variant')}) at "
+                     f"{record.get('at_cycles', 0):.0f} cycles")
+        for thread in record.get("threads", ()):
+            holds = ", ".join(str(a) for a in thread.get("holds", ()))
+            lines.append(f"    {thread.get('thread')}: holds [{holds}] "
+                         f"wants {thread.get('wants')}")
     for event in bundle.recovery:
         action = event.get("action", "?")
         if action == "quarantine":

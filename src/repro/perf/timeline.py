@@ -70,7 +70,7 @@ def summarize_trace(trace: list[TraceEntry]) -> dict[str, dict]:
         by_thread.setdefault(entry.thread, []).append(entry.time)
     for thread, times in by_thread.items():
         times.sort()
-        gaps = [b - a for a, b in zip(times, times[1:])]
+        gaps = [b - a for a, b in zip(times, times[1:], strict=False)]
         stats[thread] = {
             "ops": len(times),
             "span_cycles": (times[-1] - times[0]) if len(times) > 1

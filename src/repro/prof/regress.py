@@ -143,7 +143,8 @@ def compare_reports(new: dict, ref: dict,
     if new_cells and ref_cells and len(new_cells) == len(ref_cells):
         offenders = []
         for index, (new_s, ref_s) in enumerate(zip(new_cells,
-                                                   ref_cells)):
+                                                   ref_cells,
+                                                   strict=True)):
             if ref_s <= 0 or (new_s - ref_s) < CELL_WALL_FLOOR_S:
                 continue
             delta = (new_s - ref_s) / ref_s

@@ -12,6 +12,11 @@ conflicting accesses at un-identified sites.
 Cross-checker (:mod:`repro.races.coverage`): diffs dynamic race reports
 against the statically identified site set — each gap *is* the
 Listing-2 false negative, named and paired with a remediation.
+
+Deadlock side (:mod:`repro.races.deadlock`): per-variant held-sets and a
+runtime wait-for-graph behind the same ``deadlocks is not None`` hook
+pattern, detecting guest lock-order deadlocks at cycle formation — the
+dynamic mirror of :mod:`repro.analysis.lockorder`.
 """
 
 from repro.races.coverage import (
@@ -22,6 +27,12 @@ from repro.races.coverage import (
     corroborate,
     cross_check,
     primitive_of,
+)
+from repro.races.deadlock import (
+    DeadlockDetector,
+    DeadlockRecord,
+    DeadlockReport,
+    DeadlockThread,
 )
 from repro.races.detector import (
     AccessRecord,
@@ -45,6 +56,10 @@ __all__ = [
     "AccessRecord",
     "CoverageGap",
     "CoverageReport",
+    "DeadlockDetector",
+    "DeadlockRecord",
+    "DeadlockReport",
+    "DeadlockThread",
     "Epoch",
     "LintAccess",
     "RaceCandidate",

@@ -91,6 +91,7 @@ class Machine:
         self._threads_by_id: dict[str, GuestThread] = {}
         self._divergence = None
         self._fault: GuestFault | None = None
+        self._guest_deadlock: DeadlockError | None = None
         # Whether the initial dispatch has happened; lets advance() be
         # called repeatedly (incremental driving) without re-running the
         # bootstrap dispatch.
@@ -113,6 +114,10 @@ class Machine:
         #: contract.  RNG capture happens by wrapping ``self.rng``, not
         #: through this hook, so the disabled path is one attribute test.
         self.replay = None
+        #: Optional :class:`repro.races.DeadlockDetector`; same zero-cost
+        #: contract.  Observes committed sync ops to track lock
+        #: ownership; its futex hooks live on each VM's FutexTable.
+        self.deadlocks = None
         #: Application-level cache-line contention: every atomic access to
         #: a shared word pays coherence, in native runs and MVEE runs
         #: alike.  (Agent-added traffic is charged separately by the
@@ -342,6 +347,25 @@ class Machine:
             raise DivergenceError(self._divergence)
         if self._fault is not None:
             raise self._fault
+        if self._guest_deadlock is not None:
+            raise self._guest_deadlock
+
+    def flag_guest_deadlock(self, record) -> None:
+        """Sticky-flag a detected guest deadlock (raised after the
+        current event commits, like divergences and faults).
+
+        ``record`` is a :class:`repro.races.DeadlockRecord`; it rides on
+        the raised :class:`DeadlockError` as ``.record`` so the MVEE can
+        name the cycle in the outcome and forensics bundle.
+        """
+        if self._guest_deadlock is not None:
+            return
+        error = DeadlockError(
+            f"guest deadlock: {record.cycle_name()} "
+            f"(variant {record.variant})",
+            blocked=self._blocked_summary())
+        error.record = record
+        self._guest_deadlock = error
 
     def _blocked_summary(self) -> list[str]:
         return [f"{t.global_id} waiting on {t.park_key}"
@@ -554,6 +578,8 @@ class Machine:
         value = self._apply_syncop(vm, event)
         if self.races is not None:
             self.races.on_sync_op(vm, thread, event, value)
+        if self.deadlocks is not None:
+            self.deadlocks.on_sync_op(vm, thread, event, value)
         if self.replay is not None:
             self.replay.on_sync(vm.index, thread.logical_id, event.op,
                                 event.site, value)

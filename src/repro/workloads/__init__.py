@@ -12,6 +12,7 @@ interposition, sync-buffer traffic, replay stalls — which is what makes
 the slowdown *shapes* transfer.
 """
 
+from repro.workloads.philosophers import DiningPhilosophers
 from repro.workloads.spec import (
     ALL_SPECS,
     PARSEC_SPECS,
@@ -22,6 +23,7 @@ from repro.workloads.spec import (
 from repro.workloads.synthetic import SyntheticWorkload, make_benchmark
 
 __all__ = [
+    "DiningPhilosophers",
     "WorkloadSpec",
     "PARSEC_SPECS",
     "SPLASH_SPECS",

@@ -247,7 +247,7 @@ class SyntheticWorkload(GuestProgram):
         units_per_phase = max(1, units // phases)
         acq_per_phase = acquires // phases
         sys_per_phase = max(1, syscalls // phases)
-        for phase in range(phases):
+        for _phase in range(phases):
             acq_done = sys_done = 0
             for unit in range(units_per_phase):
                 yield from ctx.compute(gap)

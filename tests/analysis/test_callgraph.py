@@ -1,0 +1,112 @@
+"""Tests for call-graph construction, including indirect calls via points-to."""
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.ir import (AddrOf, Copy, Function, Instruction, Module,
+                               Reg)
+
+
+def I(opcode, *operands, **kwargs):
+    return Instruction(opcode, tuple(operands), **kwargs)
+
+
+def module(functions, name="m"):
+    return Module(name=name, functions=list(functions))
+
+
+class TestDirectCalls:
+    def test_simple_chain(self):
+        m = module([
+            Function("main", [I("call", "helper"), I("ret")]),
+            Function("helper", [I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert cg.callees("main") == frozenset({"helper"})
+        assert cg.callers("helper") == frozenset({"main"})
+        assert cg.roots() == ["main"]
+        assert cg.reachable("main") == frozenset({"main", "helper"})
+
+    def test_call_to_unknown_function_has_no_edge(self):
+        m = module([Function("main", [I("call", "libc_exit"), I("ret")])])
+        cg = build_callgraph(m)
+        assert cg.callees("main") == frozenset()
+        (site,) = cg.sites
+        assert site.direct
+        assert site.callees == ()
+
+    def test_multiple_sites_recorded(self):
+        m = module([
+            Function("main", [I("call", "a"), I("call", "a"), I("ret")]),
+            Function("a", [I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert len([s for s in cg.sites if s.caller == "main"]) == 2
+        assert cg.callees("main") == frozenset({"a"})
+
+
+class TestIndirectCalls:
+    def test_function_pointer_resolved_via_pointsto(self):
+        m = module([
+            Function("main", [I("call", Reg("fp")), I("ret")],
+                     pointer_facts=[AddrOf("fp", "worker")]),
+            Function("worker", [I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert cg.callees("main") == frozenset({"worker"})
+        (site,) = cg.sites
+        assert not site.direct
+
+    def test_pointer_copy_chain(self):
+        m = module([
+            Function("main", [I("call", Reg("fp2")), I("ret")],
+                     pointer_facts=[AddrOf("fp1", "worker"),
+                                    Copy("fp2", "fp1")]),
+            Function("worker", [I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert cg.callees("main") == frozenset({"worker"})
+
+    def test_pointer_to_non_function_filtered(self):
+        m = module([
+            Function("main", [I("call", Reg("fp")), I("ret")],
+                     pointer_facts=[AddrOf("fp", "some_global")]),
+        ])
+        cg = build_callgraph(m)
+        assert cg.callees("main") == frozenset()
+
+    def test_steensgaard_also_resolves(self):
+        m = module([
+            Function("main", [I("call", Reg("fp")), I("ret")],
+                     pointer_facts=[AddrOf("fp", "worker")]),
+            Function("worker", [I("ret")]),
+        ])
+        cg = build_callgraph(m, analysis="steensgaard")
+        assert cg.callees("main") == frozenset({"worker"})
+
+
+class TestRootsAndReachability:
+    def test_roots_fall_back_to_all_when_fully_cyclic(self):
+        m = module([
+            Function("ping", [I("call", "pong"), I("ret")]),
+            Function("pong", [I("call", "ping"), I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert set(cg.roots()) == {"ping", "pong"}
+
+    def test_reachable_is_transitive(self):
+        m = module([
+            Function("a", [I("call", "b"), I("ret")]),
+            Function("b", [I("call", "c"), I("ret")]),
+            Function("c", [I("ret")]),
+            Function("island", [I("ret")]),
+        ])
+        cg = build_callgraph(m)
+        assert cg.reachable("a") == frozenset({"a", "b", "c"})
+        assert "island" not in cg.reachable("a")
+        assert set(cg.roots()) == {"a", "island"}
+
+    def test_unknown_analysis_name_raises(self):
+        m = module([Function("main", [I("ret")])])
+        with pytest.raises(ValueError, match="analysis"):
+            build_callgraph(m, analysis="magic")

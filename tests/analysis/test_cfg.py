@@ -1,0 +1,104 @@
+"""Tests for basic-block CFG construction over the mini-IR."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.ir import Function, Instruction, Reg, mem
+
+
+def I(opcode, *operands, **kwargs):
+    return Instruction(opcode, tuple(operands), **kwargs)
+
+
+def fn(*instructions, name="f"):
+    return Function(name=name, instructions=list(instructions))
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = build_cfg(fn(I("mov", Reg("eax"), mem("p")),
+                           I("mov", mem("q"), Reg("eax")),
+                           I("ret")))
+        assert cfg.block_count() == 1
+        assert cfg.edge_count() == 0
+        assert cfg.entry is cfg.blocks[0]
+        assert cfg.exit_blocks() == [cfg.blocks[0]]
+        assert len(cfg.blocks[0].instructions) == 3
+
+    def test_empty_function(self):
+        cfg = build_cfg(fn())
+        assert cfg.block_count() == 0
+        assert cfg.entry is None
+        assert cfg.reverse_postorder() == []
+
+    def test_call_does_not_split_blocks(self):
+        cfg = build_cfg(fn(I("mov", Reg("eax"), mem("p")),
+                           I("call", "helper"),
+                           I("mov", mem("p"), Reg("eax"))))
+        assert cfg.block_count() == 1
+
+    def test_fall_off_the_end_is_an_exit(self):
+        cfg = build_cfg(fn(I("mov", Reg("eax"), mem("p"))))
+        assert cfg.exit_blocks() == [cfg.blocks[0]]
+
+
+class TestBranches:
+    def diamond(self):
+        #   B0: jcc then   B1: jmp join   B2(then):   B3(join): ret
+        return build_cfg(fn(
+            I("jcc", "then"),
+            I("jmp", "join"),
+            I("label", "then"),
+            I("label", "join"),
+            I("ret")))
+
+    def test_diamond_shape(self):
+        cfg = self.diamond()
+        assert cfg.block_count() == 4
+        assert cfg.blocks[0].successors == [2, 1]
+        assert cfg.blocks[1].successors == [3]
+        assert cfg.blocks[2].successors == [3]
+        assert cfg.blocks[3].successors == []
+        assert sorted(cfg.blocks[3].predecessors) == [1, 2]
+
+    def test_blocks_get_their_labels(self):
+        cfg = self.diamond()
+        assert cfg.blocks[2].label == "then"
+        assert cfg.blocks[3].label == "join"
+        assert cfg.blocks[0].label is None
+
+    def test_reverse_postorder_topological_on_dag(self):
+        cfg = self.diamond()
+        order = [b.index for b in cfg.reverse_postorder()]
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order[0] == 0
+        assert order[-1] == 3  # join after both arms
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(fn(
+            I("label", "head"),
+            I("mov", Reg("eax"), mem("p")),
+            I("jcc", "head"),
+            I("ret")))
+        assert cfg.blocks[0].successors == [0, 1]
+        assert 0 in cfg.blocks[0].predecessors
+
+    def test_ret_ends_control_flow(self):
+        cfg = build_cfg(fn(I("ret"), I("label", "dead"), I("ret")))
+        assert cfg.blocks[0].successors == []
+        assert cfg.blocks[1].predecessors == []
+
+    def test_unreachable_blocks_still_enumerated(self):
+        cfg = build_cfg(fn(I("ret"), I("label", "dead"), I("ret")))
+        order = [b.index for b in cfg.reverse_postorder()]
+        assert order == [0, 1]
+
+    def test_unknown_branch_target_raises(self):
+        with pytest.raises(ValueError, match="unknown label"):
+            build_cfg(fn(I("jmp", "nowhere")))
+
+    def test_terminator_property(self):
+        cfg = build_cfg(fn(I("mov", Reg("eax"), mem("p")), I("ret")))
+        assert cfg.blocks[0].terminator.opcode == "ret"
+        straight = build_cfg(fn(I("mov", Reg("eax"), mem("p"))))
+        assert straight.blocks[0].terminator is None

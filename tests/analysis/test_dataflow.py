@@ -1,0 +1,158 @@
+"""Tests for the generic worklist fixpoint engine and LockHeldAnalysis."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import DataflowProblem, LockHeldAnalysis, solve
+from repro.analysis.ir import Function, Instruction, Reg, imm, mem
+
+
+def I(opcode, *operands, **kwargs):
+    return Instruction(opcode, tuple(operands), **kwargs)
+
+
+def fn(*instructions, name="f"):
+    return Function(name=name, instructions=list(instructions))
+
+
+def pointsto(ptr):
+    """Identity points-to: pointer ``p_X`` resolves to object ``X``."""
+    if ptr.startswith("p_"):
+        return frozenset({ptr[2:]})
+    return frozenset()
+
+
+LOCKS = frozenset({"A", "B", "G"})
+
+
+def acquire(name):
+    return I("cmpxchg", mem(f"p_{name}"), Reg("eax"), lock_prefix=True)
+
+
+def release(name):
+    return I("mov", mem(f"p_{name}"), imm(0))
+
+
+class TestLockHeldStraightLine:
+    def test_acquire_then_release(self):
+        cfg = build_cfg(fn(acquire("A"), release("A"), I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        block = cfg.blocks[0]
+        assert result.value_before(block) == frozenset()
+        assert result.value_after(block) == frozenset()
+
+    def test_held_at_exit_when_never_released(self):
+        cfg = build_cfg(fn(acquire("A"), acquire("B"), I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        assert result.value_after(cfg.blocks[0]) == frozenset({"A", "B"})
+
+    def test_non_lock_objects_ignored(self):
+        cfg = build_cfg(fn(acquire("counter"), I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        assert result.value_after(cfg.blocks[0]) == frozenset()
+
+    def test_xchg_counts_as_rmw(self):
+        cfg = build_cfg(fn(I("xchg", mem("p_A"), Reg("eax")), I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        assert result.value_after(cfg.blocks[0]) == frozenset({"A"})
+
+    def test_plain_load_does_not_acquire(self):
+        cfg = build_cfg(fn(I("mov", Reg("eax"), mem("p_A")), I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        assert result.value_after(cfg.blocks[0]) == frozenset()
+
+    def test_entry_seed(self):
+        cfg = build_cfg(fn(release("G"), I("ret")))
+        analysis = LockHeldAnalysis(pointsto, LOCKS, entry=frozenset({"G", "A"}))
+        result = solve(cfg, analysis)
+        assert result.value_before(cfg.blocks[0]) == frozenset({"G", "A"})
+        assert result.value_after(cfg.blocks[0]) == frozenset({"A"})
+
+
+class TestLockHeldMerges:
+    def test_intersection_at_join(self):
+        # One arm acquires A+B, the other only A: join holds only A.
+        cfg = build_cfg(fn(
+            acquire("A"),
+            I("jcc", "other"),
+            acquire("B"),
+            I("jmp", "join"),
+            I("label", "other"),
+            I("label", "join"),
+            I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        join_block = next(b for b in cfg.blocks if b.label == "join")
+        assert result.value_before(join_block) == frozenset({"A"})
+
+    def test_loop_reaches_fixpoint(self):
+        # Lock held around a loop body stays held on the back edge.
+        cfg = build_cfg(fn(
+            acquire("A"),
+            I("label", "head"),
+            I("mov", Reg("eax"), mem("p_x")),
+            I("jcc", "head"),
+            release("A"),
+            I("ret")))
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        head = next(b for b in cfg.blocks if b.label == "head")
+        assert result.value_before(head) == frozenset({"A"})
+        exit_block = cfg.exit_blocks()[0]
+        assert result.value_after(exit_block) == frozenset()
+        assert result.iterations <= len(cfg.blocks) * 4
+
+
+class TestEngineGenerality:
+    def test_backward_liveness_style_problem(self):
+        # Backward union-of-successors "reaches ret" analysis: every block
+        # from which the ret is reachable should carry the token.
+        class ReachesRet(DataflowProblem):
+            direction = "backward"
+
+            def initial(self, cfg):
+                return frozenset()
+
+            def join(self, values):
+                out = frozenset()
+                for value in values:
+                    out = out | value
+                return out
+
+            def transfer(self, block, value):
+                if block.terminator is not None and block.terminator.opcode == "ret":
+                    return value | {"ret"}
+                return value
+
+        cfg = build_cfg(fn(
+            I("jcc", "end"),
+            I("mov", Reg("eax"), mem("p_x")),
+            I("label", "end"),
+            I("ret")))
+        result = solve(cfg, ReachesRet())
+        # For backward problems the analysis-direction "out" value is the
+        # program-order entry value of the block.
+        assert all("ret" in result.value_after(b) for b in cfg.blocks)
+
+    def test_non_monotone_transfer_hits_budget(self):
+        # A transfer that flips between two values on a loop never converges;
+        # the engine must abort with a diagnostic rather than spin forever.
+        class Flipper(DataflowProblem):
+            def initial(self, cfg):
+                return 0
+
+            def join(self, values):
+                return max(values)
+
+            def transfer(self, block, value):
+                return (value + 1) % 2 if block.successors else value
+
+        cfg = build_cfg(fn(
+            I("label", "head"),
+            I("jcc", "head"),
+            I("ret")))
+        with pytest.raises(RuntimeError, match="did not converge"):
+            solve(cfg, Flipper())
+
+    def test_empty_function(self):
+        cfg = build_cfg(fn())
+        result = solve(cfg, LockHeldAnalysis(pointsto, LOCKS))
+        assert result.iterations == 0

@@ -1,0 +1,115 @@
+"""Cyclic pointer-chain termination and precision tests for both
+points-to analyses.
+
+The worklist/unification loops in :mod:`repro.analysis.pointsto` must
+reach a fixpoint even when the pointer-assignment graph is cyclic —
+``p = q; q = p`` chains, self-copies, and load/store loops through
+memory.  These are the shapes that make naive propagation spin.
+"""
+
+import pytest
+
+from repro.analysis.ir import (AddrOf, Copy, Function, HeapAlloc, LoadPtr,
+                               Module, StorePtr)
+from repro.analysis.pointsto import AndersenAnalysis, SteensgaardAnalysis
+
+ANALYSES = [AndersenAnalysis, SteensgaardAnalysis]
+
+
+def module_with(facts, name="m"):
+    return Module(name=name,
+                  functions=[Function(name="f", instructions=[],
+                                      pointer_facts=list(facts))])
+
+
+@pytest.mark.parametrize("analysis", ANALYSES)
+class TestCopyCycles:
+    def test_two_cycle_converges_and_shares_targets(self, analysis):
+        result = analysis(module_with([
+            AddrOf("p", "obj"),
+            Copy("q", "p"),
+            Copy("p", "q"),
+        ]))
+        assert "obj" in result.points_to("p")
+        assert "obj" in result.points_to("q")
+        assert result.may_alias("p", "q")
+
+    def test_self_copy_is_harmless(self, analysis):
+        result = analysis(module_with([
+            AddrOf("p", "obj"),
+            Copy("p", "p"),
+        ]))
+        assert result.points_to("p") == frozenset({"obj"})
+
+    def test_three_cycle_with_two_seeds(self, analysis):
+        result = analysis(module_with([
+            AddrOf("a", "x"),
+            AddrOf("b", "y"),
+            Copy("b", "a"),
+            Copy("c", "b"),
+            Copy("a", "c"),
+        ]))
+        # Around the cycle every variable reaches both objects.
+        for var in ("a", "b", "c"):
+            assert {"x", "y"} <= set(result.points_to(var))
+
+    def test_cycle_with_no_seed_stays_empty(self, analysis):
+        result = analysis(module_with([
+            Copy("q", "p"),
+            Copy("p", "q"),
+        ]))
+        assert result.points_to("p") == frozenset()
+        assert result.points_to("q") == frozenset()
+
+
+@pytest.mark.parametrize("analysis", ANALYSES)
+class TestIndirectionCycles:
+    def test_store_load_loop_through_memory(self, analysis):
+        # *p = q; r = *p — with p -> cell, q's targets must flow to r,
+        # even when r is then copied back into q (a cycle through memory).
+        result = analysis(module_with([
+            AddrOf("p", "cell"),
+            AddrOf("q", "obj"),
+            StorePtr("p", "q"),
+            LoadPtr("r", "p"),
+            Copy("q", "r"),
+        ]))
+        assert "obj" in result.points_to("r")
+
+    def test_pointer_stored_into_itself(self, analysis):
+        # *p = p with p -> cell: cell's class absorbs p's targets; the
+        # analysis must terminate despite the self-reference.
+        result = analysis(module_with([
+            AddrOf("p", "cell"),
+            StorePtr("p", "p"),
+            LoadPtr("out", "p"),
+        ]))
+        assert "cell" in result.points_to("out")
+
+    def test_heap_objects_survive_cycles(self, analysis):
+        result = analysis(module_with([
+            HeapAlloc("p", "site1", type_name="mutex_t"),
+            Copy("q", "p"),
+            Copy("p", "q"),
+        ]))
+        targets = result.points_to("q")
+        assert any(getattr(t, "site_id", None) == "site1" for t in targets)
+
+
+class TestPrecisionDifference:
+    def test_andersen_keeps_directionality(self):
+        # Copy is directional in Andersen: q gets p's targets, but a
+        # fresh unrelated r copied *from* q must not leak back into p.
+        facts = [AddrOf("p", "x"), Copy("q", "p"), AddrOf("r", "y"),
+                 Copy("q", "r")]
+        andersen = AndersenAnalysis(module_with(facts))
+        assert andersen.points_to("p") == frozenset({"x"})
+        assert andersen.points_to("q") == frozenset({"x", "y"})
+
+    def test_steensgaard_unifies_both_directions(self):
+        facts = [AddrOf("p", "x"), Copy("q", "p"), AddrOf("r", "y"),
+                 Copy("q", "r")]
+        steens = SteensgaardAnalysis(module_with(facts))
+        # Unification merges p, q, r into one class holding both objects.
+        assert steens.points_to("p") == frozenset({"x", "y"})
+        assert steens.points_to("p") == steens.points_to("q")

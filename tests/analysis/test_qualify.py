@@ -156,3 +156,78 @@ class TestProposedExtensions:
             [CAsmUse("lock", easy=True)])
         result = refactor_to_fixpoint(program, seed_vars={"lock"})
         assert result.unfixable == []
+
+
+class TestEdgeCases:
+    """Convergence and degenerate-input behavior of the fixpoint loop."""
+
+    def test_empty_program(self):
+        result = refactor_to_fixpoint(program_with([], []), seed_vars=set())
+        assert result.qualified == set()
+        assert result.iterations == 1
+        assert result.unfixable == []
+
+    def test_self_assignment_converges(self):
+        program = program_with(
+            [CVar("p", is_pointer=True)],
+            [CAssign(dst="p", src="p"), CAtomicIntrinsic("p")])
+        result = refactor_to_fixpoint(program, seed_vars=set())
+        assert "p" in result.qualified
+        assert AtomicQualifierChecker(program).check() == []
+
+    def test_assignment_cycle_converges(self):
+        # p = q; q = p with one end seeded: both ends qualify, in a
+        # bounded number of rounds, despite the cyclic def-use chain.
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True),
+             CVar("q", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"),
+             CAssign(dst="q", src="p"),
+             CAssign(dst="p", src="q")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert {"lock", "p", "q"} <= result.qualified
+        assert result.iterations <= 4
+        assert AtomicQualifierChecker(program).check() == []
+
+    def test_max_iterations_exhaustion_raises(self):
+        import pytest
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock")])
+        with pytest.raises(RuntimeError, match="did not converge"):
+            refactor_to_fixpoint(program, seed_vars={"lock"},
+                                 max_iterations=0)
+
+    def test_unfixable_reported_only_at_fixpoint(self):
+        # The asm diagnostic appears once the seed propagates to the asm
+        # operand; it must survive into the *final* unfixable list even
+        # though early rounds still make progress elsewhere.
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True),
+             CVar("q", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"),
+             CAssign(dst="q", src="p"),
+             CAsmUse("lock")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert len(result.unfixable) == 1
+        assert result.unfixable[0].kind == "asm-atomic"
+        assert {"lock", "p", "q"} <= result.qualified
+
+    def test_volatile_seeding_composes_with_explicit_seeds(self):
+        program = program_with(
+            [CVar("flag", volatile=True), CVar("lock"),
+             CVar("p", is_pointer=True), CVar("q", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"), CAddrOf(ptr="q", var="flag")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"},
+                                      include_volatile=True)
+        assert {"flag", "lock", "p", "q"} <= result.qualified
+
+    def test_disconnected_variables_untouched(self):
+        program = program_with(
+            [CVar("lock"), CVar("p", is_pointer=True), CVar("bystander"),
+             CVar("bp", is_pointer=True)],
+            [CAddrOf(ptr="p", var="lock"),
+             CAddrOf(ptr="bp", var="bystander")])
+        result = refactor_to_fixpoint(program, seed_vars={"lock"})
+        assert "bystander" not in result.qualified
+        assert "bp" not in result.qualified

@@ -58,5 +58,5 @@ class TestRecordReplay:
         """Replaying a *different* execution shape runs past the log."""
         log, _ = record_execution(witness(), seed=0)
         bigger = ScheduleWitnessProgram(workers=4, iters=60)
-        with pytest.raises(Exception):
+        with pytest.raises(RuntimeError, match="ran past the log"):
             replay_execution(bigger, log, seed=0)

@@ -52,7 +52,7 @@ class TestDCL:
     def test_preserves_other_bases(self):
         base_layouts = [aslr_layout(v, seed=2) for v in range(3)]
         layouts = dcl_layouts(3, base_layouts)
-        for produced, original in zip(layouts, base_layouts):
+        for produced, original in zip(layouts, base_layouts, strict=True):
             assert produced.static_base == original.static_base
         assert code_regions_disjoint(layouts)
 

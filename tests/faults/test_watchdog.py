@@ -75,3 +75,25 @@ class TestWatchdog:
                            max_cycles=50_000_000.0)
         assert len(outcome.faults) == 1
         assert outcome.verdict == "deadlock"
+
+
+class TestWatchdogCauseHint:
+    """WATCHDOG_TIMEOUT diagnoses carry a cause hint: ``stall`` for a
+    single wedged variant, ``deadlock-suspected`` when >= 2 variants sit
+    with multiple threads blocked on each other."""
+
+    def test_single_variant_stall_hints_stall(self, fast_costs):
+        outcome = _run(costs=fast_costs)
+        assert outcome.divergence.kind is DivergenceKind.WATCHDOG_TIMEOUT
+        assert "[cause: stall]" in outcome.divergence.detail
+
+    def test_guest_deadlock_hints_deadlock_suspected(self, fast_costs):
+        from repro.workloads import DiningPhilosophers
+
+        outcome = run_mvee(DiningPhilosophers(3), variants=2, seed=11,
+                           costs=fast_costs,
+                           policy=MonitorPolicy(watchdog_cycles=WATCHDOG),
+                           max_cycles=50_000_000.0)
+        assert outcome.verdict == "divergence"
+        assert outcome.divergence.kind is DivergenceKind.WATCHDOG_TIMEOUT
+        assert "[cause: deadlock-suspected]" in outcome.divergence.detail

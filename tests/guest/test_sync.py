@@ -161,7 +161,7 @@ class TestBarrier:
             def worker(self, ctx, barrier, index):
                 addr = ctx.static_addr("arrived")
                 snapshots = []
-                for phase in range(4):
+                for _phase in range(4):
                     yield from ctx.compute(500 + index * 333)
                     yield from ctx.fetch_add(addr, 1, site="t.arrive")
                     yield from barrier.wait(ctx)

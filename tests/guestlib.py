@@ -209,7 +209,7 @@ class BarrierPhasesProgram(GuestProgram):
 
     def worker(self, ctx, barrier, index):
         accum_addr = ctx.static_addr("accum")
-        for phase in range(self.phases):
+        for _phase in range(self.phases):
             yield from ctx.compute(1000 + 173 * index)
             yield from ctx.fetch_add(accum_addr, index + 1,
                                      site="app.accum.xadd")

@@ -64,7 +64,7 @@ class TestSignalPrograms:
 
             def main(self, ctx):
                 logger = yield from ctx.spawn(self.logger)
-                for index in range(signals_to_send):
+                for _ in range(signals_to_send):
                     yield from ctx.compute(3_000)
                     yield from ctx.kill(SIGUSR1)
                 result = yield from ctx.join(logger)

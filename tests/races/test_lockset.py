@@ -63,7 +63,7 @@ class TestAnalysisChoice:
             assert not lint.clean
 
     def test_unknown_analysis_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="magic"):
             lint_module(racy_counter_module(), analysis="magic")
 
 

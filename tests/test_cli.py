@@ -219,6 +219,71 @@ class TestRacesCommand:
         assert main(["table", "3", "--treat-volatile-as-sync"]) == 0
         assert "libc-2.19.so" in capsys.readouterr().out
 
+    def test_races_lint_json(self, capsys):
+        import json
+
+        assert main(["races", "lint", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        racy = next(e for e in payload if e["module"] == "racy_counter")
+        assert racy["candidates"]
+        assert {"object", "writes", "functions", "sites",
+                "source_lines"} <= set(racy["candidates"][0])
+
+
+class TestDeadlockCommand:
+    def test_deadlock_defaults(self):
+        args = build_parser().parse_args(["deadlock", "lint"])
+        assert args.analysis == "andersen"
+        assert not args.json
+        assert args.seed == 1
+
+    def test_lint_flags_abba_and_suppresses_trylock(self, capsys):
+        assert main(["deadlock", "lint"]) == 1  # linter-style exit
+        out = capsys.readouterr().out
+        assert "lock_a -> lock_b -> lock_a" in out
+        assert "[FLAGGED]" in out
+        assert "abba.c:11" in out and "abba.c:21" in out
+        assert "suppressed (trylock)" in out
+
+    def test_lint_json(self, capsys):
+        import json
+
+        assert main(["deadlock", "lint", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        by_module = {entry["module"]: entry for entry in payload}
+        assert set(by_module) == {"abba", "trylock_guarded",
+                                  "philosophers"}
+        (candidate,) = by_module["abba"]["candidates"]
+        assert not candidate["suppressed"]
+        assert "abba.thread_a.lock_b.cmpxchg" in candidate["sites"]
+        (guarded,) = by_module["trylock_guarded"]["candidates"]
+        assert guarded["suppressed"]
+        assert guarded["suppression"] == "trylock"
+
+    def test_lint_steensgaard_accepted(self, capsys):
+        assert main(["deadlock", "lint", "--analysis",
+                     "steensgaard"]) == 1
+        assert "candidate" in capsys.readouterr().out
+
+    def test_check_cross_validates(self, capsys):
+        assert main(["deadlock", "check"]) == 0
+        out = capsys.readouterr().out
+        assert "confirmed" in out
+        assert "refuted-by-guard" in out
+        assert "unexercised" in out
+
+    def test_run_deadlock_detect_prints_summary(self, capsys):
+        code = main(["run", "fft", "--scale", "0.1",
+                     "--deadlock-detect"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadlocks : no deadlock" in out
+
+    def test_run_without_flag_no_deadlock_line(self, capsys):
+        main(["run", "fft", "--scale", "0.1"])
+        assert "deadlocks :" not in capsys.readouterr().out
+
 
 class TestListJson:
     def test_list_json_is_the_machine_catalog(self, capsys):

@@ -207,6 +207,69 @@ class TestRaceDetectorDeterminism:
         assert detected.stdout == baseline.stdout
 
 
+class TestDeadlockDetectorDeterminism:
+    """The deadlock detector is an observer too: on runs that do not
+    wedge, attaching it must not move a single simulated cycle."""
+
+    def _run(self, deadlocks=None, obs=None, costs=None):
+        return run_mvee(MutexCounterProgram(workers=3, iters=25),
+                        variants=3, seed=7, costs=costs,
+                        deadlocks=deadlocks, obs=obs)
+
+    def test_detector_attached_is_zero_cost(self, fast_costs):
+        from repro.races import DeadlockDetector
+
+        baseline = self._run(costs=fast_costs)
+        assert baseline.verdict == "clean"
+        watched = self._run(deadlocks=DeadlockDetector(), costs=fast_costs)
+        assert watched.verdict == "clean"
+        assert watched.cycles == baseline.cycles
+        assert watched.stdout == baseline.stdout
+
+    def test_detector_leaves_obs_trace_identical(self, fast_costs):
+        from repro.races import DeadlockDetector
+
+        def trace_of(**kwargs):
+            hub = ObsHub()
+            outcome = self._run(obs=hub, costs=fast_costs, **kwargs)
+            assert outcome.verdict == "clean"
+            return [e.to_dict() for v in hub.tracer.variants()
+                    for e in hub.tracer.tail(v)]
+
+        assert trace_of() == trace_of(deadlocks=DeadlockDetector())
+
+    def test_guarded_wedge_run_is_zero_cost(self, fast_costs):
+        """The trylock philosophers contend hard (refused acquisitions,
+        futex parking) without deadlocking — the detector must stay
+        invisible on that path too."""
+        from repro.races import DeadlockDetector
+        from repro.workloads import DiningPhilosophers
+
+        def cycles_of(deadlocks):
+            return run_mvee(DiningPhilosophers(3, trylock=True),
+                            variants=2, seed=11, costs=fast_costs,
+                            deadlocks=deadlocks).cycles
+
+        assert cycles_of(None) == cycles_of(DeadlockDetector())
+
+    def test_deadlock_report_reproducible(self, fast_costs):
+        from repro.races import DeadlockDetector
+        from repro.workloads import DiningPhilosophers
+
+        def report_of():
+            detector = DeadlockDetector()
+            outcome = run_mvee(DiningPhilosophers(3), variants=2, seed=11,
+                               costs=fast_costs, deadlocks=detector)
+            assert outcome.verdict == "deadlock"
+            return outcome, detector.report
+
+        (first, first_report), (second, second_report) = \
+            report_of(), report_of()
+        assert first.cycles == second.cycles
+        assert ([r.to_dict() for r in first_report.records]
+                == [r.to_dict() for r in second_report.records])
+
+
 class TestProfilerDeterminism:
     """The cycle profiler is an observer like the tracer and the race
     detector: obs=None, a plain hub, and a profiling hub must all
