@@ -111,9 +111,11 @@ def _cmd_table(args) -> int:
     from repro.experiments import tables
 
     if args.number == 1:
-        print(tables.table1(scale=args.scale, jobs=args.jobs))
+        print(tables.table1(scale=args.scale, jobs=args.jobs,
+                            env=args.env))
     elif args.number == 2:
-        print(tables.table2(scale=args.scale, jobs=args.jobs))
+        print(tables.table2(scale=args.scale, jobs=args.jobs,
+                            env=args.env))
     else:
         print(tables.table3(
             analysis=args.analysis,
@@ -128,7 +130,8 @@ def _cmd_fig5(args) -> int:
     benchmarks = (args.benchmarks.split(",") if args.benchmarks
                   else None)
     results = run_benchmark_grid(benchmarks=benchmarks,
-                                 scale=args.scale, jobs=args.jobs)
+                                 scale=args.scale, jobs=args.jobs,
+                                 env=args.env)
     print(figure5_series(results, scale=args.scale))
     return 0
 
@@ -277,6 +280,7 @@ def _cmd_fault_matrix(args) -> int:
                              policies=policies, variants=args.variants,
                              agent=args.agent, scale=args.scale,
                              seed=args.seed, jobs=args.jobs,
+                             env=args.env,
                              resync_mode=args.resync_mode,
                              checkpoint_every=args.checkpoint_every)
     print(fault_matrix_table(cells))
@@ -547,7 +551,7 @@ def _races_bench(args) -> int:
     rows = run_race_sweep(benchmarks=benchmarks, scale=args.scale,
                           seed=args.seed,
                           include_nginx=not args.no_nginx,
-                          jobs=args.jobs)
+                          jobs=args.jobs, env=args.env)
     print(race_sweep_table(rows))
     return 0
 
@@ -587,6 +591,7 @@ def _cmd_bench(args) -> int:
                       + [regress.trajectory_entry(ref)])
     report = run_bench(jobs=args.jobs, quick=args.quick,
                        scale=args.scale, seed=args.seed,
+                       env=args.env,
                        out_path=args.out, trace_dir=args.trace_dir,
                        trajectory=trajectory)
     print(render_bench(report))
@@ -630,7 +635,7 @@ def _cmd_profile(args) -> int:
         results = run_profiles(args.benchmark, agents,
                                variants=args.variants,
                                scale=args.scale, seed=args.seed,
-                               jobs=args.jobs,
+                               jobs=args.jobs, env=args.env,
                                lag_sample_every=args.lag_sample_every)
     except ReproError as exc:
         print(f"repro profile: {exc}", file=sys.stderr)
@@ -777,7 +782,8 @@ def _deadlock_bench(args) -> int:
         run_deadlock_sweep,
     )
 
-    rows = run_deadlock_sweep(seed=args.seed, jobs=args.jobs)
+    rows = run_deadlock_sweep(seed=args.seed, jobs=args.jobs,
+                              env=args.env)
     print(deadlock_sweep_table(rows))
     return 0
 
@@ -813,7 +819,7 @@ def _serve_start(args) -> int:
         host=args.host, port=args.port, state_dir=args.state_dir,
         max_sessions=args.max_sessions,
         max_cycles_per_session=args.max_cycles,
-        jobs=args.jobs, bundle_dir=args.bundle_dir,
+        jobs=args.jobs, env=args.env, bundle_dir=args.bundle_dir,
         checkpoint_every=args.checkpoint_every))
     if daemon.registry.recovered:
         for sid, state in sorted(daemon.registry.recovered.items()):
@@ -821,7 +827,7 @@ def _serve_start(args) -> int:
     host, port = daemon.start()
     print(f"serving   : {host}:{port} "
           f"(quota {args.max_sessions} sessions, "
-          f"{args.jobs} worker job(s)"
+          f"{args.jobs} worker job(s) [{daemon.executor.env}]"
           + (f", state in {args.state_dir}" if args.state_dir else "")
           + ")", flush=True)
     try:
@@ -865,7 +871,7 @@ def _serve_bench(args) -> int:
                       + [serve_trajectory_entry(ref)])
     report = run_serve_bench(
         sessions=args.sessions, concurrency=args.concurrency,
-        max_sessions=args.max_sessions, jobs=args.jobs,
+        max_sessions=args.max_sessions, jobs=args.jobs, env=args.env,
         workload=args.workload, base_seed=args.seed, mode=args.mode,
         out_path=args.out or None, trajectory=trajectory)
     print(render_serve_bench(report))
@@ -909,10 +915,18 @@ def _cmd_nginx(args) -> int:
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="shard sweep cells across N worker "
-                             "processes (default 1 = serial; output is "
-                             "identical either way — see "
-                             "docs/PERFORMANCE.md)")
+                        help="shard sweep cells across N workers "
+                             "(default 1 = serial; output is identical "
+                             "either way — see docs/PERFORMANCE.md)")
+    parser.add_argument("--env", default=None,
+                        choices=("inline", "thread", "process",
+                                 "process-static"),
+                        help="execution environment for the workers: "
+                             "serial in-process, worker threads, or a "
+                             "persistent work-stealing process pool "
+                             "(default: process when --jobs > 1; "
+                             "output is digest-identical in every "
+                             "environment — see docs/PERFORMANCE.md)")
 
 
 def _add_replay_flags(parser: argparse.ArgumentParser) -> None:

@@ -219,6 +219,7 @@ def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
                      costs: CostModel | None = None,
                      watchdog_factor: float = 8.0,
                      jobs: int = 1,
+                     env: str | None = None,
                      resync_mode: str = "history",
                      checkpoint_every: float | None = None
                      ) -> list[FaultMatrixCell]:
@@ -235,9 +236,11 @@ def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
     default native/64) and only re-executes the suffix — same verdicts,
     fewer full-cost resync steps (``docs/REPLAY.md``).
 
-    ``jobs`` shards the (policy x kind) cells across worker processes
-    via :mod:`repro.par`; results are aggregated in matrix order, so
-    ``jobs=N`` output is structurally identical to ``jobs=1``.
+    ``jobs`` shards the (policy x kind) cells across workers via
+    :mod:`repro.par` and ``env`` picks the execution environment
+    (``inline``/``thread``/``process``/``process-static``); results are
+    aggregated in matrix order, so every (jobs, env) combination is
+    structurally identical to ``jobs=1``.
     """
     if resync_mode not in ("history", "checkpoint"):
         raise ValueError(f"unknown resync mode {resync_mode!r}")
@@ -260,7 +263,7 @@ def run_fault_matrix(benchmark: str = "dedup", kinds=None, policies=None,
                             native=native,
                             resync_mode=resync_mode,
                             checkpoint_every=checkpoint_every)))
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     return [result.value for result in results]
 
 
@@ -442,7 +445,8 @@ def _race_sweep_cell(workload: str, scale: float, seed: int,
 def run_race_sweep(benchmarks=("dedup", "vips"), scale: float = 0.1,
                    seed: int = 1, costs: CostModel | None = None,
                    include_nginx: bool = True,
-                   jobs: int = 1) -> list[RaceSweepRow]:
+                   jobs: int = 1,
+                   env: str | None = None) -> list[RaceSweepRow]:
     """Race-detection experiment: races found + detector overhead.
 
     Each workload runs twice — with and without the detector — so the
@@ -451,8 +455,9 @@ def run_race_sweep(benchmarks=("dedup", "vips"), scale: float = 0.1,
     The lockstep benchmarks run fully instrumented and must report zero
     races; the nginx conditions exercise the coverage cross-check.
 
-    ``jobs`` shards workloads across worker processes; row order is
-    always benchmarks-then-nginx regardless of completion order.
+    ``jobs`` shards workloads across workers in the ``env`` execution
+    environment; row order is always benchmarks-then-nginx regardless
+    of completion order or environment.
     """
     workloads = list(benchmarks)
     if include_nginx:
@@ -462,7 +467,7 @@ def run_race_sweep(benchmarks=("dedup", "vips"), scale: float = 0.1,
                       kwargs=dict(workload=workload, scale=scale,
                                   seed=seed, costs=costs))
              for index, workload in enumerate(workloads)]
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     return [result.value for result in results]
 
 
@@ -557,8 +562,9 @@ def _deadlock_sweep_cell(workload: str, mode: str,
         cycles_identical=identical)
 
 
-def run_deadlock_sweep(sizes=(3, 4), seed: int = 1,
-                       jobs: int = 1) -> list[DeadlockSweepRow]:
+def run_deadlock_sweep(sizes=(3, 4), seed: int = 1, jobs: int = 1,
+                       env: str | None = None
+                       ) -> list[DeadlockSweepRow]:
     """Deadlock-detection experiment: diagnosis latency and quality.
 
     For each table size the wedging workload runs twice — once on the
@@ -578,7 +584,7 @@ def run_deadlock_sweep(sizes=(3, 4), seed: int = 1,
                       kwargs=dict(workload=workload, mode=mode,
                                   seed=seed))
              for index, (workload, mode) in enumerate(cells)]
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     return [result.value for result in results]
 
 
@@ -620,13 +626,14 @@ def run_benchmark_grid(benchmarks=None, agents=AGENTS,
                        variant_counts=VARIANT_COUNTS,
                        scale: float = 1.0, seed: int = 1,
                        costs: CostModel | None = None,
-                       jobs: int = 1) -> list[ExperimentResult]:
+                       jobs: int = 1,
+                       env: str | None = None) -> list[ExperimentResult]:
     """Run the full (or a partial) Figure 5 grid.
 
-    ``jobs`` shards grid cells across worker processes (parallel
-    workers bypass the per-process memo cache; ``jobs=1`` keeps the
-    historical in-process memoized path).  Result order is always the
-    canonical grid nesting.
+    ``jobs`` shards grid cells across workers in the ``env`` execution
+    environment (process workers bypass the per-process memo cache;
+    ``jobs=1`` keeps the historical in-process memoized path).  Result
+    order is always the canonical grid nesting.
     """
     if benchmarks is None:
         benchmarks = list(ALL_SPECS)
@@ -649,5 +656,5 @@ def run_benchmark_grid(benchmarks=None, agents=AGENTS,
                     kwargs=dict(benchmark=benchmark, agent=agent,
                                 variants=variants, scale=scale,
                                 seed=seed, costs=costs)))
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     return [result.value for result in results]

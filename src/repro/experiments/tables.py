@@ -32,10 +32,11 @@ TABLE1_PAPER = {
 
 
 def table1(results: list[ExperimentResult] | None = None,
-           scale: float = 1.0, jobs: int = 1) -> str:
+           scale: float = 1.0, jobs: int = 1,
+           env: str | None = None) -> str:
     """Regenerate Table 1: aggregated average slowdowns per agent."""
     if results is None:
-        results = run_benchmark_grid(scale=scale, jobs=jobs)
+        results = run_benchmark_grid(scale=scale, jobs=jobs, env=env)
     slowdowns = aggregate_slowdowns([r.to_slowdown() for r in results])
     geo = aggregate_slowdowns([r.to_slowdown() for r in results],
                               mean="geometric")
@@ -73,20 +74,22 @@ def _table2_row(name: str, scale: float, seed: int) -> list[str]:
     ]
 
 
-def table2(scale: float = 1.0, seed: int = 1, jobs: int = 1) -> str:
+def table2(scale: float = 1.0, seed: int = 1, jobs: int = 1,
+           env: str | None = None) -> str:
     """Regenerate Table 2: native run time, syscall and sync-op rates.
 
     The run-time column shows the paper's full-benchmark time next to our
     simulated slice length (we simulate a rate-faithful slice, not the
     whole run; see DESIGN.md).  ``jobs`` shards the per-benchmark native
-    runs across worker processes; row order stays the spec-table order.
+    runs across workers in the ``env`` execution environment; row order
+    stays the spec-table order.
     """
     from repro.par.engine import CellTask, raise_failures, run_cells
 
     tasks = [CellTask(sweep_id="table2", index=index, fn=_table2_row,
                       kwargs=dict(name=name, scale=scale, seed=seed))
              for index, name in enumerate(ALL_SPECS)]
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     rows = [result.value for result in results]
     return format_table(
         ["benchmark", "paper runtime (s)", "slice (ms)",
@@ -119,11 +122,12 @@ def table3(analysis: str = "andersen",
 
 
 def figure5_series(results: list[ExperimentResult] | None = None,
-                   scale: float = 1.0, jobs: int = 1) -> str:
+                   scale: float = 1.0, jobs: int = 1,
+                   env: str | None = None) -> str:
     """Regenerate Figure 5: per-benchmark overhead, 3 agents x 2-4
     variants (the three stacks per benchmark of the paper's figure)."""
     if results is None:
-        results = run_benchmark_grid(scale=scale, jobs=jobs)
+        results = run_benchmark_grid(scale=scale, jobs=jobs, env=env)
     indexed = {(r.benchmark, r.agent, r.variants): r for r in results}
     rows = []
     for name in ALL_SPECS:

@@ -4,25 +4,35 @@ The paper's thesis is that an MVEE can *exploit* parallel hardware
 instead of serializing it; this package applies the same discipline to
 the reproduction's own experiment sweeps.  Sweep cells (fault-matrix
 cells, race-sweep rows, Figure 5 grid cells, table rows, benchmark
-matrix entries) are sharded across a pool of worker processes with:
+matrix entries) run under a pluggable **execution environment**
+(:mod:`repro.par.environment`): serial inline, worker threads, or a
+persistent work-stealing pool of forked worker processes — with:
 
 * deterministic per-cell seed derivation
   (:func:`repro.par.seeds.derive_cell_seed`),
 * pickle-safe task/result envelopes (:class:`CellTask`,
   :class:`CellResult`),
-* worker crash isolation (a dead worker fails its cell, not the sweep),
-* aggregation ordered by task position, independent of completion order.
+* worker crash isolation and health-checked respawn (a dead worker
+  fails its cell, not the sweep; the pool returns to target size),
+* work-stealing scheduling over per-worker deques
+  (:class:`repro.par.stealing.StealScheduler`),
+* shared-memory transport for large results
+  (:mod:`repro.par.transport`),
+* aggregation ordered by task position, independent of completion
+  order, environment, and steal schedule.
 
-``jobs=1`` (the default everywhere) bypasses multiprocessing entirely
-and reproduces the historical serial behaviour; the differential suite
-under ``tests/par/`` pins ``jobs=N`` output bit-equal to ``jobs=1``.
+``jobs=1`` (the default everywhere) bypasses parallelism entirely and
+reproduces the historical serial behaviour; the differential suites
+under ``tests/par/`` pin every environment's output bit-equal to it.
 ``repro bench`` (:mod:`repro.par.bench`) measures the resulting
-speedup and writes ``BENCH_par.json``.  See ``docs/PERFORMANCE.md``.
+speedup and pool amortisation and writes ``BENCH_par.json``.  See
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 from repro.par.engine import (
+    CellExecutor,
     CellResult,
     CellTask,
     ParallelCellError,
@@ -30,14 +40,37 @@ from repro.par.engine import (
     raise_failures,
     run_cells,
 )
+from repro.par.environment import (
+    ENVIRONMENT_NAMES,
+    ExecutionEnvironment,
+    InlineEnvironment,
+    ProcessEnvironment,
+    ThreadEnvironment,
+    environment_for,
+    resolve_environment,
+)
+from repro.par.pool import WorkerPool, shared_pool, shutdown_shared_pools
 from repro.par.seeds import derive_cell_seed
+from repro.par.stealing import StealScheduler
 
 __all__ = [
     "CellTask",
     "CellResult",
+    "CellExecutor",
     "ParallelCellError",
     "run_cells",
     "raise_failures",
     "merge_cell_traces",
     "derive_cell_seed",
+    "ExecutionEnvironment",
+    "InlineEnvironment",
+    "ThreadEnvironment",
+    "ProcessEnvironment",
+    "ENVIRONMENT_NAMES",
+    "environment_for",
+    "resolve_environment",
+    "StealScheduler",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

@@ -27,9 +27,19 @@ Schema of ``BENCH_par.json`` (``format_version`` 2) — see
 ``serial``/``parallel``
     Per-phase ``wall_s``, ``ok``, ``failed`` (``parallel`` is ``null``
     for ``--jobs 1``); ``serial`` additionally carries ``cell_wall_s``,
-    the per-cell host wall-clock in cell order (v2).
+    the per-cell host wall-clock in cell order (v2).  For process
+    environments ``parallel`` also carries ``warm_wall_s`` — the same
+    matrix re-run on the already-forked pool (worker memo caches reset
+    first), isolating fork/import amortisation from cache effects.
+``environment``/``pool``/``scheduler``
+    The execution environment the parallel phase ran in
+    (``--env inline|thread|process|process-static``), the persistent
+    pool's lifecycle counters (spawned/respawns/tasks/batches), and the
+    work-stealing scheduler's steal counts.  Host diagnostics only —
+    never part of the digest.
 ``speedup``
-    serial wall / parallel wall (``null`` for ``--jobs 1``).
+    serial wall / parallel wall (``null`` for ``--jobs 1``);
+    ``speedup_warm`` is the same ratio against the warm-pool re-run.
 ``identical``
     Whether parallel structural output matched serial bit-for-bit.
 ``digest``
@@ -181,6 +191,7 @@ def profile_first_cell(matrix: dict) -> dict:
 
 def run_bench(jobs: int = 1, quick: bool = False,
               scale: float | None = None, seed: int = 1,
+              env: str | None = None,
               out_path: str | None = DEFAULT_OUT,
               trace_dir: str | None = None,
               trajectory: list | None = None) -> dict:
@@ -189,28 +200,75 @@ def run_bench(jobs: int = 1, quick: bool = False,
     The parallel phase runs *first*: its workers fork from a parent
     whose memo caches are cold, and the caches are reset again before
     the serial phase, so neither phase warms the other.
+
+    ``env`` selects the execution environment for the parallel phase
+    (default ``process``).  Process environments run the matrix twice
+    on a *private* pool: a cold pass on a freshly created pool (fork
+    cost included, like the first sweep of a session) and a warm pass
+    on the same already-forked workers — with the workers' memo caches
+    reset in between via the pool control plane, so ``warm_wall_s``
+    measures fork/import amortisation rather than cache hits.
     """
     from repro.experiments.runner import reset_caches
 
     matrix = build_matrix(quick=quick, scale=scale, seed=seed)
     parallel_block = None
     speedup = None
+    speedup_warm = None
     identical = None
     merged_trace = None
+    environment_name = None
+    pool_block = None
+    scheduler_block = None
     if jobs > 1:
+        from repro.par.environment import (
+            ProcessEnvironment,
+            environment_for,
+        )
+        from repro.par.pool import WorkerPool
+
+        environment_name = env or "process"
+        pool = None
+        if environment_name in ("process", "process-static"):
+            # Private pool: cold/warm measurement must not ride workers
+            # another sweep already forked.
+            pool = WorkerPool(jobs)
+            environment = ProcessEnvironment(
+                stealing=environment_name == "process", pool=pool)
+        else:
+            environment = environment_for(environment_name)
+        runner = environment.make_runner(jobs)
         tasks = bench_tasks(matrix, with_obs=trace_dir is not None)
         reset_caches()
-        start = time.perf_counter()
-        par_results = run_cells(tasks, jobs=jobs, trace_dir=trace_dir)
-        par_wall = time.perf_counter() - start
-        parallel_block = {
-            "wall_s": par_wall,
-            "ok": sum(1 for r in par_results if r.ok),
-            "failed": sum(1 for r in par_results if not r.ok),
-        }
-        if trace_dir is not None:
-            merged_trace = os.path.join(trace_dir, "merged.jsonl")
-            merge_cell_traces(par_results, merged_trace)
+        try:
+            start = time.perf_counter()
+            par_results = runner.run(tasks, trace_dir)
+            par_wall = time.perf_counter() - start
+            parallel_block = {
+                "wall_s": par_wall,
+                "ok": sum(1 for r in par_results if r.ok),
+                "failed": sum(1 for r in par_results if not r.ok),
+            }
+            if trace_dir is not None:
+                merged_trace = os.path.join(trace_dir, "merged.jsonl")
+                merge_cell_traces(par_results, merged_trace)
+            if pool is not None:
+                # Warm pass: same workers, cold caches.
+                pool.call_all(reset_caches)
+                start = time.perf_counter()
+                warm_results = runner.run(bench_tasks(matrix), None)
+                parallel_block["warm_wall_s"] = (time.perf_counter()
+                                                 - start)
+                if (canonical_cells(warm_results)
+                        != canonical_cells(par_results)):
+                    parallel_block["warm_identical"] = False
+            runner_stats = runner.stats()
+            scheduler_block = runner_stats.get("scheduler")
+            pool_block = runner_stats.get("pool")
+        finally:
+            runner.close()
+            if pool is not None:
+                pool.shutdown()
 
     tasks = bench_tasks(matrix)
     reset_caches()
@@ -222,7 +280,11 @@ def run_bench(jobs: int = 1, quick: bool = False,
     if parallel_block is not None:
         speedup = (serial_wall / parallel_block["wall_s"]
                    if parallel_block["wall_s"] > 0 else None)
-        identical = canonical_cells(par_results) == serial_cells
+        warm_wall = parallel_block.get("warm_wall_s")
+        if warm_wall:
+            speedup_warm = serial_wall / warm_wall
+        identical = (canonical_cells(par_results) == serial_cells
+                     and parallel_block.get("warm_identical", True))
 
     report = {
         "kind": "repro-bench",
@@ -235,6 +297,9 @@ def run_bench(jobs: int = 1, quick: bool = False,
         },
         "jobs": jobs,
         "quick": quick,
+        "environment": environment_name,
+        "pool": pool_block,
+        "scheduler": scheduler_block,
         "matrix": matrix,
         "serial": {
             "wall_s": serial_wall,
@@ -245,6 +310,7 @@ def run_bench(jobs: int = 1, quick: bool = False,
         },
         "parallel": parallel_block,
         "speedup": speedup,
+        "speedup_warm": speedup_warm,
         "identical": identical,
         "digest": digest_of(serial_cells),
         "profile": profile_first_cell(matrix),
@@ -276,10 +342,32 @@ def render_bench(report: dict) -> str:
         f"{report['serial']['failed']} failed",
     ]
     if report["parallel"] is not None:
+        environment = report.get("environment") or "process"
         lines.append(
             f"parallel : {report['parallel']['wall_s']:.2f}s wall "
-            f"({report['jobs']} jobs), {report['parallel']['ok']} ok, "
+            f"({report['jobs']} jobs, {environment} env), "
+            f"{report['parallel']['ok']} ok, "
             f"{report['parallel']['failed']} failed")
+        warm = report["parallel"].get("warm_wall_s")
+        if warm is not None:
+            delta = report["parallel"]["wall_s"] - warm
+            lines.append(
+                f"warm pool: {warm:.2f}s wall on the already-forked "
+                f"pool ({delta:+.2f}s vs cold"
+                + (f", {report['speedup_warm']:.2f}x vs serial)"
+                   if report.get("speedup_warm") else ")"))
+        pool = report.get("pool")
+        if pool:
+            lines.append(
+                f"pool     : {pool['size']} worker(s), "
+                f"{pool['spawned']} spawned, {pool['respawns']} "
+                f"respawn(s), {pool['tasks']} cell(s) over "
+                f"{pool['batches']} batch(es)")
+        scheduler = report.get("scheduler")
+        if scheduler and scheduler.get("stealing"):
+            lines.append(
+                f"stealing : {scheduler['steals']} steal(s) moved "
+                f"{scheduler['cells_stolen']} cell(s)")
         lines.append(
             f"speedup  : {report['speedup']:.2f}x vs serial; "
             "structural output "

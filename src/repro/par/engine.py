@@ -1,22 +1,25 @@
-"""The parallel experiment engine: shard sweep cells across processes.
+"""The parallel experiment engine: run sweep cells in any environment.
 
 Every sweep in the repo — the fault matrix, the race sweep, the Figure 5
 grid, table rows, the benchmark matrix — is a list of *cells*: pure
 functions of their parameters (including an explicit seed) that return a
-picklable result.  The engine runs such a list either inline
-(``jobs=1``, the historical behaviour) or sharded across a pool of
-worker processes (``jobs>1``), with three guarantees:
+picklable result.  :func:`run_cells` executes such a list under a
+pluggable :mod:`execution environment <repro.par.environment>` —
+serial inline, worker threads, or a persistent work-stealing pool of
+forked processes — with three guarantees that hold in *every*
+environment:
 
 * **determinism** — cell results are a function of the task list alone.
   Aggregated output is ordered by task position, never by completion
   order, and per-cell seeds come from
-  :func:`repro.par.seeds.derive_cell_seed`, so worker count and
-  scheduling cannot leak into results.
-* **crash isolation** — each cell runs in its own forked process; a
-  worker that dies (``os._exit``, segfault, OOM kill) fails *its* cell
-  with a diagnostic :class:`CellResult` and leaves every sibling cell
-  untouched.  The inline path mirrors this by catching per-cell
-  exceptions, so ``jobs=1`` and ``jobs=N`` agree on failure shape too.
+  :func:`repro.par.seeds.derive_cell_seed`, so worker count, scheduling
+  and environment choice cannot leak into results.
+* **crash isolation** (process environments) — a worker that dies
+  (``os._exit``, segfault, OOM kill) fails *its* cell with a diagnostic
+  :class:`CellResult` and leaves every sibling cell untouched; the pool
+  respawns the worker back to target size.  The inline path mirrors
+  this by catching per-cell exceptions, so every environment agrees on
+  failure shape.
 * **pickle-safe envelopes** — tasks carry a module-level callable plus
   plain-data kwargs; results carry plain data (value or error string).
   Anything unpicklable is converted to a failed cell, not a hung pool.
@@ -27,19 +30,39 @@ worker writes the hub's trace as JSONL next to its siblings; the parent
 merges the per-worker files into one stream with
 :func:`merge_cell_traces` (ordered by cell index, like every other
 aggregate).
+
+:class:`CellExecutor` is the ticket-based face of the same machinery
+for daemons (``repro serve``): cells arrive one at a time from many
+client connections and share one persistent pool.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from multiprocessing import connection
 
-from repro.par.seeds import derive_cell_seed
+# Re-exported envelope API (the historical public surface of this
+# module; sweeps and tests import these names from here).
+from repro.par.cells import (
+    CellResult,
+    CellTask,
+    ParallelCellError,
+    execute_cell,
+    merge_cell_traces,
+    raise_failures,
+    trace_path_for,
+)
+from repro.par.environment import (
+    ExecutionEnvironment,
+    resolve_environment,
+)
+from repro.par.pool import WorkerPool
+from repro.par import transport
 
 __all__ = [
     "CellTask",
@@ -51,130 +74,9 @@ __all__ = [
     "merge_cell_traces",
 ]
 
-
-@dataclass
-class CellTask:
-    """One sweep cell: a picklable (function, kwargs) envelope.
-
-    ``fn`` must be an importable module-level callable (pickled by
-    reference); ``kwargs`` must contain only picklable values.  ``seed``
-    records the cell's derived seed for provenance — the sweep builder
-    is responsible for threading it into ``kwargs`` when the cell
-    function takes one.
-    """
-
-    sweep_id: str
-    index: int
-    fn: object
-    kwargs: dict = field(default_factory=dict)
-    seed: int | None = None
-    #: Inject a fresh ObsHub as ``kwargs["obs"]`` and capture its trace.
-    with_obs: bool = False
-
-    @classmethod
-    def for_sweep(cls, sweep_id: str, index: int, fn, kwargs: dict,
-                  base_seed: int = 0, seed_key: str | None = None,
-                  with_obs: bool = False) -> "CellTask":
-        """Build a task with its derived seed, optionally threading the
-        seed into ``kwargs[seed_key]``."""
-        seed = derive_cell_seed(sweep_id, index, base_seed)
-        kwargs = dict(kwargs)
-        if seed_key is not None:
-            kwargs[seed_key] = seed
-        return cls(sweep_id=sweep_id, index=index, fn=fn, kwargs=kwargs,
-                   seed=seed, with_obs=with_obs)
-
-
-@dataclass
-class CellResult:
-    """Outcome envelope for one cell, in task-list order."""
-
-    index: int
-    ok: bool
-    value: object = None
-    error: str | None = None
-    #: Host wall-clock spent inside the cell function (diagnostics only;
-    #: never part of structural output).
-    duration_s: float = 0.0
-    #: Pid of the worker that ran the cell (parent pid when inline).
-    worker_pid: int = 0
-    #: JSONL trace written by the cell's ObsHub, when ``with_obs``.
-    trace_path: str | None = None
-
-
-class ParallelCellError(RuntimeError):
-    """One or more cells of a sweep failed."""
-
-    def __init__(self, failures: list[CellResult]):
-        self.failures = failures
-        lines = [f"{len(failures)} sweep cell(s) failed:"]
-        lines += [f"  cell {r.index}: {r.error}" for r in failures]
-        super().__init__("\n".join(lines))
-
-
-def raise_failures(results: list[CellResult]) -> list[CellResult]:
-    """Raise :class:`ParallelCellError` if any cell failed; else pass
-    results through (a convenience for sweeps that want fail-fast
-    semantics on aggregation)."""
-    failures = [r for r in results if not r.ok]
-    if failures:
-        raise ParallelCellError(failures)
-    return results
-
-
-def _trace_path_for(trace_dir: str, task: CellTask) -> str:
-    return os.path.join(trace_dir, f"cell-{task.index:04d}.jsonl")
-
-
-def _execute_cell(task: CellTask, trace_dir: str | None) -> CellResult:
-    """Run one cell in the current process (worker or inline)."""
-    kwargs = dict(task.kwargs)
-    hub = None
-    trace_path = None
-    if task.with_obs:
-        from repro.obs import ObsHub
-
-        hub = ObsHub()
-        kwargs["obs"] = hub
-    start = time.perf_counter()
-    try:
-        value = task.fn(**kwargs)
-    except Exception as exc:
-        return CellResult(index=task.index, ok=False,
-                          error=f"{type(exc).__name__}: {exc}",
-                          duration_s=time.perf_counter() - start,
-                          worker_pid=os.getpid())
-    duration = time.perf_counter() - start
-    if hub is not None and trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
-        trace_path = _trace_path_for(trace_dir, task)
-        hub.tracer.write_jsonl(trace_path)
-    return CellResult(index=task.index, ok=True, value=value,
-                      duration_s=duration, worker_pid=os.getpid(),
-                      trace_path=trace_path)
-
-
-def _worker_main(conn, task: CellTask, trace_dir: str | None) -> None:
-    """Worker-process entry: run the cell, ship the result envelope."""
-    try:
-        result = _execute_cell(task, trace_dir)
-    except BaseException as exc:  # never let a worker die silently
-        result = CellResult(index=task.index, ok=False,
-                            error=f"{type(exc).__name__}: {exc}",
-                            worker_pid=os.getpid())
-    try:
-        conn.send(result)
-    except Exception as exc:
-        # The cell value would not pickle: fail the cell, keep the pool.
-        try:
-            conn.send(CellResult(
-                index=task.index, ok=False,
-                error=f"result not picklable: {exc}",
-                worker_pid=os.getpid()))
-        except Exception:
-            pass
-    finally:
-        conn.close()
+# Backwards-compatible private aliases (pre-environment engine layout).
+_execute_cell = execute_cell
+_trace_path_for = trace_path_for
 
 
 def _mp_context():
@@ -185,72 +87,27 @@ def _mp_context():
         "fork" if "fork" in methods else None)
 
 
-def run_cells(tasks, jobs: int = 1,
-              trace_dir: str | None = None) -> list[CellResult]:
+def run_cells(tasks, jobs: int = 1, trace_dir: str | None = None,
+              env: str | ExecutionEnvironment | None = None,
+              stall_timeout_s: float | None = None) -> list[CellResult]:
     """Run every task and return results **in task-list order**.
 
-    ``jobs<=1`` runs inline in the calling process (no multiprocessing
-    at all — today's serial behaviour, plus per-cell error capture).
-    ``jobs>1`` runs each cell in its own forked worker, at most ``jobs``
-    alive at once.  A worker that exits without reporting fails only its
-    own cell.
+    ``env`` selects the execution environment by name (``inline``,
+    ``thread``, ``process``, ``process-static``) or instance; ``None``
+    keeps the historical behaviour — inline for ``jobs<=1``, the
+    persistent process pool otherwise.  Single-cell batches always run
+    inline (there is nothing to parallelise).  ``stall_timeout_s`` arms
+    the process environments' wedged-worker harvester.
     """
     tasks = list(tasks)
     if jobs <= 1 or len(tasks) <= 1:
-        return [_execute_cell(task, trace_dir) for task in tasks]
-
-    ctx = _mp_context()
-    slots: dict[int, CellResult] = {}
-    pending = deque(enumerate(tasks))
-    running: list[tuple[int, CellTask, object, object]] = []
-
-    def _finish(position: int, task: CellTask, proc, conn) -> None:
-        result = None
-        if conn.poll():
-            try:
-                result = conn.recv()
-            except EOFError:
-                result = None
-        conn.close()
-        proc.join()
-        if result is None:
-            result = CellResult(
-                index=task.index, ok=False,
-                error=(f"worker died before reporting "
-                       f"(exit code {proc.exitcode})"),
-                worker_pid=proc.pid or 0)
-        slots[position] = result
-
+        return [execute_cell(task, trace_dir) for task in tasks]
+    environment = resolve_environment(env, jobs)
+    runner = environment.make_runner(jobs, stall_timeout_s=stall_timeout_s)
     try:
-        while pending or running:
-            while pending and len(running) < jobs:
-                position, task = pending.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                proc = ctx.Process(target=_worker_main,
-                                   args=(child_conn, task, trace_dir),
-                                   daemon=True)
-                proc.start()
-                child_conn.close()
-                running.append((position, task, proc, parent_conn))
-            # Wait on both pipes and process sentinels: a pipe firing
-            # first avoids deadlocking on results larger than the pipe
-            # buffer; a sentinel firing first catches crashed workers.
-            waitables = [entry[3] for entry in running]
-            waitables += [entry[2].sentinel for entry in running]
-            ready = connection.wait(waitables)
-            still_running = []
-            for position, task, proc, conn in running:
-                if conn in ready or proc.sentinel in ready:
-                    _finish(position, task, proc, conn)
-                else:
-                    still_running.append((position, task, proc, conn))
-            running = still_running
+        return runner.run(tasks, trace_dir)
     finally:
-        for _, _, proc, conn in running:
-            proc.terminate()
-            proc.join()
-            conn.close()
-    return [slots[position] for position in range(len(tasks))]
+        runner.close()
 
 
 class CellExecutor:
@@ -261,35 +118,61 @@ class CellExecutor:
     many client connections.  The executor keeps the engine's guarantees
     (crash isolation, pickle-safe envelopes, explicit per-cell seeds —
     determinism never depends on completion order) while letting N
-    independent submitters share at most ``jobs`` forked workers.
+    independent submitters share at most ``jobs`` *persistent* workers:
+    the pool forks once and serves every subsequent session warm, and a
+    worker that dies is respawned without disturbing its siblings.
 
-    ``jobs == 0`` runs every cell inline in the submitting thread — no
-    fork at all, used by tests and fork-less platforms; results are
-    identical because cells are pure functions of their task.
+    ``jobs == 0`` (or ``env="inline"``) runs every cell inline in the
+    submitting thread — no fork at all, used by tests and fork-less
+    platforms; results are identical because cells are pure functions of
+    their task.  ``env="thread"`` uses worker threads instead of forked
+    processes (shared caches, no crash isolation).
 
     Single-consumer per ticket: :meth:`wait` (or a :meth:`poll` that
     finds the cell done) hands the result over exactly once.
     """
 
-    def __init__(self, jobs: int = 2, trace_dir: str | None = None):
+    def __init__(self, jobs: int = 2, trace_dir: str | None = None,
+                 env: str | None = None,
+                 stall_timeout_s: float | None = None):
         self.jobs = max(0, jobs)
         self.trace_dir = trace_dir
+        self.stall_timeout_s = stall_timeout_s
+        if self.jobs == 0:
+            self.env = "inline"
+        elif env is None:
+            self.env = "process"
+        else:
+            self.env = getattr(env, "name", env)
         self._lock = threading.Lock()
         self._pending: deque = deque()
-        self._running: list = []
         self._done: dict[int, CellResult] = {}
         self._events: dict[int, threading.Event] = {}
         self._next_ticket = 0
         self._closed = False
         self.submitted = 0
         self.completed = 0
-        if self.jobs > 0:
-            self._ctx = _mp_context()
+        self._pool: WorkerPool | None = None
+        if self.env in ("process", "process-static"):
+            # Private pool: the executor's lifecycle (daemon start/stop)
+            # owns these workers, independent of any shared sweep pool.
+            self._pool = WorkerPool(self.jobs)
             self._wake_r, self._wake_w = os.pipe()
             self._thread = threading.Thread(
                 target=self._dispatch_loop, name="cell-executor",
                 daemon=True)
             self._thread.start()
+        elif self.env == "thread":
+            self._queue: queue.Queue = queue.Queue()
+            self._threads = [
+                threading.Thread(target=self._thread_worker,
+                                 name=f"cell-executor-{i}", daemon=True)
+                for i in range(self.jobs)]
+            for thread in self._threads:
+                thread.start()
+        elif self.env != "inline":
+            raise ValueError(
+                f"unknown executor environment {self.env!r}")
 
     # -- submit side -------------------------------------------------------
 
@@ -302,15 +185,18 @@ class CellExecutor:
             self._next_ticket += 1
             self._events[ticket] = threading.Event()
             self.submitted += 1
-            if self.jobs == 0:
+            if self.env == "inline":
                 # Inline mode: run right here, same envelope semantics.
-                result = _execute_cell(task, self.trace_dir)
+                result = execute_cell(task, self.trace_dir)
                 self._done[ticket] = result
                 self.completed += 1
                 self._events[ticket].set()
                 return ticket
             self._pending.append((ticket, task))
-        self._wake()
+        if self.env == "thread":
+            self._queue.put(ticket)
+        else:
+            self._wake()
         return ticket
 
     def poll(self, ticket: int) -> CellResult | None:
@@ -335,6 +221,12 @@ class CellExecutor:
         with self._lock:
             return self.submitted - self.completed
 
+    def pool_stats(self) -> dict | None:
+        """Persistent-pool diagnostics (``None`` outside process envs)."""
+        if self._pool is None:
+            return None
+        return self._pool.stats()
+
     def shutdown(self) -> None:
         """Stop the pool: running workers are terminated, queued cells
         fail with a diagnostic result (nothing hangs)."""
@@ -342,19 +234,27 @@ class CellExecutor:
             if self._closed:
                 return
             self._closed = True
-        if self.jobs > 0:
+        if self.env in ("process", "process-static"):
             self._wake()
             self._thread.join(timeout=30.0)
             os.close(self._wake_r)
             os.close(self._wake_w)
+        elif self.env == "thread":
+            for _ in self._threads:
+                self._queue.put(None)
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+            self._fail_pending("executor shut down")
 
-    # -- dispatcher --------------------------------------------------------
+    def _fail_pending(self, message: str) -> None:
+        with self._lock:
+            pending = list(self._pending)
+            self._pending.clear()
+        for ticket, task in pending:
+            self._deliver(ticket, CellResult(
+                index=task.index, ok=False, error=message))
 
-    def _wake(self) -> None:
-        try:
-            os.write(self._wake_w, b"x")
-        except OSError:  # pragma: no cover - closed during shutdown
-            pass
+    # -- delivery ----------------------------------------------------------
 
     def _deliver(self, ticket: int, result: CellResult) -> None:
         with self._lock:
@@ -364,95 +264,127 @@ class CellExecutor:
         if event is not None:
             event.set()
 
-    def _start_one(self, ticket: int, task: CellTask) -> None:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        proc = self._ctx.Process(target=_worker_main,
-                                 args=(child_conn, task, self.trace_dir),
-                                 daemon=True)
-        proc.start()
-        child_conn.close()
-        self._running.append((ticket, task, proc, parent_conn))
+    # -- thread environment ------------------------------------------------
 
-    def _finish_one(self, ticket: int, task: CellTask, proc, conn) -> None:
-        result = None
-        if conn.poll():
-            try:
-                result = conn.recv()
-            except EOFError:
-                result = None
-        conn.close()
-        proc.join()
-        if result is None:
-            result = CellResult(
-                index=task.index, ok=False,
-                error=(f"worker died before reporting "
-                       f"(exit code {proc.exitcode})"),
-                worker_pid=proc.pid or 0)
-        self._deliver(ticket, result)
+    def _thread_worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            with self._lock:
+                entry = None
+                for position, (ticket, task) in enumerate(self._pending):
+                    if ticket == item:
+                        entry = (ticket, task)
+                        del self._pending[position]
+                        break
+                closed = self._closed
+            if entry is None:
+                continue
+            ticket, task = entry
+            if closed:
+                self._deliver(ticket, CellResult(
+                    index=task.index, ok=False,
+                    error="executor shut down"))
+                continue
+            self._deliver(ticket, execute_cell(task, self.trace_dir))
+
+    # -- process environment dispatcher ------------------------------------
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:  # pragma: no cover - closed during shutdown
+            pass
 
     def _dispatch_loop(self) -> None:
+        pool = self._pool
+        idle = set(range(pool.size))
+        # slot -> (ticket, task, the PoolWorker it went to)
+        in_flight: dict[int, tuple[int, CellTask, object]] = {}
         while True:
             with self._lock:
                 closed = self._closed
-                while (not closed and self._pending
-                       and len(self._running) < self.jobs):
-                    ticket, task = self._pending.popleft()
-                    self._start_one(ticket, task)
+                starts = []
+                while not closed and self._pending and idle:
+                    slot = idle.pop()
+                    starts.append((slot, *self._pending.popleft()))
+            for slot, ticket, task in starts:
+                try:
+                    worker = pool.dispatch(slot, task, self.trace_dir,
+                                           tag=ticket)
+                except (BrokenPipeError, OSError):
+                    pool.respawn(slot)
+                    worker = pool.dispatch(slot, task, self.trace_dir,
+                                           tag=ticket)
+                in_flight[slot] = (ticket, task, worker)
             if closed:
                 break
             waitables = [self._wake_r]
-            waitables += [entry[3] for entry in self._running]
-            waitables += [entry[2].sentinel for entry in self._running]
-            ready = connection.wait(waitables)
+            for _, _, worker in in_flight.values():
+                waitables.append(worker.conn)
+                waitables.append(worker.proc.sentinel)
+            ready = connection.wait(
+                waitables, timeout=self._stall_budget(in_flight))
+            ready = set(ready or ())
             if self._wake_r in ready:
                 os.read(self._wake_r, 4096)
-            still = []
-            for ticket, task, proc, conn in self._running:
-                if conn in ready or proc.sentinel in ready:
-                    self._finish_one(ticket, task, proc, conn)
+            now = time.monotonic()
+            for slot in list(in_flight):
+                ticket, task, worker = in_flight[slot]
+                if worker.conn in ready or worker.proc.sentinel in ready:
+                    result = self._harvest(task, worker, slot)
+                elif (self.stall_timeout_s is not None
+                      and now - worker.dispatched_at
+                      > self.stall_timeout_s):
+                    pool.kill(slot, reason="stalled")
+                    pool.respawn(slot)
+                    result = CellResult(
+                        index=task.index, ok=False,
+                        error=(f"worker stalled: no result within "
+                               f"{self.stall_timeout_s:g}s; killed and "
+                               f"respawned"),
+                        worker_pid=worker.pid)
                 else:
-                    still.append((ticket, task, proc, conn))
-            self._running = still
+                    continue
+                del in_flight[slot]
+                idle.add(slot)
+                self._deliver(ticket, result)
         # Shutdown: kill the survivors, fail the queue — never hang.
-        for ticket, task, proc, conn in self._running:
-            proc.terminate()
-            proc.join()
-            conn.close()
+        for slot, (ticket, task, worker) in in_flight.items():
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
             self._deliver(ticket, CellResult(
                 index=task.index, ok=False,
-                error="executor shut down", worker_pid=proc.pid or 0))
-        self._running = []
-        with self._lock:
-            pending = list(self._pending)
-            self._pending.clear()
-        for ticket, task in pending:
-            self._deliver(ticket, CellResult(
-                index=task.index, ok=False, error="executor shut down"))
+                error="executor shut down", worker_pid=worker.pid))
+        pool.shutdown()
+        self._fail_pending("executor shut down")
 
+    def _harvest(self, task: CellTask, worker, slot: int) -> CellResult:
+        pool = self._pool
+        result = None
+        if worker.conn.poll():
+            try:
+                result = transport.recv_result(worker.conn.recv())
+            except (EOFError, OSError):
+                result = None
+        if result is not None:
+            pool.mark_idle(worker)
+            return result
+        worker.proc.join(timeout=5.0)
+        result = CellResult(
+            index=task.index, ok=False,
+            error=(f"worker died before reporting "
+                   f"(exit code {worker.proc.exitcode})"),
+            worker_pid=worker.pid)
+        pool.respawn(slot)
+        return result
 
-def merge_cell_traces(results: list[CellResult], out_path: str) -> int:
-    """Merge per-worker JSONL traces into one stream, in cell order.
-
-    Returns the number of events written.  Cells without a trace (failed
-    cells, ``with_obs=False`` tasks) are skipped.  Each merged line
-    gains a ``"cell"`` key naming the cell it came from, so a single
-    file remains attributable after the per-worker files are deleted.
-    """
-    import json
-
-    written = 0
-    with open(out_path, "w") as out:
-        for result in results:
-            if not result.trace_path:
-                continue
-            with open(result.trace_path) as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    event = json.loads(line)
-                    event["cell"] = result.index
-                    out.write(json.dumps(event, sort_keys=True))
-                    out.write("\n")
-                    written += 1
-    return written
+    def _stall_budget(self, in_flight: dict) -> float | None:
+        if self.stall_timeout_s is None or not in_flight:
+            return None
+        now = time.monotonic()
+        deadline = min(worker.dispatched_at + self.stall_timeout_s
+                       for _, _, worker in in_flight.values())
+        return max(deadline - now, 0.05)

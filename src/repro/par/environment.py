@@ -1,0 +1,156 @@
+"""Execution environments: pluggable strategies for running sweeps.
+
+Following the environment/runner/buffer split (one object decides *how*
+cells execute, builds the matching runner and result-buffer types, and
+is selected by name), every driver in the repo — ``run_cells``, the
+serve daemon's :class:`~repro.par.engine.CellExecutor`, the fault
+matrix, the race and deadlock sweeps, ``table2``, the Figure 5 grid,
+``repro bench`` and ``repro profile`` — picks its environment with a
+single ``--env`` flag:
+
+========================  ==============================================
+``inline``                calling thread, serial; the determinism oracle
+``thread``                worker threads + work stealing; shares caches,
+                          no crash isolation
+``process``               persistent forked worker pool + work stealing;
+                          crash isolation, shared-memory results
+                          (the default for ``jobs>1``)
+``process-static``        the same pool with stealing disabled — the
+                          static ``i % jobs`` partition, kept as a
+                          comparison point and differential witness
+========================  ==============================================
+
+The cycle-identity contract: **every environment produces the same
+canonical digest as serial execution.**  Environments choose where and
+when a cell runs; the cell's output is a pure function of its task
+(seeds derive from the cell index, aggregation is slotted by task
+position), so the choice can never leak into results.
+``tests/par/test_env_equivalence.py`` pins this for every sweep family
+in the repo.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.par.pool import WorkerPool, shared_pool
+from repro.par.runners.base import Runner
+from repro.par.runners.inline import InlineRunner
+from repro.par.runners.process import ProcessRunner
+from repro.par.runners.thread import ThreadRunner
+from repro.par.transport import ListBuffer, LockedBuffer
+
+__all__ = [
+    "ExecutionEnvironment",
+    "InlineEnvironment",
+    "ThreadEnvironment",
+    "ProcessEnvironment",
+    "ENVIRONMENT_NAMES",
+    "environment_for",
+    "resolve_environment",
+]
+
+
+class ExecutionEnvironment(ABC):
+    """How a batch of cells executes: runner + matching buffer types."""
+
+    #: Registry name (what ``--env`` selects).
+    name: str = "?"
+
+    @abstractmethod
+    def make_runner(self, jobs: int,
+                    stall_timeout_s: float | None = None) -> Runner:
+        """Build a runner for ``jobs``-wide execution."""
+
+    def make_buffer(self, size: int) -> ListBuffer:
+        """Result buffer matching this environment's delivery pattern."""
+        return ListBuffer(size)
+
+
+class InlineEnvironment(ExecutionEnvironment):
+    """Serial execution in the calling thread (the oracle)."""
+
+    name = "inline"
+
+    def make_runner(self, jobs: int = 1,
+                    stall_timeout_s: float | None = None) -> Runner:
+        return InlineRunner(self)
+
+
+class ThreadEnvironment(ExecutionEnvironment):
+    """Worker threads sharing the parent interpreter."""
+
+    name = "thread"
+
+    def make_runner(self, jobs: int,
+                    stall_timeout_s: float | None = None) -> Runner:
+        return ThreadRunner(self, max(1, jobs))
+
+    def make_buffer(self, size: int) -> ListBuffer:
+        # Worker threads deliver concurrently: lock the slots.
+        return LockedBuffer(size)
+
+
+class ProcessEnvironment(ExecutionEnvironment):
+    """Persistent forked worker pool (work stealing on by default).
+
+    By default runners borrow the process-wide :func:`shared_pool` for
+    their worker count — that is what makes consecutive sweeps reuse
+    warm workers.  Pass ``pool=`` for a private pool (the benchmark
+    does, to measure cold vs warm honestly), or ``stealing=False`` for
+    the static-partition variant registered as ``process-static``.
+    """
+
+    name = "process"
+
+    def __init__(self, stealing: bool = True,
+                 pool: WorkerPool | None = None):
+        self.stealing = stealing
+        self._pool = pool
+        if not stealing:
+            self.name = "process-static"
+
+    def make_runner(self, jobs: int,
+                    stall_timeout_s: float | None = None) -> Runner:
+        pool = self._pool if self._pool is not None \
+            else shared_pool(max(1, jobs))
+        runner = ProcessRunner(self, pool, stealing=self.stealing,
+                               stall_timeout_s=stall_timeout_s,
+                               owns_pool=False)
+        runner.env_name = self.name
+        return runner
+
+
+_REGISTRY = {
+    "inline": InlineEnvironment,
+    "thread": ThreadEnvironment,
+    "process": lambda: ProcessEnvironment(stealing=True),
+    "process-static": lambda: ProcessEnvironment(stealing=False),
+}
+
+#: Valid ``--env`` values, in documentation order.
+ENVIRONMENT_NAMES = tuple(_REGISTRY)
+
+
+def environment_for(name: str) -> ExecutionEnvironment:
+    """The environment registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution environment {name!r}; choose from "
+            f"{', '.join(ENVIRONMENT_NAMES)}") from None
+    return factory()
+
+
+def resolve_environment(env, jobs: int) -> ExecutionEnvironment:
+    """Normalise an ``env`` argument (name, instance, or ``None``).
+
+    ``None`` keeps the historical behaviour: serial for ``jobs<=1``,
+    the process pool otherwise.
+    """
+    if env is None:
+        return environment_for("inline" if jobs <= 1 else "process")
+    if isinstance(env, ExecutionEnvironment):
+        return env
+    return environment_for(env)

@@ -1,0 +1,33 @@
+"""Inline runner: the calling thread, one cell at a time."""
+
+from __future__ import annotations
+
+from repro.par.cells import CellResult, CellTask, execute_cell
+from repro.par.runners.base import Runner
+
+
+class InlineRunner(Runner):
+    """The serial oracle: no pool, no threads, no scheduler.
+
+    Every other environment is tested for digest-equality against this
+    one; it is also what ``jobs<=1`` resolves to everywhere, preserving
+    the historical serial behaviour (including memo-cache hits, which
+    live in the calling process).
+    """
+
+    env_name = "inline"
+
+    def __init__(self, environment):
+        self._environment = environment
+        self._cells_run = 0
+
+    def run(self, tasks: list[CellTask],
+            trace_dir: str | None = None) -> list[CellResult]:
+        buffer = self._environment.make_buffer(len(tasks))
+        for position, task in enumerate(tasks):
+            buffer.put(position, execute_cell(task, trace_dir))
+            self._cells_run += 1
+        return buffer.collect()
+
+    def stats(self) -> dict:
+        return {"environment": self.env_name, "cells": self._cells_run}

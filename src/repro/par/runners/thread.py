@@ -1,0 +1,80 @@
+"""Thread runner: worker threads over a shared work-stealing scheduler.
+
+Threads share the parent's interpreter, so this environment is the
+cheap one: no fork, no pickling, and the parent's memo caches
+(:func:`repro.experiments.runner.run_one`'s table) are visible to every
+worker.  The cost is no crash isolation — a cell that takes down the
+interpreter takes down the sweep — which is why the process environment
+stays the default for ``jobs>1``.
+
+Determinism is untouched by threading: the scheduler decides *which
+thread* runs a cell, never *what the cell computes* (seeds derive from
+the cell index), and results land in a :class:`LockedBuffer` slotted by
+task position.  The GIL serialises the pure-Python simulation work, so
+on CPython this environment is about observing scheduler behaviour and
+cache sharing, not wall-clock speedups.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.par.cells import CellResult, CellTask, execute_cell
+from repro.par.runners.base import Runner
+from repro.par.stealing import StealScheduler
+
+
+class ThreadRunner(Runner):
+    """``jobs`` worker threads pulling cells from per-worker deques."""
+
+    env_name = "thread"
+
+    def __init__(self, environment, jobs: int, stealing: bool = True):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._environment = environment
+        self.jobs = jobs
+        self.stealing = stealing
+        self._last_scheduler: StealScheduler | None = None
+
+    def run(self, tasks: list[CellTask],
+            trace_dir: str | None = None) -> list[CellResult]:
+        tasks = list(tasks)
+        buffer = self._environment.make_buffer(len(tasks))
+        scheduler = StealScheduler(len(tasks), self.jobs,
+                                   stealing=self.stealing)
+        self._last_scheduler = scheduler
+        # The scheduler is single-consumer by design; worker threads
+        # serialise their next_for/steal calls through this lock while
+        # cell execution itself runs unlocked.
+        sched_lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def worker(worker_index: int) -> None:
+            try:
+                while True:
+                    with sched_lock:
+                        position = scheduler.next_for(worker_index)
+                    if position is None:
+                        return
+                    task = tasks[position]
+                    buffer.put(position, execute_cell(task, trace_dir))
+            except BaseException as exc:  # infrastructure bug, surface it
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"repro-cell-{i}", daemon=True)
+                   for i in range(min(self.jobs, len(tasks)) or 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return buffer.collect()
+
+    def stats(self) -> dict:
+        stats = {"environment": self.env_name, "jobs": self.jobs}
+        if self._last_scheduler is not None:
+            stats["scheduler"] = self._last_scheduler.stats()
+        return stats

@@ -218,9 +218,14 @@ def render_findings(findings: list[Finding]) -> str:
 
 
 def trajectory_entry(report: dict) -> dict:
-    """Compact history record for one reference report."""
+    """Compact history record for one reference report.
+
+    Environment-era fields (``environment``, ``warm_wall_s``) are
+    included only when the report carries them, so entries from pre-v2
+    references keep their historical shape.
+    """
     serial = report.get("serial", {})
-    return {
+    entry = {
         "generated_unix": report.get("generated_unix"),
         "format_version": report.get("format_version"),
         "digest": report.get("digest"),
@@ -230,3 +235,9 @@ def trajectory_entry(report: dict) -> dict:
                           if serial.get("wall_s") is not None else None),
         "identical": report.get("identical"),
     }
+    if report.get("environment") is not None:
+        entry["environment"] = report["environment"]
+    parallel = report.get("parallel") or {}
+    if parallel.get("warm_wall_s") is not None:
+        entry["warm_wall_s"] = round(parallel["warm_wall_s"], 3)
+    return entry

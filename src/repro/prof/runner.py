@@ -70,12 +70,14 @@ def profile_cell(benchmark: str, agent: str, variants: int,
 
 def run_profiles(benchmark: str, agents, variants: int = 2,
                  scale: float = 0.25, seed: int = 1, jobs: int = 1,
+                 env: str | None = None,
                  lag_sample_every: int = 1) -> list[dict]:
     """Profile ``benchmark`` under each agent; results in agent order.
 
     Each cell gets the user's seed unchanged (cells differ by agent, so
     derivation is unnecessary and identical seeds keep runs comparable);
-    ``jobs`` shards cells across workers without changing the output.
+    ``jobs`` shards cells across workers in the ``env`` execution
+    environment without changing the output.
     """
     tasks = [CellTask(sweep_id="profile", index=index, fn=profile_cell,
                       kwargs=dict(benchmark=benchmark, agent=agent,
@@ -83,5 +85,5 @@ def run_profiles(benchmark: str, agents, variants: int = 2,
                                   seed=seed,
                                   lag_sample_every=lag_sample_every))
              for index, agent in enumerate(agents)]
-    results = raise_failures(run_cells(tasks, jobs=jobs))
+    results = raise_failures(run_cells(tasks, jobs=jobs, env=env))
     return [result.value for result in results]

@@ -67,6 +67,7 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
 
 def run_serve_bench(sessions: int = 256, concurrency: int = 72,
                     max_sessions: int = 64, jobs: int = 0,
+                    env: str | None = None,
                     workload: str = serve_load.DEFAULT_WORKLOAD,
                     agent: str = serve_load.DEFAULT_AGENT,
                     variants: int = serve_load.DEFAULT_VARIANTS,
@@ -91,7 +92,7 @@ def run_serve_bench(sessions: int = 256, concurrency: int = 72,
                                   agent=agent, variants=variants,
                                   base_seed=base_seed)
     daemon = ServeDaemon(ServeConfig(port=0, max_sessions=max_sessions,
-                                     jobs=jobs))
+                                     jobs=jobs, env=env))
     host, port = daemon.start()
     outcomes: list[dict] = []
     latencies: list[float] = []
@@ -202,6 +203,7 @@ def run_serve_bench(sessions: int = 256, concurrency: int = 72,
             "concurrency": concurrency,
             "max_sessions": max_sessions,
             "jobs": jobs,
+            "env": daemon.executor.env,
             "workload": workload,
             "agent": agent,
             "variants": variants,
@@ -249,7 +251,9 @@ def render_serve_bench(report: dict) -> str:
         f"load     : {config['sessions']} x {config['workload']} "
         f"session(s), {config['concurrency']} client(s), "
         f"quota {config['max_sessions']} active, "
-        f"{config['jobs']} worker job(s), mode {config['mode']}",
+        f"{config['jobs']} worker job(s)"
+        + (f" [{config['env']}]" if config.get("env") else "")
+        + f", mode {config['mode']}",
         f"outcome  : {totals['completed']} completed ({verdicts}), "
         f"{totals['rejected']} quota rejection(s) retried, "
         f"{len(totals['failures'])} failure(s)",

@@ -56,6 +56,7 @@ class ServeConfig:
                  max_sessions: int = 64,
                  max_cycles_per_session: float | None = None,
                  jobs: int = 0,
+                 env: str | None = None,
                  step_budget: int = DEFAULT_STEP_BUDGET,
                  bundle_dir: str | None = None,
                  checkpoint_every: float | None = None):
@@ -67,6 +68,11 @@ class ServeConfig:
         #: Worker processes for the batch (``run``) path; 0 executes
         #: batch sessions inline in the handler thread (fork-free).
         self.jobs = jobs
+        #: Execution environment for the batch path (``inline``,
+        #: ``thread``, ``process``); ``None`` derives it from ``jobs``.
+        #: Process environments keep a persistent warm worker pool for
+        #: the daemon's lifetime — forks amortise across sessions.
+        self.env = env
         self.step_budget = step_budget
         self.bundle_dir = bundle_dir
         #: Cycle cadence for stepped-session decision-log checkpoints
@@ -121,7 +127,8 @@ class ServeDaemon:
             max_sessions=self.config.max_sessions,
             max_cycles_per_session=self.config.max_cycles_per_session,
             checkpoint_every=self.config.checkpoint_every)
-        self.executor = CellExecutor(jobs=self.config.jobs)
+        self.executor = CellExecutor(jobs=self.config.jobs,
+                                     env=self.config.env)
         self.started_unix = time.time()
         self._server: _Server | None = None
         self._thread: threading.Thread | None = None
@@ -193,10 +200,14 @@ class ServeDaemon:
         status = self.registry.status()
         status["executor"] = {
             "jobs": self.executor.jobs,
+            "env": self.executor.env,
             "submitted": self.executor.submitted,
             "completed": self.executor.completed,
             "in_flight": self.executor.in_flight,
         }
+        pool_stats = self.executor.pool_stats()
+        if pool_stats is not None:
+            status["executor"]["pool"] = pool_stats
         status["uptime_s"] = round(time.time() - self.started_unix, 3)
         status["version"] = protocol.PROTOCOL_VERSION
         return protocol.ok_response("status", **status)

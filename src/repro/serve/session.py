@@ -12,8 +12,11 @@ can be driven two ways:
   event heap is popped in the same order either way).
 * **batch** (the ``run`` op): the session is shipped as a pickle-safe
   spec through the shared :class:`repro.par.engine.CellExecutor`, so N
-  sessions fan out across one worker pool without breaking per-cell
-  seed derivation.
+  sessions fan out across one *persistent* worker pool — workers fork
+  once at daemon startup demand and serve every later session warm,
+  in whichever execution environment the daemon was started with
+  (``--env inline|thread|process``) — without breaking per-cell seed
+  derivation.
 
 Both paths end in the same result dict, whose ``obs_digest`` (see
 :meth:`repro.obs.ObsHub.digest`) is the byte-identity anchor against

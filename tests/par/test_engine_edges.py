@@ -1,0 +1,190 @@
+"""Edge cases of the engine's result-transport and harvest paths.
+
+Each test pins one of the ways a cell result can take an unusual route
+home: oversized payloads diverted through POSIX shared memory,
+unpicklable values downgraded to failed envelopes, workers that die
+without reporting (caught by the process sentinel), and completions
+arriving out of task order (slotted back by position).  These are the
+paths the differential suite exercises only implicitly — here each gets
+a direct witness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+
+import pytest
+
+from repro.par.cells import CellResult, CellTask
+from repro.par.engine import run_cells
+from repro.par.environment import ProcessEnvironment
+from repro.par.pool import WorkerPool
+from repro.par.transport import (
+    SHM_THRESHOLD_BYTES,
+    ListBuffer,
+    recv_result,
+    send_result,
+    shm_available,
+)
+
+BIG_BYTES = 2 * 1024 * 1024  # comfortably past the 60KiB threshold
+
+
+# Module-level so fork workers can pickle them by reference.
+def _big_blob(n, fill):
+    return bytes([fill]) * n
+
+
+def _unpicklable():
+    return lambda: None  # lambdas cannot be pickled
+
+
+def _hard_exit(code):
+    import os
+
+    os._exit(code)
+
+
+def _sleep_then_value(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _task(index, fn, **kwargs):
+    return CellTask(sweep_id="edge-test", index=index, fn=fn,
+                    kwargs=kwargs)
+
+
+def _run_private(tasks, jobs=2, **kwargs):
+    pool = WorkerPool(jobs)
+    try:
+        return run_cells(tasks, jobs=jobs,
+                         env=ProcessEnvironment(pool=pool), **kwargs)
+    finally:
+        pool.shutdown()
+
+
+class TestSharedMemoryTransport:
+    @pytest.mark.skipif(not shm_available(),
+                        reason="no multiprocessing.shared_memory")
+    def test_oversized_result_crosses_intact(self):
+        results = _run_private(
+            [_task(0, _big_blob, n=BIG_BYTES, fill=0xAB),
+             _task(1, _big_blob, n=16, fill=0x01)])
+        assert results[0].ok
+        assert results[0].value == bytes([0xAB]) * BIG_BYTES
+        assert results[1].value == bytes([0x01]) * 16
+
+    @pytest.mark.skipif(not shm_available(),
+                        reason="no multiprocessing.shared_memory")
+    def test_big_payload_takes_the_shm_arm(self):
+        parent, child = multiprocessing.Pipe()
+        big = CellResult(index=3, ok=True,
+                         value=b"x" * SHM_THRESHOLD_BYTES)
+        send_result(child, big)
+        message = parent.recv()
+        assert message[0] == "shm"
+        decoded = recv_result(message)
+        assert decoded.ok and decoded.value == big.value
+        assert decoded.index == 3
+        # The parent unlinked the segment after reading it.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=message[1])
+
+    def test_small_payload_stays_inline(self):
+        parent, child = multiprocessing.Pipe()
+        send_result(child, CellResult(index=0, ok=True, value=42))
+        message = parent.recv()
+        assert message[0] == "inline"
+        assert recv_result(message).value == 42
+
+    def test_threshold_can_be_forced_low(self):
+        if not shm_available():
+            pytest.skip("no multiprocessing.shared_memory")
+        parent, child = multiprocessing.Pipe()
+        send_result(child, CellResult(index=0, ok=True, value="tiny"),
+                    threshold=1)
+        message = parent.recv()
+        assert message[0] == "shm"
+        assert recv_result(message).value == "tiny"
+
+
+class TestUnpicklableResults:
+    def test_unpicklable_value_becomes_failed_cell(self):
+        results = _run_private([_task(0, _unpicklable),
+                                _task(1, _sleep_then_value,
+                                      seconds=0, value=7)])
+        assert not results[0].ok
+        assert "result not picklable" in results[0].error
+        assert results[0].worker_pid is not None
+        assert results[1].ok and results[1].value == 7
+
+    def test_send_result_never_raises_on_bad_payload(self):
+        parent, child = multiprocessing.Pipe()
+        bad = CellResult(index=5, ok=True, value=lambda: None)
+        send_result(child, bad)  # must not raise
+        decoded = recv_result(parent.recv())
+        assert not decoded.ok
+        assert decoded.index == 5
+        assert "result not picklable" in decoded.error
+
+
+class TestDeadWorkerSentinel:
+    def test_exit_code_is_reported(self):
+        results = _run_private([_task(0, _hard_exit, code=17),
+                                _task(1, _sleep_then_value,
+                                      seconds=0, value=1)])
+        assert not results[0].ok
+        assert "worker died before reporting (exit code 17)" \
+            in results[0].error
+        assert results[1].ok
+
+    def test_sweep_continues_past_multiple_deaths(self):
+        tasks = [_task(0, _hard_exit, code=11),
+                 _task(1, _sleep_then_value, seconds=0, value=10),
+                 _task(2, _hard_exit, code=12),
+                 _task(3, _sleep_then_value, seconds=0, value=30)]
+        results = _run_private(tasks)
+        assert [r.ok for r in results] == [False, True, False, True]
+        assert "exit code 11" in results[0].error
+        assert "exit code 12" in results[2].error
+        assert [r.value for r in results if r.ok] == [10, 30]
+
+
+class TestOutOfOrderCompletion:
+    """Later cells finishing first must still land in task order."""
+
+    def _delays(self):
+        # Cell 0 is the slowest, so completions arrive in reverse.
+        return [_task(i, _sleep_then_value,
+                      seconds=(3 - i) * 0.15, value=i * 10)
+                for i in range(4)]
+
+    def test_process_env_slots_by_position(self):
+        results = _run_private(self._delays(), jobs=4)
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.value for r in results] == [0, 10, 20, 30]
+
+    def test_thread_env_slots_by_position(self):
+        results = run_cells(self._delays(), jobs=4, env="thread")
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.value for r in results] == [0, 10, 20, 30]
+
+
+class TestBufferContract:
+    def test_incomplete_buffer_refuses_to_collect(self):
+        buffer = ListBuffer(3)
+        buffer.put(0, CellResult(index=0, ok=True, value=1))
+        buffer.put(2, CellResult(index=2, ok=True, value=3))
+        with pytest.raises(RuntimeError, match=r"slots \[1\]"):
+            buffer.collect()
+
+    def test_pickle_roundtrip_of_cell_result(self):
+        result = CellResult(index=9, ok=False, error="boom",
+                            worker_pid=123)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone == result

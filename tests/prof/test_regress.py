@@ -172,6 +172,17 @@ class TestTrajectory:
             "identical": None,
         }
 
+    def test_entry_records_environment_and_warm_wall(self):
+        report = make_report(
+            environment="process",
+            parallel={"wall_s": 5.0, "ok": 2, "failed": 0,
+                      "warm_wall_s": 4.3219})
+        entry = trajectory_entry(report)
+        assert entry["environment"] == "process"
+        assert entry["warm_wall_s"] == 4.322
+        # Pre-environment references keep the historical entry shape.
+        assert "environment" not in trajectory_entry(make_report())
+
     def test_comparison_does_not_mutate_inputs(self):
         new, ref = make_report(), make_report()
         before = copy.deepcopy((new, ref))
