@@ -51,6 +51,13 @@ Commands
     ``bench`` load-tests an in-process daemon with hundreds of short
     sessions and writes ``BENCH_serve.json`` (``--compare REF`` gates
     the fresh report against a committed reference).
+``telemetry {dump,merge}`` / ``top``
+    Host-level observability (``docs/TELEMETRY.md``): ``dump`` scrapes
+    a running daemon's host metrics as Prometheus text, ``merge DIR``
+    folds multi-process span logs into one Chrome trace, and ``top``
+    is a refreshing terminal view of a live daemon.  Exporting
+    ``REPRO_TELEMETRY_DIR`` makes every command record host spans and
+    open a trace that serve requests carry into the daemon.
 ``record BENCH -o LOG`` / ``replay LOG`` / ``checkpoint PATH``
     Decision-stream record/replay (``docs/REPLAY.md``): ``record``
     captures the master's decision stream into a replayable JSONL log
@@ -820,7 +827,8 @@ def _serve_start(args) -> int:
         max_sessions=args.max_sessions,
         max_cycles_per_session=args.max_cycles,
         jobs=args.jobs, env=args.env, bundle_dir=args.bundle_dir,
-        checkpoint_every=args.checkpoint_every))
+        checkpoint_every=args.checkpoint_every,
+        telemetry_dir=args.telemetry_dir))
     if daemon.registry.recovered:
         for sid, state in sorted(daemon.registry.recovered.items()):
             print(f"recovered : {sid} -> {state}")
@@ -897,6 +905,41 @@ def _cmd_serve(args) -> int:
     if args.action == "status":
         return _serve_status(args)
     return _serve_bench(args)
+
+
+def _cmd_telemetry(args) -> int:
+    if args.action == "dump":
+        from repro.serve.client import ServeClient
+
+        with ServeClient(args.host, args.port) as client:
+            response = client.host_metrics()
+        sys.stdout.write(response.get("exposition") or "")
+        return 0
+    # merge
+    if not args.dir:
+        print("repro telemetry merge: a span-log directory is required",
+              file=sys.stderr)
+        return 2
+    from repro.telemetry import merge_host_trace
+
+    out = args.out or (args.dir.rstrip("/") + ".trace.json")
+    merged = merge_host_trace(args.dir, out, guest_trace=args.guest)
+    print(f"merged    : {merged['spans']} span(s) across "
+          f"{merged['tracks']} track(s) -> {merged['out']} "
+          f"({merged['events']} trace event(s))")
+    if merged["spans"] == 0:
+        print(f"            (no spans-*.jsonl under {args.dir}; was "
+              "the daemon started with --telemetry-dir, or "
+              "REPRO_TELEMETRY_DIR exported?)")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.telemetry.top import run_top
+
+    iterations = 1 if args.once else args.iterations
+    return run_top(args.host, args.port, interval_s=args.interval,
+                   iterations=iterations)
 
 
 def _cmd_nginx(args) -> int:
@@ -1279,6 +1322,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "policy sessions then resume in-flight "
                               "work after a daemon crash "
                               "(docs/REPLAY.md)")
+    p_serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                         help="start: record host-time spans (daemon "
+                              "ops, sessions, pool workers) as JSONL "
+                              "under DIR; merge them with 'repro "
+                              "telemetry merge DIR' "
+                              "(docs/TELEMETRY.md)")
     p_serve.add_argument("--max-sessions", type=int, default=64,
                          help="admission control: max concurrently "
                               "active sessions (default 64)")
@@ -1317,6 +1366,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="host-level observability: dump a daemon's Prometheus "
+             "exposition, or merge span logs into one Chrome trace "
+             "(see docs/TELEMETRY.md)")
+    p_tel.add_argument("action", choices=("dump", "merge"),
+                       help="'dump' scrapes a running daemon's host "
+                            "metrics as Prometheus text; 'merge DIR' "
+                            "folds every spans-*.jsonl under DIR into "
+                            "one trace_event file")
+    p_tel.add_argument("dir", nargs="?", default=None,
+                       help="merge: the span-log directory (the "
+                            "--telemetry-dir the daemon/CLI wrote to)")
+    p_tel.add_argument("-o", "--out", default=None, metavar="PATH",
+                       help="merge: output path "
+                            "(default: DIR.trace.json)")
+    p_tel.add_argument("--guest", default=None, metavar="TRACE",
+                       help="merge: also fold this guest Chrome trace "
+                            "(from --trace-out) into the merged view")
+    p_tel.add_argument("--host", default="127.0.0.1",
+                       help="dump: daemon host")
+    p_tel.add_argument("--port", type=int, default=7333,
+                       help="dump: daemon port")
+    p_tel.set_defaults(func=_cmd_telemetry)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live operations view of a serve daemon: sessions, "
+             "executor, pool/steal counters, op latency")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7333)
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh interval (default 2s)")
+    p_top.add_argument("--iterations", type=int, default=None,
+                       metavar="N",
+                       help="draw N frames then exit "
+                            "(default: run until Ctrl-C)")
+    p_top.add_argument("--once", action="store_true",
+                       help="one snapshot and exit "
+                            "(same as --iterations 1)")
+    p_top.set_defaults(func=_cmd_top)
+
     p_nginx = sub.add_parser("nginx", help="run the §5.5 demo")
     p_nginx.set_defaults(func=_cmd_nginx)
     return parser
@@ -1341,6 +1433,19 @@ def _run_guarded(func, args) -> int:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    import os
+
+    telemetry_dir = os.environ.get("REPRO_TELEMETRY_DIR")
+    if telemetry_dir:
+        # Root of the distributed trace: every serve request this
+        # command issues inherits this context, so the merged view
+        # shows CLI -> daemon -> session -> worker as one trace.
+        from repro.telemetry import configure, span
+
+        configure(telemetry_dir, service="cli")
+        with span(f"cli.{args.command}", track="cli",
+                  command=args.command):
+            return _run_guarded(args.func, args)
     return _run_guarded(args.func, args)
 
 

@@ -176,11 +176,20 @@ def capture_bundle(hub, report, monitor=None,
 # -- tail diffing ------------------------------------------------------------
 
 def _call_sequences(tail: list[dict]) -> dict[str, list[dict]]:
-    """Per-thread ordered monitored-call events from one variant's tail."""
+    """Per-thread ordered monitored-call events from one variant's tail.
+
+    Events are treated as advisory records, not a schema: one written
+    by an older bundle format (or hand-edited) that lacks a ``thread``
+    is skipped rather than crashing the whole summary.
+    """
     sequences: dict[str, list[dict]] = {}
     for event in tail:
-        if event.get("cat") == "call":
-            sequences.setdefault(event["thread"], []).append(event)
+        if not isinstance(event, dict) or event.get("cat") != "call":
+            continue
+        thread = event.get("thread")
+        if thread is None:
+            continue
+        sequences.setdefault(thread, []).append(event)
     return sequences
 
 
@@ -212,7 +221,8 @@ def diff_tails(bundle: DivergenceBundle) -> dict[str, dict]:
                 seq = (event.get("args") or {}).get("seq")
                 if seq is None:
                     continue
-                by_seq.setdefault(seq, {})[variant] = event["name"]
+                by_seq.setdefault(seq, {})[variant] = \
+                    event.get("name", "?")
         for seq in sorted(by_seq):
             calls = by_seq[seq]
             if len(calls) > 1 and len(set(calls.values())) > 1:
@@ -238,13 +248,20 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
         tail = bundle.tails[variant]
         lines.append(f"  variant {variant}: {len(tail)} tail events")
         for event in tail[-5:]:
-            stamp = f"@{event.get('ts', 0):.0f}"
+            stamp = f"@{event.get('ts') or 0:.0f}"
             lines.append(f"    {stamp:>12s} [{event.get('cat')}] "
                          f"{event.get('thread')}: {event.get('name')}")
     for variant, state in sorted(bundle.in_flight.items()):
+        if not isinstance(state, dict):
+            continue
         for thread, info in sorted(state.items()):
+            # Bundles written before the in-flight schema settled may
+            # carry partial records; render what is there.
+            if not isinstance(info, dict):
+                continue
             lines.append(f"  in-flight v{variant} {thread}: "
-                         f"{info['name']} (call #{info['seq']})")
+                         f"{info.get('name', '?')} "
+                         f"(call #{info.get('seq', '?')})")
     if bundle.faults:
         per_kind: dict[str, int] = {}
         for event in bundle.faults:
@@ -257,7 +274,7 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
         first = bundle.faults[0]
         lines.append(f"  first fault : {first.get('kind')} in "
                      f"v{first.get('variant')} at "
-                     f"{first.get('at_cycles', 0):.0f} cycles "
+                     f"{first.get('at_cycles') or 0:.0f} cycles "
                      f"({first.get('site')})")
     if bundle.races:
         sites = sorted({race.get("current", {}).get("site", "?")
@@ -267,7 +284,7 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
     for record in bundle.deadlocks:
         lines.append(f"  deadlock cycle: {record.get('cycle')} "
                      f"(v{record.get('variant')}) at "
-                     f"{record.get('at_cycles', 0):.0f} cycles")
+                     f"{record.get('at_cycles') or 0:.0f} cycles")
         for thread in record.get("threads", ()):
             holds = ", ".join(str(a) for a in thread.get("holds", ()))
             lines.append(f"    {thread.get('thread')}: holds [{holds}] "
@@ -277,16 +294,16 @@ def summarize_bundle(bundle: DivergenceBundle) -> str:
         if action == "quarantine":
             lines.append(f"  recovery: quarantined v{event.get('variant')}"
                          f" [{event.get('kind')}] at "
-                         f"{event.get('at_cycles', 0):.0f} cycles")
+                         f"{event.get('at_cycles') or 0:.0f} cycles")
         elif action == "restart":
             lines.append(f"  recovery: restarted v{event.get('variant')}"
-                         f" at {event.get('at_cycles', 0):.0f} cycles")
+                         f" at {event.get('at_cycles') or 0:.0f} cycles")
         elif action == "watchdog_timeout":
             variants = ",".join(f"v{v}" for v in
                                 event.get("variants", ()))
             lines.append(f"  recovery: watchdog timeout on {variants} "
                          f"(call #{event.get('seq')}) at "
-                         f"{event.get('at_cycles', 0):.0f} cycles")
+                         f"{event.get('at_cycles') or 0:.0f} cycles")
     divergences = diff_tails(bundle)
     if divergences:
         for thread, info in sorted(divergences.items()):

@@ -165,6 +165,13 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
+    def items(self):
+        """(name, metric) pairs in sorted-name order — the stable
+        iteration every renderer (JSON, text, Prometheus exposition)
+        builds on."""
+        return [(name, self._metrics[name])
+                for name in sorted(self._metrics)]
+
     # -- output -------------------------------------------------------------
 
     def snapshot(self) -> dict:

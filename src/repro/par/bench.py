@@ -50,6 +50,12 @@ Schema of ``BENCH_par.json`` (``format_version`` 2) — see
     Cycle profile of the matrix's first cell (``repro.prof``): the
     cell's identity plus ``per_category`` and ``total_cycles``, used by
     ``repro bench --compare`` to flag category-share shifts.
+``observability_overhead`` (v2)
+    Telemetry's self-measured host cost on the first cell
+    (``repro.telemetry.overhead``): bare vs traced wall, the overhead
+    fraction, and ``digest_identical`` — the zero-perturbation
+    contract, self-checked per run.  ``--compare`` warns (never fails)
+    on an overhead regression; a broken ``digest_identical`` fails.
 ``trajectory`` (v2)
     Accumulated history: one compact entry per prior reference this
     report was ``--compare``'d against (oldest first).
@@ -277,6 +283,12 @@ def run_bench(jobs: int = 1, quick: bool = False,
     serial_wall = time.perf_counter() - start
     serial_cells = canonical_cells(serial_results)
 
+    # Outside the timed phases: telemetry measures its own host cost on
+    # the matrix's first cell (see repro.telemetry.overhead).
+    from repro.telemetry.overhead import measure_cell_overhead
+
+    overhead_block = measure_cell_overhead(bench_tasks(matrix)[0])
+
     if parallel_block is not None:
         speedup = (serial_wall / parallel_block["wall_s"]
                    if parallel_block["wall_s"] > 0 else None)
@@ -314,6 +326,7 @@ def run_bench(jobs: int = 1, quick: bool = False,
         "identical": identical,
         "digest": digest_of(serial_cells),
         "profile": profile_first_cell(matrix),
+        "observability_overhead": overhead_block,
         "trajectory": list(trajectory or []),
     }
     if merged_trace is not None:
@@ -375,5 +388,13 @@ def render_bench(report: dict) -> str:
                else "DIFFERS from serial (bug!)"))
     else:
         lines.append("parallel : skipped (--jobs 1)")
+    overhead = report.get("observability_overhead")
+    if overhead and overhead.get("overhead_frac") is not None:
+        lines.append(
+            f"telemetry: {overhead['overhead_frac'] * 100.0:+.1f}% host "
+            "overhead per traced cell; outputs "
+            + ("identical with telemetry attached"
+               if overhead.get("digest_identical")
+               else "PERTURBED by telemetry (bug!)"))
     lines.append(f"digest   : {report['digest']}")
     return "\n".join(lines)

@@ -55,6 +55,11 @@ class CellTask:
     seed: int | None = None
     #: Inject a fresh ObsHub as ``kwargs["obs"]`` and capture its trace.
     with_obs: bool = False
+    #: Host trace-context wire dict (``repro.telemetry``); rides the
+    #: pickle into whatever process runs the cell so a worker's host
+    #: spans join the submitter's trace.  ``None`` (the default) keeps
+    #: pre-telemetry task envelopes byte-identical.
+    trace: dict | None = None
 
     @classmethod
     def for_sweep(cls, sweep_id: str, index: int, fn, kwargs: dict,
@@ -111,6 +116,31 @@ def trace_path_for(trace_dir: str, task: CellTask) -> str:
     return os.path.join(trace_dir, f"cell-{task.index:04d}.jsonl")
 
 
+def _host_span(task: CellTask):
+    """Host-telemetry span around a traced cell, or a no-op.
+
+    Only engaged when the task carries a trace context *and* the
+    process has a telemetry directory (pool workers inherit the
+    daemon's via fork/env) — the untraced path stays import-free.
+    """
+    from contextlib import nullcontext
+
+    if task.trace is None:
+        return nullcontext()
+    try:
+        from repro.telemetry.context import TraceContext
+        from repro.telemetry.spans import enabled, span
+    except Exception:  # pragma: no cover - telemetry must never fail a cell
+        return nullcontext()
+    if not enabled():
+        return nullcontext()
+    parent = TraceContext.from_dict(task.trace)
+    ctx = parent.child() if parent is not None else None
+    return span("cell", ctx=ctx, service="worker",
+                track=f"worker {os.getpid()}",
+                sweep=task.sweep_id, index=task.index)
+
+
 def execute_cell(task: CellTask, trace_dir: str | None) -> CellResult:
     """Run one cell in the current process/thread (any environment)."""
     kwargs = dict(task.kwargs)
@@ -123,7 +153,8 @@ def execute_cell(task: CellTask, trace_dir: str | None) -> CellResult:
         kwargs["obs"] = hub
     start = time.perf_counter()
     try:
-        value = task.fn(**kwargs)
+        with _host_span(task):
+            value = task.fn(**kwargs)
     except Exception as exc:
         return CellResult(index=task.index, ok=False,
                           error=f"{type(exc).__name__}: {exc}",

@@ -221,6 +221,13 @@ class CellExecutor:
         with self._lock:
             return self.submitted - self.completed
 
+    @property
+    def queued(self) -> int:
+        """Cells accepted but not yet dispatched to a worker (the
+        queue-depth gauge ``serve status`` and the metrics op report)."""
+        with self._lock:
+            return len(self._pending)
+
     def pool_stats(self) -> dict | None:
         """Persistent-pool diagnostics (``None`` outside process envs)."""
         if self._pool is None:

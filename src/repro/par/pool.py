@@ -292,8 +292,16 @@ class WorkerPool:
         return [w for w in self._slots if w is not None and w.alive()]
 
     def stats(self) -> dict:
-        """Plain-data pool diagnostics for reports and ``serve status``."""
-        return {
+        """Plain-data pool diagnostics for reports and ``serve status``.
+
+        The pool's own counters are the single source of truth for
+        host observability: every read also publishes them into the
+        process-wide host metrics registry, so ``serve status`` and the
+        daemon's ``metrics`` exposition can never disagree.
+        """
+        from repro.telemetry import hostmetrics
+
+        stats = {
             "size": self.size,
             "alive": len(self.live_workers()),
             "spawned": self.spawned,
@@ -303,6 +311,8 @@ class WorkerPool:
             "tasks": self.tasks_dispatched,
             "batches": self.batches,
         }
+        hostmetrics.publish_pool_stats(stats)
+        return stats
 
 
 # -- the process-wide shared pools ----------------------------------------

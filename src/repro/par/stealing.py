@@ -111,10 +111,19 @@ class StealScheduler:
         return victim
 
     def stats(self) -> dict:
-        """Plain-data scheduling diagnostics (never part of digests)."""
-        return {
+        """Plain-data scheduling diagnostics (never part of digests).
+
+        Like :meth:`WorkerPool.stats`, reading also publishes the steal
+        counters into the host metrics registry — the scheduler's own
+        ``steals`` list stays the single source of truth.
+        """
+        from repro.telemetry import hostmetrics
+
+        stats = {
             "workers": self.workers,
             "stealing": self.stealing,
             "steals": len(self.steals),
             "cells_stolen": sum(count for _, _, count in self.steals),
         }
+        hostmetrics.publish_pool_stats({"scheduler": stats})
+        return stats

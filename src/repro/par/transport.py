@@ -165,11 +165,15 @@ def recv_result(message) -> CellResult:
     interprets the message, so the dispatch loop can keep multiplexing
     connections however it likes.
     """
+    from repro.telemetry import hostmetrics
+
     kind = message[0]
     if kind == "inline":
+        hostmetrics.inc("host.transport.inline_results")
         return message[1]
     if kind != "shm":  # pragma: no cover - protocol is two-armed
         raise RuntimeError(f"unknown result transport kind {kind!r}")
+    hostmetrics.inc("host.transport.shm_results")
     _, name, size, index = message
     segment = _shm.SharedMemory(name=name)
     try:

@@ -45,6 +45,13 @@ DEFAULT_PROFILE_TOLERANCE = 0.001
 #: Per-cell wall deltas below this floor (seconds) are never flagged.
 CELL_WALL_FLOOR_S = 0.05
 
+#: Max absolute growth (fraction of cell wall) tolerated in telemetry's
+#: self-measured overhead before the warn-only finding fires.  On quick
+#: matrices the measured cell is tiny and the overhead fraction itself
+#: is large and jittery, so the effective threshold also scales with
+#: the reference: ``max(0.05, 0.25 * ref_frac)``.
+DEFAULT_OVERHEAD_TOLERANCE = 0.05
+
 
 @dataclass
 class Finding:
@@ -170,6 +177,50 @@ def compare_reports(new: dict, ref: dict,
             "info", "profile",
             "reference has no cycle profile (pre-v2 report); "
             "category-shift check skipped"))
+    findings.extend(_compare_overhead(new.get("observability_overhead"),
+                                      ref.get("observability_overhead")))
+    return findings
+
+
+def _compare_overhead(new_oh: dict | None,
+                      ref_oh: dict | None) -> list[Finding]:
+    """Telemetry's self-measured host cost: warn-only on regression.
+
+    Host wall jitters across runners, so overhead growth never fails a
+    comparison — but a run whose outputs moved *with telemetry
+    attached* broke the zero-perturbation contract, and that fails.
+    """
+    findings: list[Finding] = []
+    if not new_oh:
+        return findings
+    if new_oh.get("digest_identical") is False:
+        findings.append(Finding(
+            "fail", "telemetry-perturbation",
+            "cell output changed with telemetry attached — the "
+            "zero-perturbation contract is broken"))
+    new_frac = new_oh.get("overhead_frac")
+    ref_frac = (ref_oh or {}).get("overhead_frac")
+    if new_frac is None:
+        return findings
+    if ref_frac is None:
+        findings.append(Finding(
+            "info", "observability-overhead",
+            f"telemetry overhead {new_frac * 100.0:+.1f}% of cell wall "
+            "(reference has no observability_overhead block)"))
+        return findings
+    drift = new_frac - ref_frac
+    tolerance = max(DEFAULT_OVERHEAD_TOLERANCE, 0.25 * abs(ref_frac))
+    if drift > tolerance:
+        findings.append(Finding(
+            "warn", "observability-overhead",
+            f"telemetry overhead grew {drift * 100.0:+.1f}pp "
+            f"({ref_frac * 100.0:+.1f}% -> {new_frac * 100.0:+.1f}% "
+            "of cell wall)"))
+    else:
+        findings.append(Finding(
+            "info", "observability-overhead",
+            f"telemetry overhead {new_frac * 100.0:+.1f}% of cell wall "
+            f"({drift * 100.0:+.1f}pp vs reference)"))
     return findings
 
 

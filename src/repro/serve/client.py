@@ -43,9 +43,28 @@ class ServeClient:
 
     def request(self, op: str, **fields) -> dict:
         """One exchange; returns the ok-response dict or re-raises the
-        daemon's typed error."""
+        daemon's typed error.
+
+        When a host trace context is current on this thread (the CLI
+        installs one per command), it rides the request's ``trace``
+        field and the exchange is recorded as an ``rpc.<op>`` span —
+        the client half of the CLI → daemon → session → worker trace.
+        """
+        from repro.telemetry.context import current_context, wire_context
+        from repro.telemetry.spans import enabled, span
+
         message = {"op": op}
         message.update(fields)
+        if current_context() is None and not enabled():
+            # No trace to continue and nothing recording: the wire
+            # bytes stay exactly pre-telemetry.
+            return self._exchange(message)
+        with span(f"rpc.{op}", op=op):
+            if protocol.TRACE_FIELD not in message:
+                message[protocol.TRACE_FIELD] = wire_context()
+            return self._exchange(message)
+
+    def _exchange(self, message: dict) -> dict:
         try:
             self._file.write(protocol.encode(message))
             self._file.flush()
@@ -104,6 +123,11 @@ class ServeClient:
 
     def metrics(self, session_id: str) -> dict:
         return self.request("metrics", id=session_id)
+
+    def host_metrics(self) -> dict:
+        """The daemon's host metrics: Prometheus text under
+        ``exposition`` plus the raw snapshot under ``metrics``."""
+        return self.request("metrics")
 
     def resume(self, session_id: str) -> dict:
         return self.request("resume", id=session_id)

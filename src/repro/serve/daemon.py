@@ -38,6 +38,13 @@ from repro.par.engine import CellExecutor, CellTask
 from repro.serve import protocol
 from repro.serve.registry import SessionRegistry
 from repro.serve.session import Session, SessionSpec, run_session_cell
+from repro.telemetry import hostmetrics, spans
+from repro.telemetry.context import (
+    TraceContext,
+    current_context,
+    new_context,
+    wire_context,
+)
 
 #: Default cap on events per ``step`` request: large enough that a short
 #: session finishes in a handful of steps, small enough that one step
@@ -59,7 +66,8 @@ class ServeConfig:
                  env: str | None = None,
                  step_budget: int = DEFAULT_STEP_BUDGET,
                  bundle_dir: str | None = None,
-                 checkpoint_every: float | None = None):
+                 checkpoint_every: float | None = None,
+                 telemetry_dir: str | None = None):
         self.host = host
         self.port = port
         self.state_dir = state_dir
@@ -78,6 +86,9 @@ class ServeConfig:
         #: Cycle cadence for stepped-session decision-log checkpoints
         #: (needs ``state_dir``); ``None`` disables session recording.
         self.checkpoint_every = checkpoint_every
+        #: Host span-log directory (``repro.telemetry``); ``None``
+        #: disables span recording (host metrics stay in-memory only).
+        self.telemetry_dir = telemetry_dir
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -122,6 +133,11 @@ class ServeDaemon:
 
     def __init__(self, config: ServeConfig | None = None):
         self.config = config or ServeConfig()
+        if self.config.telemetry_dir:
+            # Configure before the pool exists so forked workers
+            # inherit the destination (belt: module state; braces: env).
+            os.environ[spans.ENV_DIR] = self.config.telemetry_dir
+            spans.configure(self.config.telemetry_dir, service="daemon")
         self.registry = SessionRegistry(
             state_dir=self.config.state_dir,
             max_sessions=self.config.max_sessions,
@@ -183,12 +199,37 @@ class ServeDaemon:
     # -- dispatch ----------------------------------------------------------
 
     def handle(self, request: dict) -> dict:
-        """Serve one decoded request; raises ServeError on failure."""
+        """Serve one decoded request; raises ServeError on failure.
+
+        Every op is measured into the host metrics registry (latency
+        histogram + per-op counters — in-memory, always on).  A trace
+        context arriving on the request's ``trace`` field (or minted
+        here when span recording is active) is installed for the
+        handler, so session specs and cell tasks created downstream
+        join the client's trace.
+        """
         if self._stopping:
             raise DaemonUnavailable("daemon is shutting down")
         op = request["op"]
         handler = getattr(self, f"_op_{op}")
-        return handler(request)
+        ctx = TraceContext.from_dict(request.get(protocol.TRACE_FIELD))
+        if ctx is None and spans.enabled():
+            ctx = new_context()
+        start = time.perf_counter()
+        try:
+            if ctx is None:
+                return handler(request)
+            with spans.span(f"serve.{op}", ctx=ctx.child(),
+                            service="daemon", track="daemon", op=op):
+                return handler(request)
+        except Exception:
+            hostmetrics.inc("host.serve.op_errors")
+            raise
+        finally:
+            hostmetrics.inc("host.serve.ops")
+            hostmetrics.inc(f"host.serve.op.{op}")
+            hostmetrics.observe_seconds("host.serve.op_latency_s",
+                                        time.perf_counter() - start)
 
     # -- ops: daemon-level -------------------------------------------------
 
@@ -204,12 +245,18 @@ class ServeDaemon:
             "submitted": self.executor.submitted,
             "completed": self.executor.completed,
             "in_flight": self.executor.in_flight,
+            "queued": self.executor.queued,
         }
         pool_stats = self.executor.pool_stats()
         if pool_stats is not None:
             status["executor"]["pool"] = pool_stats
+        status["sessions_detail"] = self.registry.table()
         status["uptime_s"] = round(time.time() - self.started_unix, 3)
         status["version"] = protocol.PROTOCOL_VERSION
+        # The same numbers the metrics op exposes come from this one
+        # source (pool/registry counters), published at read time.
+        hostmetrics.publish_executor_stats(status["executor"])
+        hostmetrics.publish_serve_status(status)
         return protocol.ok_response("status", **status)
 
     def _op_workloads(self, request: dict) -> dict:
@@ -228,6 +275,14 @@ class ServeDaemon:
 
     def _op_create(self, request: dict) -> dict:
         spec = SessionSpec.from_dict(request.get("spec")).validate()
+        ctx = current_context()
+        if ctx is not None and spec.trace is None:
+            # The session inherits the request's trace; the spec is the
+            # unit of persistence, so the journal carries it and a
+            # post-crash resume keeps the original trace_id.
+            import dataclasses
+
+            spec = dataclasses.replace(spec, trace=ctx.to_dict())
         session = self.registry.create(spec,
                                        bundle_dir=self.config.bundle_dir)
         return protocol.ok_response("create", id=session.id,
@@ -260,7 +315,8 @@ class ServeDaemon:
                 kwargs={"spec_dict": session.spec.to_dict(),
                         "session_id": session.id,
                         "bundle_dir": self.config.bundle_dir},
-                seed=session.spec.seed)
+                seed=session.spec.seed,
+                trace=wire_context() or session.spec.trace)
             session.state = "queued"
             session.ticket = self.executor.submit(task)
             self.registry.journal_state(session)
@@ -293,6 +349,27 @@ class ServeDaemon:
                 state=session.state, result=session.result)
 
     def _op_metrics(self, request: dict) -> dict:
+        """Dual-scope metrics: with an ``id``, the session's guest
+        (simulated-cycle) metrics snapshot, as always; without one,
+        the daemon's *host* metrics as Prometheus text exposition."""
+        if request.get("id") is None:
+            from repro.telemetry.prometheus import render_prometheus
+
+            status = self.registry.status()
+            hostmetrics.publish_serve_status(status)
+            executor = {
+                "jobs": self.executor.jobs,
+                "submitted": self.executor.submitted,
+                "completed": self.executor.completed,
+                "in_flight": self.executor.in_flight,
+                "queued": self.executor.queued,
+                "pool": self.executor.pool_stats(),
+            }
+            hostmetrics.publish_executor_stats(executor)
+            return protocol.ok_response(
+                "metrics", scope="host",
+                exposition=render_prometheus(hostmetrics.host_registry()),
+                metrics=hostmetrics.host_snapshot())
         session = self.registry.get(request.get("id"))
         return protocol.ok_response(
             "metrics", id=session.id, state=session.state,

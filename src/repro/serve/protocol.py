@@ -21,6 +21,16 @@ PROTOCOL_VERSION = 1
 OPS = ("ping", "status", "workloads", "create", "step", "run", "poll",
        "metrics", "resume", "close", "shutdown")
 
+#: Optional request field carrying a host trace context
+#: (``{"trace_id", "span_id", ...}`` — see
+#: :mod:`repro.telemetry.context`).  Clients attach it to every request
+#: when telemetry is active; the daemon tolerates its absence, ignores
+#: malformed values, and mints a root context itself when recording.
+#: ``metrics`` doubles as the host-metrics exposition op: without an
+#: ``id`` it returns the daemon's Prometheus text instead of a
+#: session's guest metrics.
+TRACE_FIELD = "trace"
+
 #: Largest accepted request line (a spec is tiny; anything bigger is a
 #: confused or hostile client, rejected before parsing).
 MAX_LINE_BYTES = 1 << 20

@@ -271,6 +271,27 @@ class SessionRegistry:
                     "rejected_total": self.rejected_total,
                     "recovered": dict(self.recovered)}
 
+    def table(self, limit: int = 32) -> list[dict]:
+        """Per-session rows for the live view (``repro top``):
+        in-flight sessions before terminal ones, then creation order,
+        capped at ``limit`` so a long-lived daemon's status stays
+        bounded."""
+        in_flight = ("created", "running", "queued")
+        with self._lock:
+            sessions = list(self.sessions.values())
+        sessions.sort(key=lambda s: (s.state not in in_flight,
+                                     len(s.id), s.id))
+        rows = []
+        for session in sessions[:max(0, limit)]:
+            rows.append({
+                "id": session.id,
+                "state": session.state,
+                "workload": session.spec.workload,
+                "steps": session.steps,
+                "verdict": (session.result or {}).get("verdict"),
+            })
+        return rows
+
     def shutdown(self) -> None:
         for session in self.sessions.values():
             session.release_writer()

@@ -84,6 +84,13 @@ class SessionSpec:
     #: Workload-specific overrides (nginx: pool_threads, connections,
     #: requests_per_connection, work_cycles).
     params: dict = field(default_factory=dict)
+    #: Host trace-context wire dict (``repro.telemetry``): set by the
+    #: daemon from the creating request, journaled with the spec, and
+    #: pickled into batch workers — so a session's host spans (even
+    #: after a daemon crash + resume) carry the original trace_id.
+    #: Never a simulated quantity; ``None`` keeps pre-telemetry specs
+    #: byte-identical on the wire and in the journal.
+    trace: dict | None = None
 
     def validate(self) -> "SessionSpec":
         from repro.workloads.spec import ALL_SPECS
@@ -117,10 +124,12 @@ class SessionSpec:
                 raise BadRequest(f"bad fault plan: {exc}") from None
         if not isinstance(self.params, dict):
             raise BadRequest("params must be an object")
+        if self.trace is not None and not isinstance(self.trace, dict):
+            raise BadRequest("trace must be an object (or omitted)")
         return self
 
     def to_dict(self) -> dict:
-        return {"workload": self.workload, "agent": self.agent,
+        data = {"workload": self.workload, "agent": self.agent,
                 "variants": self.variants, "seed": self.seed,
                 "scale": self.scale, "faults": self.faults,
                 "fault_seed": self.fault_seed, "policy": self.policy,
@@ -128,6 +137,9 @@ class SessionSpec:
                 "race_detect": self.race_detect,
                 "resync_mode": self.resync_mode,
                 "params": dict(self.params)}
+        if self.trace is not None:
+            data["trace"] = dict(self.trace)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SessionSpec":
@@ -383,7 +395,33 @@ class Session:
         (faults, recovery actions, races), a live metrics snapshot, and
         — once the run completes — the final result dict.  Caller holds
         ``self.lock``.
+
+        When the spec carries a trace context and host telemetry is
+        recording, each step emits one host-time span on the session's
+        track, annotated ``resumed`` when the session was rebuilt from
+        on-disk replay artifacts — the span keeps the *original*
+        trace_id across daemon incarnations because the spec (and its
+        trace) is journaled.
         """
+        from repro.telemetry.context import TraceContext
+        from repro.telemetry.spans import enabled, span
+
+        if self.spec.trace is None or not enabled():
+            return self._step_inner(max_events)
+        parent = TraceContext.from_dict(self.spec.trace)
+        ctx = parent.child() if parent is not None else None
+        was_resume = self.resume_from_disk or self.resumed is not None
+        with span("session.step", ctx=ctx, service="session",
+                  track=f"session {self.id}", session=self.id) as live:
+            envelope = self._step_inner(max_events)
+            if was_resume or self.resumed is not None:
+                live.attrs["resumed"] = True
+            live.attrs["steps"] = self.steps
+            if envelope.get("done"):
+                live.attrs["done"] = True
+            return envelope
+
+    def _step_inner(self, max_events: int) -> dict:
         if self.state not in ("created", "running"):
             raise SessionConflict(
                 f"session {self.id} is {self.state}; step needs a "
@@ -483,12 +521,25 @@ def run_session_cell(spec_dict: dict, session_id: str,
     digest is computed from the same simulated quantities as the
     stepped path.
     """
+    from contextlib import nullcontext
+
     from repro.obs import ObsHub
+    from repro.telemetry.context import TraceContext
+    from repro.telemetry.spans import enabled, span
 
     spec = SessionSpec.from_dict(spec_dict).validate()
+    host_span = nullcontext()
+    if spec.trace is not None and enabled():
+        parent = TraceContext.from_dict(spec.trace)
+        host_span = span("session.run",
+                         ctx=parent.child() if parent else None,
+                         service="session",
+                         track=f"session {session_id}",
+                         session=session_id)
     hub = ObsHub(trace=False)
-    mvee, native = build_mvee(spec, obs=hub)
-    outcome = mvee.run()
+    with host_span:
+        mvee, native = build_mvee(spec, obs=hub)
+        outcome = mvee.run()
     bundle_path = None
     if bundle_dir and outcome.obs_bundle is not None:
         bundle_path = f"{bundle_dir}/{session_id}.bundle.json"

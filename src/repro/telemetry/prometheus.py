@@ -1,0 +1,204 @@
+"""Prometheus text exposition over a :class:`MetricsRegistry`.
+
+The renderer maps the registry's three metric kinds onto the standard
+text format (version 0.0.4):
+
+* ``Counter`` -> a ``counter`` family named ``<name>_total``;
+* ``Gauge``   -> two ``gauge`` families, ``<name>`` and ``<name>_max``
+  (the registry tracks a high-water mark natively);
+* ``Histogram`` -> a ``histogram`` family with *cumulative*
+  ``_bucket{le="..."}`` series (the registry stores per-interval
+  counts; the renderer accumulates), a ``+Inf`` bucket, ``_sum``, and
+  ``_count``.
+
+Metric names are sanitised (``host.pool.spawned`` ->
+``repro_host_pool_spawned_total``).  Output is deterministic: families
+in sorted order, buckets in bound order — a scrape of a quiesced
+daemon is byte-stable.
+
+:func:`parse_prometheus` is the matching validator used by the tests
+and the CI ``telemetry-smoke`` job: it checks the syntax of every line
+(TYPE declarations, sample names, label quoting, float values) and the
+histogram invariants (monotone buckets, ``+Inf == _count``), raising
+:class:`ValueError` with the offending line on any violation.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "parse_prometheus", "prom_name"]
+
+#: Prefix for every exposed family.
+PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$")
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def prom_name(name: str) -> str:
+    """Registry name -> exposition family name (prefixed, sanitised)."""
+    cleaned = "".join(ch if (ch.isalnum() or ch == "_") else "_"
+                      for ch in name)
+    return PREFIX + cleaned.strip("_")
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (deterministic)."""
+    lines: list[str] = []
+    for name, metric in registry.items():
+        base = prom_name(name)
+        if isinstance(metric, Counter):
+            family = base if base.endswith("_total") else base + "_total"
+            lines.append(f"# HELP {family} host counter {name}")
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {base} host gauge {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_fmt(metric.value)}")
+            lines.append(f"# HELP {base}_max high-water mark of {name}")
+            lines.append(f"# TYPE {base}_max gauge")
+            lines.append(f"{base}_max {_fmt(metric.max)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {base} host histogram {name}")
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for i, bound in enumerate(metric.bounds):
+                cumulative += metric.counts[i]
+                lines.append(f'{base}_bucket{{le="{_fmt(bound)}"}} '
+                             f"{cumulative}")
+            lines.append(f'{base}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{base}_sum {_fmt(metric.total)}")
+            lines.append(f"{base}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_value(text: str, line_no: int):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"line {line_no}: {text!r} is not a valid sample value"
+        ) from None
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse (and validate) a text exposition.
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value),
+    ...]}}`` where histogram sub-series (``_bucket``/``_sum``/
+    ``_count``) fold into their family.  Raises :class:`ValueError`
+    naming the first malformed line or broken histogram invariant.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {line_no}: malformed HELP line")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {line_no}: malformed TYPE line")
+            family, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(
+                    f"line {line_no}: unknown metric type {kind!r}")
+            if family in types:
+                raise ValueError(
+                    f"line {line_no}: duplicate TYPE for {family}")
+            types[family] = kind
+            families.setdefault(family,
+                                {"type": kind, "samples": []})
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample: "
+                             f"{line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                label = _LABEL.match(part)
+                if label is None:
+                    raise ValueError(
+                        f"line {line_no}: malformed label {part!r}")
+                labels[label.group("key")] = label.group("val")
+        value = _parse_value(match.group("value"), line_no)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(suffix)] if name.endswith(suffix) \
+                else None
+            if stripped and types.get(stripped) == "histogram":
+                family = stripped
+                break
+        if family not in families:
+            # Samples without a preceding TYPE are legal ("untyped")
+            # but our renderer always declares; flag the drift.
+            raise ValueError(
+                f"line {line_no}: sample {name!r} has no TYPE "
+                "declaration")
+        families[family]["samples"].append((name, labels, value))
+
+    for family, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        buckets = [(labels.get("le"), value)
+                   for name, labels, value in data["samples"]
+                   if name == family + "_bucket"]
+        counts = [value for name, _, value in data["samples"]
+                  if name == family + "_count"]
+        if not buckets or not counts:
+            raise ValueError(
+                f"histogram {family} is missing _bucket or _count")
+        previous = -math.inf
+        for le, value in buckets:
+            if le is None:
+                raise ValueError(
+                    f"histogram {family} has a bucket without le=")
+            if value < previous:
+                raise ValueError(
+                    f"histogram {family} buckets are not monotone")
+            previous = value
+        if buckets[-1][0] != "+Inf":
+            raise ValueError(
+                f"histogram {family} lacks a +Inf bucket")
+        if buckets[-1][1] != counts[0]:
+            raise ValueError(
+                f"histogram {family}: +Inf bucket != _count")
+    return families

@@ -1,0 +1,58 @@
+"""Backward compatibility: ``repro obs summarize`` on old bundles.
+
+Bundles written before the fault/race/deadlock sections existed (and
+before every tail event reliably carried ``thread``/``name``) must
+still summarize — missing keys shorten the output, they never raise.
+The fixture is a frozen pre-race-era bundle with deliberately partial
+records; this is the regression pin for that contract.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cli import main
+from repro.obs.forensics import (
+    DivergenceBundle,
+    diff_tails,
+    summarize_bundle,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "bundle_pre_race_era.json")
+
+
+class TestOldBundleSummaries:
+    def test_fixture_loads(self):
+        bundle = DivergenceBundle.load(FIXTURE)
+        assert bundle.report["kind"] == "syscall_mismatch"
+        # Sections the old format never wrote default to empty.
+        assert bundle.faults == []
+        assert bundle.races == []
+        assert bundle.deadlocks == []
+        assert bundle.recovery == []
+
+    def test_summarize_degrades_gracefully(self):
+        text = summarize_bundle(DivergenceBundle.load(FIXTURE))
+        assert "divergence bundle" in text
+        assert "kind    : syscall_mismatch" in text
+        # The complete in-flight record renders; partial ones render
+        # with placeholders or are skipped — never a KeyError.
+        assert "in-flight v0 t1: write (call #?)" in text
+        assert "in-flight v0 t2: ? (call #4)" in text
+        # Omitted sections stay omitted.
+        assert "faults injected" not in text
+        assert "races detected" not in text
+        assert "deadlock cycle" not in text
+
+    def test_diff_tails_skips_partial_events(self):
+        divergences = diff_tails(DivergenceBundle.load(FIXTURE))
+        # seq 9: v0 saw "write", v1's event has no name -> "?" differs,
+        # so the first differing call is still found despite the holes.
+        assert divergences["t1"]["seq"] == 9
+        assert divergences["t1"]["calls"][0] == "write"
+
+    def test_cli_summarize_exits_zero(self, capsys):
+        assert main(["obs", "summarize", FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "divergence bundle" in out

@@ -159,6 +159,82 @@ class TestCompare:
         assert "REGRESSION" in bad
 
 
+def make_overhead(**overrides):
+    block = {
+        "repeats": 3,
+        "cell": {"sweep_id": "bench", "index": 0},
+        "bare_wall_s": 1.0,
+        "traced_wall_s": 1.02,
+        "overhead_frac": 0.02,
+        "spans_recorded": 3,
+        "digest_identical": True,
+    }
+    block.update(overrides)
+    return block
+
+
+class TestOverheadGate:
+    """The telemetry self-measurement: warn-only on cost growth, hard
+    fail on output perturbation."""
+
+    def test_matching_overhead_is_info(self):
+        findings = compare_reports(
+            make_report(observability_overhead=make_overhead()),
+            make_report(observability_overhead=make_overhead()))
+        assert levels(findings)["observability-overhead"] == "info"
+        assert exit_code(findings) == 0
+
+    def test_overhead_growth_warns_never_fails(self):
+        grown = make_report(
+            observability_overhead=make_overhead(overhead_frac=0.20))
+        findings = compare_reports(
+            grown, make_report(observability_overhead=make_overhead()))
+        assert levels(findings)["observability-overhead"] == "warn"
+        assert exit_code(findings) == 0
+        message = next(f for f in findings
+                       if f.code == "observability-overhead").message
+        assert "pp" in message
+
+    def test_tolerance_scales_with_noisy_reference(self):
+        # A quick-matrix reference with a huge (tiny-cell) overhead
+        # fraction: proportional jitter stays info, it does not warn.
+        findings = compare_reports(
+            make_report(
+                observability_overhead=make_overhead(
+                    overhead_frac=13.5)),
+            make_report(
+                observability_overhead=make_overhead(
+                    overhead_frac=12.8)))
+        assert levels(findings)["observability-overhead"] == "info"
+
+    def test_digest_perturbation_hard_fails(self):
+        broken = make_report(
+            observability_overhead=make_overhead(
+                digest_identical=False))
+        findings = compare_reports(
+            broken,
+            make_report(observability_overhead=make_overhead()))
+        assert levels(findings)["telemetry-perturbation"] == "fail"
+        assert exit_code(findings) == 1
+
+    def test_reference_without_block_is_info(self):
+        findings = compare_reports(
+            make_report(observability_overhead=make_overhead()),
+            make_report())
+        assert levels(findings)["observability-overhead"] == "info"
+        assert "reference has no observability_overhead" in next(
+            f for f in findings
+            if f.code == "observability-overhead").message
+
+    def test_new_report_without_block_stays_silent(self):
+        findings = compare_reports(
+            make_report(),
+            make_report(observability_overhead=make_overhead()))
+        assert "observability-overhead" not in levels(findings)
+        assert "telemetry-perturbation" not in levels(findings)
+        assert exit_code(findings) == 0
+
+
 class TestTrajectory:
     def test_entry_is_compact(self):
         entry = trajectory_entry(make_report())

@@ -1,0 +1,71 @@
+"""Trace-context basics: derivation, thread-local stack, wire form."""
+
+from repro.telemetry.context import (
+    TraceContext,
+    current_context,
+    new_context,
+    use_context,
+    wire_context,
+)
+
+
+class TestTraceContext:
+    def test_new_context_is_a_root(self):
+        ctx = new_context()
+        assert ctx.trace_id and ctx.span_id
+        assert ctx.parent_id is None
+        assert ctx.trace_id != ctx.span_id
+
+    def test_child_keeps_trace_id_and_links_parent(self):
+        parent = new_context()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_roots_are_distinct(self):
+        assert new_context().trace_id != new_context().trace_id
+
+    def test_wire_round_trip(self):
+        ctx = new_context().child()
+        back = TraceContext.from_dict(ctx.to_dict())
+        assert back == ctx
+
+    def test_root_wire_dict_omits_parent(self):
+        assert "parent_id" not in new_context().to_dict()
+
+    def test_from_dict_tolerates_garbage(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict("nope") is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"trace_id": 7}) is None
+        # A trace_id alone is enough; a span_id is minted.
+        ctx = TraceContext.from_dict({"trace_id": "abc",
+                                      "parent_id": 12})
+        assert ctx.trace_id == "abc"
+        assert ctx.span_id
+        assert ctx.parent_id is None
+
+
+class TestCurrentContext:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+        assert wire_context() is None
+
+    def test_use_context_installs_and_restores(self):
+        ctx = new_context()
+        with use_context(ctx):
+            assert current_context() == ctx
+            assert wire_context() == ctx.to_dict()
+        assert current_context() is None
+
+    def test_contexts_nest(self):
+        outer, inner = new_context(), new_context()
+        with use_context(outer):
+            with use_context(inner):
+                assert current_context() == inner
+            assert current_context() == outer
+
+    def test_use_none_is_a_no_op(self):
+        with use_context(None):
+            assert current_context() is None

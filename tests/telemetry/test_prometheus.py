@@ -1,0 +1,132 @@
+"""Prometheus exposition: renderer and the matching validator."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.telemetry.prometheus import (
+    parse_prometheus,
+    prom_name,
+    render_prometheus,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("host.pool.spawned").inc(4)
+    registry.gauge("host.executor.in_flight").set(2)
+    registry.gauge("host.executor.in_flight").set(1)
+    hist = registry.histogram("host.serve.op_latency_s",
+                              (0.001, 0.01, 0.1))
+    for value in (0.0005, 0.004, 0.05, 0.5):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counter_family(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_host_pool_spawned_total counter" in text
+        assert "\nrepro_host_pool_spawned_total 4\n" in text
+
+    def test_gauge_carries_high_water_mark(self):
+        text = render_prometheus(_registry())
+        assert "repro_host_executor_in_flight 1\n" in text
+        assert "repro_host_executor_in_flight_max 2\n" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus(_registry())
+        base = prom_name("host.serve.op_latency_s")
+        assert f'{base}_bucket{{le="0.001"}} 1' in text
+        assert f'{base}_bucket{{le="0.01"}} 2' in text
+        assert f'{base}_bucket{{le="0.1"}} 3' in text
+        assert f'{base}_bucket{{le="+Inf"}} 4' in text
+        assert f"{base}_count 4" in text
+
+    def test_output_is_deterministic(self):
+        assert render_prometheus(_registry()) == \
+            render_prometheus(_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_prom_name_sanitises(self):
+        assert prom_name("host.pool.spawned") == \
+            "repro_host_pool_spawned"
+        assert prom_name("weird name/2") == "repro_weird_name_2"
+
+
+class TestParseRoundTrip:
+    def test_rendered_output_validates(self):
+        families = parse_prometheus(render_prometheus(_registry()))
+        assert families["repro_host_pool_spawned_total"]["type"] == \
+            "counter"
+        hist = families[prom_name("host.serve.op_latency_s")]
+        assert hist["type"] == "histogram"
+        # _bucket/_sum/_count folded into the family: 4 buckets + 2.
+        assert len(hist["samples"]) == 6
+
+    def test_values_survive_the_round_trip(self):
+        families = parse_prometheus(render_prometheus(_registry()))
+        (name, labels, value) = \
+            families["repro_host_pool_spawned_total"]["samples"][0]
+        assert value == 4.0
+        inf_bucket = [
+            v for n, lab, v in
+            families[prom_name("host.serve.op_latency_s")]["samples"]
+            if lab.get("le") == "+Inf"]
+        assert inf_bucket == [4.0]
+
+
+class TestValidator:
+    def test_malformed_sample_is_named(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus("this is not a sample !!!")
+
+    def test_bad_value_is_named(self):
+        with pytest.raises(ValueError, match="not a valid sample"):
+            parse_prometheus("# TYPE x counter\nx bananas")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus("# TYPE x wat\nx 1")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_prometheus("orphan_metric 1")
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus('# TYPE x counter\nx{le=unquoted} 1')
+
+    def test_histogram_without_inf_bucket_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 2\n'
+                "h_sum 1.0\n"
+                "h_count 2\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_histogram_nonmonotone_buckets_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\n"
+                "h_count 3\n")
+        with pytest.raises(ValueError, match="not monotone"):
+            parse_prometheus(text)
+
+    def test_histogram_inf_must_equal_count(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\n"
+                "h_count 4\n")
+        with pytest.raises(ValueError, match="!= _count"):
+            parse_prometheus(text)
+
+    def test_special_values_parse(self):
+        families = parse_prometheus(
+            "# TYPE x gauge\nx +Inf\n# TYPE y gauge\ny NaN")
+        assert families["x"]["samples"][0][2] == math.inf
+        assert math.isnan(families["y"]["samples"][0][2])

@@ -452,3 +452,77 @@ class TestReplayCommands:
         assert code == 0
         assert "mode=checkpoint" in out
         assert "fast-forwarded" in out
+
+
+class TestTelemetryCommands:
+    """`repro telemetry` and `repro top`: the host observability CLI."""
+
+    @pytest.fixture(autouse=True)
+    def dark_telemetry(self, monkeypatch):
+        from repro.telemetry import reset_host_metrics
+        from repro.telemetry.spans import ENV_DIR, ENV_SERVICE, reset
+
+        monkeypatch.delenv(ENV_DIR, raising=False)
+        monkeypatch.delenv(ENV_SERVICE, raising=False)
+        reset()
+        reset_host_metrics()
+        yield
+        reset()
+        reset_host_metrics()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["telemetry", "dump"])
+        assert args.port == 7333 and args.dir is None
+        args = build_parser().parse_args(["top", "--once"])
+        assert args.once and args.interval == 2.0
+        assert args.iterations is None
+
+    def test_merge_writes_default_artifact(self, capsys, tmp_path):
+        from repro.telemetry.spans import scoped, span
+
+        directory = tmp_path / "telemetry"
+        with scoped(str(directory), service="cli"):
+            with span("cli.demo", track="cli"):
+                pass
+        assert main(["telemetry", "merge", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "merged    : 1 span(s)" in out
+        trace = json.loads(
+            (tmp_path / "telemetry.trace.json").read_text())
+        names = [e["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "X"]
+        assert names == ["cli.demo"]
+
+    def test_merge_empty_dir_hints_at_setup(self, capsys, tmp_path):
+        assert main(["telemetry", "merge", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 span(s)" in out
+        assert "--telemetry-dir" in out
+
+    def test_merge_without_dir_exits_two(self, capsys):
+        assert main(["telemetry", "merge"]) == 2
+        assert "directory is required" in capsys.readouterr().err
+
+    def test_dump_dead_daemon_exits_two(self, capsys):
+        code = main(["telemetry", "dump", "--port", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("repro telemetry: ")
+        assert "Traceback" not in captured.err
+
+    def test_top_once_dead_daemon_exits_one(self, capsys):
+        assert main(["top", "--once", "--port", "1"]) == 1
+        assert "cannot reach serve daemon" in capsys.readouterr().out
+
+    def test_env_var_roots_a_cli_span(self, capsys, monkeypatch,
+                                      tmp_path):
+        from repro.telemetry.spans import ENV_DIR, read_spans
+
+        directory = tmp_path / "telemetry"
+        monkeypatch.setenv(ENV_DIR, str(directory))
+        assert main(["list", "--json"]) == 0
+        capsys.readouterr()
+        records = read_spans(str(directory))
+        assert [r["name"] for r in records] == ["cli.list"]
+        assert records[0]["service"] == "cli"
+        assert records[0]["attrs"]["command"] == "list"

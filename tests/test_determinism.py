@@ -501,3 +501,63 @@ class TestReplayDeterminism:
         assert (str(replayed.outcome.divergence)
                 == str(recorded.outcome.divergence))
         assert replayed.hub.digest() == recorded.hub.digest()
+
+
+class TestTelemetryZeroPerturbation:
+    """Host telemetry is a pure observer: attaching span recording and
+    an active trace context must not move one simulated cycle.
+
+    ``repro.telemetry`` reads only host clocks and mints trace ids from
+    ``os.urandom`` — nothing it does may touch the seeded guest RNG or
+    the simulated clock.  This class pins that contract on both the
+    single-run path (verdict, cycles, stdout, ObsHub digest) and the
+    parallel sweep path (golden quick-matrix digest with traced cells).
+    """
+
+    def _mvee(self, fast_costs):
+        hub = ObsHub()
+        outcome = run_mvee(MutexCounterProgram(workers=3, iters=25),
+                           variants=3, agent="total_order", seed=7,
+                           costs=fast_costs, obs=hub)
+        return outcome, hub
+
+    def test_traced_mvee_identical_to_bare_run(self, fast_costs,
+                                               tmp_path):
+        from repro.telemetry.spans import read_spans, scoped, span
+
+        bare, bare_hub = self._mvee(fast_costs)
+        with scoped(str(tmp_path), service="test"):
+            with span("test.mvee", track="test"):
+                traced, traced_hub = self._mvee(fast_costs)
+            recorded = read_spans(str(tmp_path))
+        assert recorded and recorded[-1]["name"] == "test.mvee"
+        assert traced.verdict == bare.verdict == "clean"
+        assert traced.cycles == bare.cycles
+        assert traced.stdout == bare.stdout
+        assert traced_hub.digest() == bare_hub.digest()
+
+    def test_traced_sweep_matches_golden_digest(self, tmp_path):
+        """CellTasks carrying a trace context through the parallel
+        engine leave the pinned sweep digest untouched, while the
+        workers really do record host spans."""
+        import dataclasses
+
+        from repro.experiments.runner import reset_caches
+        from repro.par.bench import (bench_tasks, build_matrix,
+                                     canonical_cells, digest_of)
+        from repro.par.engine import run_cells
+        from repro.telemetry.context import new_context
+        from repro.telemetry.spans import read_spans, scoped
+
+        reset_caches()
+        ctx = new_context()
+        tasks = [dataclasses.replace(task, trace=ctx.to_dict())
+                 for task in bench_tasks(build_matrix(quick=True,
+                                                      seed=1))]
+        with scoped(str(tmp_path), service="worker"):
+            results = run_cells(tasks, jobs=2, env="thread")
+            recorded = read_spans(str(tmp_path))
+        assert len(recorded) == len(tasks)
+        assert {r["trace"] for r in recorded} == {ctx.trace_id}
+        assert (digest_of(canonical_cells(results))
+                == TestParallelSweepDeterminism.GOLDEN_QUICK_DIGEST)
